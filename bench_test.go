@@ -1,0 +1,330 @@
+package ucp_test
+
+// One benchmark per table/figure of the paper's evaluation. Each
+// benchmark runs a miniature version of the corresponding experiment
+// (reduced trace set, reduced instruction budget) and reports the
+// figure's headline metric via b.ReportMetric, so `go test -bench=.`
+// regenerates the whole evaluation in miniature. The full-scale runs
+// live in cmd/experiments (see EXPERIMENTS.md).
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"ucp"
+)
+
+const (
+	benchWarmup  = 250_000
+	benchMeasure = 200_000
+)
+
+// benchTraces is the reduced set: one per workload category.
+var benchTraces = []string{"crypto02", "int02", "srv203", "srv206"}
+
+var (
+	progCache = map[string]*ucp.Program{}
+	progMu    sync.Mutex
+)
+
+func program(b *testing.B, name string) (ucp.Profile, *ucp.Program) {
+	b.Helper()
+	prof, ok := ucp.ProfileByName(name)
+	if !ok {
+		b.Fatalf("no profile %s", name)
+	}
+	progMu.Lock()
+	defer progMu.Unlock()
+	if p, ok := progCache[name]; ok {
+		return prof, p
+	}
+	p, err := ucp.BuildProgram(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	progCache[name] = p
+	return prof, p
+}
+
+func runOne(b *testing.B, cfg ucp.Config, traceName string) ucp.Result {
+	b.Helper()
+	prof, prog := program(b, traceName)
+	cfg.WarmupInsts, cfg.MeasureInsts = benchWarmup, benchMeasure
+	src := ucp.Limit(ucp.NewWalker(prog), int(cfg.WarmupInsts+cfg.MeasureInsts)+100_000)
+	res, err := ucp.Run(cfg, src, prog, prof.Name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func geomean(b *testing.B, base, exp ucp.Config) float64 {
+	b.Helper()
+	sum := 0.0
+	for _, tr := range benchTraces {
+		r0 := runOne(b, base, tr)
+		r1 := runOne(b, exp, tr)
+		sum += math.Log(r1.IPC / r0.IPC)
+	}
+	return (math.Exp(sum/float64(len(benchTraces))) - 1) * 100
+}
+
+func noUop() ucp.Config {
+	c := ucp.Baseline()
+	c.Name = "no-uop"
+	c.Ideal.NoUopCache = true
+	return c
+}
+
+// BenchmarkFig02UopCacheVsNone measures the IPC improvement of the
+// 4Kops µ-op cache over no µ-op cache (Fig. 2).
+func BenchmarkFig02UopCacheVsNone(b *testing.B) {
+	var imp float64
+	for i := 0; i < b.N; i++ {
+		imp = geomean(b, noUop(), ucp.Baseline())
+	}
+	b.ReportMetric(imp, "geomean-improvement-%")
+}
+
+// BenchmarkFig03HitRateSwitchPKI measures the baseline µ-op cache hit
+// rate and mode-switch PKI (Fig. 3).
+func BenchmarkFig03HitRateSwitchPKI(b *testing.B) {
+	var hr, sw float64
+	for i := 0; i < b.N; i++ {
+		hr, sw = 0, 0
+		for _, tr := range benchTraces {
+			r := runOne(b, ucp.Baseline(), tr)
+			hr += r.UopHitRate
+			sw += r.SwitchPKI
+		}
+		hr /= float64(len(benchTraces))
+		sw /= float64(len(benchTraces))
+	}
+	b.ReportMetric(hr*100, "amean-hitrate-%")
+	b.ReportMetric(sw, "amean-switch-pki")
+}
+
+// BenchmarkFig04SizeSweep measures the speedup of a 16Kops µ-op cache
+// and of the ideal µ-op cache over the 4Kops baseline (Fig. 4).
+func BenchmarkFig04SizeSweep(b *testing.B) {
+	big := ucp.Baseline()
+	big.Name = "uop-16K"
+	big.Uop.Ops = 16384
+	ideal := ucp.Baseline()
+	ideal.Name = "uop-ideal"
+	ideal.Ideal.UopAlwaysHit = true
+	var impBig, impIdeal float64
+	for i := 0; i < b.N; i++ {
+		impBig = geomean(b, ucp.Baseline(), big)
+		impIdeal = geomean(b, ucp.Baseline(), ideal)
+	}
+	b.ReportMetric(impBig, "16Kops-%")
+	b.ReportMetric(impIdeal, "ideal-%")
+}
+
+// BenchmarkFig05PrefetcherStudy measures a standalone L1I prefetcher
+// and the IdealBRCond-16 configuration against the no-prefetcher
+// baseline (Fig. 5).
+func BenchmarkFig05PrefetcherStudy(b *testing.B) {
+	ep := ucp.Baseline()
+	ep.Name = "pf-ep"
+	ep.L1IPrefetcher = "ep"
+	br16 := ucp.Baseline()
+	br16.Name = "brcond16"
+	br16.Ideal.BRCondN = 16
+	var impEP, impBR float64
+	for i := 0; i < b.N; i++ {
+		impEP = geomean(b, ucp.Baseline(), ep)
+		impBR = geomean(b, ucp.Baseline(), br16)
+	}
+	b.ReportMetric(impEP, "EP-%")
+	b.ReportMetric(impBR, "IdealBRCond16-%")
+}
+
+// BenchmarkFig06ConfidenceProfile exercises the TAGE-SC-L component
+// profiling behind Fig. 6 (per-provider misprediction behavior).
+func BenchmarkFig06ConfidenceProfile(b *testing.B) {
+	var miss float64
+	for i := 0; i < b.N; i++ {
+		r := runOne(b, ucp.Baseline(), "srv203")
+		miss = r.CondMPKI
+	}
+	b.ReportMetric(miss, "cond-mpki")
+}
+
+// BenchmarkFig07MispredictShare measures total misprediction pressure
+// feeding the Fig. 7 component-share analysis.
+func BenchmarkFig07MispredictShare(b *testing.B) {
+	var mpki float64
+	for i := 0; i < b.N; i++ {
+		mpki = 0
+		for _, tr := range benchTraces {
+			mpki += runOne(b, ucp.Baseline(), tr).CondMPKI
+		}
+		mpki /= float64(len(benchTraces))
+	}
+	b.ReportMetric(mpki, "amean-cond-mpki")
+}
+
+// BenchmarkFig09H2PCoverageAccuracy measures H2P coverage/accuracy of
+// both confidence estimators (Fig. 9).
+func BenchmarkFig09H2PCoverageAccuracy(b *testing.B) {
+	var tCov, uCov, uAcc float64
+	for i := 0; i < b.N; i++ {
+		tCov, uCov, uAcc = 0, 0, 0
+		for _, tr := range benchTraces {
+			r := runOne(b, ucp.Baseline(), tr)
+			tCov += r.FE.H2PTage.Coverage()
+			uCov += r.FE.H2PUCP.Coverage()
+			uAcc += r.FE.H2PUCP.Accuracy()
+		}
+		n := float64(len(benchTraces))
+		tCov, uCov, uAcc = tCov/n, uCov/n, uAcc/n
+	}
+	b.ReportMetric(tCov*100, "tageconf-coverage-%")
+	b.ReportMetric(uCov*100, "ucpconf-coverage-%")
+	b.ReportMetric(uAcc*100, "ucpconf-accuracy-%")
+}
+
+// BenchmarkFig10UCPvsBaseline measures baseline and UCP against the
+// no-µ-op-cache machine (Fig. 10).
+func BenchmarkFig10UCPvsBaseline(b *testing.B) {
+	var impBase, impUCP float64
+	for i := 0; i < b.N; i++ {
+		impBase = geomean(b, noUop(), ucp.Baseline())
+		impUCP = geomean(b, noUop(), ucp.WithUCP(ucp.DefaultUCP()))
+	}
+	b.ReportMetric(impBase, "baseline-%")
+	b.ReportMetric(impUCP, "UCP-%")
+}
+
+// BenchmarkFig11SpeedupMPKI measures the headline UCP speedup (Fig. 11).
+func BenchmarkFig11SpeedupMPKI(b *testing.B) {
+	var imp float64
+	for i := 0; i < b.N; i++ {
+		imp = geomean(b, ucp.Baseline(), ucp.WithUCP(ucp.DefaultUCP()))
+	}
+	b.ReportMetric(imp, "UCP-geomean-%")
+}
+
+// BenchmarkFig12Variants measures UCP without Alt-Ind and UCP with
+// TAGE-Conf (Fig. 12).
+func BenchmarkFig12Variants(b *testing.B) {
+	noind := ucp.WithUCP(ucp.NoIndUCP())
+	noind.Name = "UCP-NoInd"
+	tconf := ucp.DefaultUCP()
+	tconf.Estimator = ucp.EstimatorTageConf
+	tc := ucp.WithUCP(tconf)
+	tc.Name = "UCP-TageConf"
+	var impNoInd, impTConf float64
+	for i := 0; i < b.N; i++ {
+		impNoInd = geomean(b, ucp.Baseline(), noind)
+		impTConf = geomean(b, ucp.Baseline(), tc)
+	}
+	b.ReportMetric(impNoInd, "UCP-NoIND-%")
+	b.ReportMetric(impTConf, "UCP-TageConf-%")
+}
+
+// BenchmarkFig13UCPHitRate measures the µ-op cache hit rate under UCP
+// (Fig. 13).
+func BenchmarkFig13UCPHitRate(b *testing.B) {
+	cfg := ucp.WithUCP(ucp.DefaultUCP())
+	var hr float64
+	for i := 0; i < b.N; i++ {
+		hr = 0
+		for _, tr := range benchTraces {
+			hr += runOne(b, cfg, tr).UopHitRate
+		}
+		hr /= float64(len(benchTraces))
+	}
+	b.ReportMetric(hr*100, "amean-hitrate-%")
+}
+
+// BenchmarkFig14PrefetchAccuracy measures UCP prefetch accuracy
+// (Fig. 14).
+func BenchmarkFig14PrefetchAccuracy(b *testing.B) {
+	cfg := ucp.WithUCP(ucp.DefaultUCP())
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc = 0
+		for _, tr := range benchTraces {
+			acc += runOne(b, cfg, tr).PrefetchAccuracy
+		}
+		acc /= float64(len(benchTraces))
+	}
+	b.ReportMetric(acc*100, "amean-accuracy-%")
+}
+
+// BenchmarkFig15ThresholdSweep measures two points of the stopping
+// threshold sweep (Fig. 15).
+func BenchmarkFig15ThresholdSweep(b *testing.B) {
+	low := ucp.DefaultUCP()
+	low.StopThreshold = 16
+	lowCfg := ucp.WithUCP(low)
+	lowCfg.Name = "UCP-T16"
+	var imp16, imp500 float64
+	for i := 0; i < b.N; i++ {
+		imp16 = geomean(b, ucp.Baseline(), lowCfg)
+		imp500 = geomean(b, ucp.Baseline(), ucp.WithUCP(ucp.DefaultUCP()))
+	}
+	b.ReportMetric(imp16, "T16-%")
+	b.ReportMetric(imp500, "T500-%")
+}
+
+// BenchmarkFig16Pareto measures the two UCP Pareto points (speedup per
+// KB of storage, Fig. 16).
+func BenchmarkFig16Pareto(b *testing.B) {
+	var perKB, perKBNoInd float64
+	for i := 0; i < b.N; i++ {
+		full := ucp.WithUCP(ucp.DefaultUCP())
+		imp := geomean(b, ucp.Baseline(), full)
+		r := runOne(b, full, "srv203")
+		perKB = imp / r.UCPStorageKB
+
+		noind := ucp.WithUCP(ucp.NoIndUCP())
+		noind.Name = "UCP-NoInd"
+		impN := geomean(b, ucp.Baseline(), noind)
+		rn := runOne(b, noind, "srv203")
+		perKBNoInd = impN / rn.UCPStorageKB
+	}
+	b.ReportMetric(perKB, "UCP-%/KB")
+	b.ReportMetric(perKBNoInd, "UCP-NoInd-%/KB")
+}
+
+// BenchmarkArtifactTable measures the four artifact variants (the
+// appendix's summary table).
+func BenchmarkArtifactTable(b *testing.B) {
+	mk := func(mut func(*ucp.UCPConfig), name string) ucp.Config {
+		u := ucp.DefaultUCP()
+		mut(&u)
+		c := ucp.WithUCP(u)
+		c.Name = name
+		return c
+	}
+	var imps [4]float64
+	cfgs := []ucp.Config{
+		ucp.WithUCP(ucp.DefaultUCP()),
+		mk(func(u *ucp.UCPConfig) { u.TillL1I = true }, "UCP-TillL1I"),
+		mk(func(u *ucp.UCPConfig) { u.SharedDecoders = true }, "UCP-SharedDecoders"),
+		mk(func(u *ucp.UCPConfig) { u.IdealBTBBanking = true }, "UCP-IdealBTBBanking"),
+	}
+	for i := 0; i < b.N; i++ {
+		for j, cfg := range cfgs {
+			imps[j] = geomean(b, ucp.Baseline(), cfg)
+		}
+	}
+	b.ReportMetric(imps[0], "UCP-%")
+	b.ReportMetric(imps[1], "TillL1I-%")
+	b.ReportMetric(imps[2], "SharedDecoders-%")
+	b.ReportMetric(imps[3], "IdealBTBBanking-%")
+}
+
+// BenchmarkSimulatorThroughput reports raw simulation speed
+// (instructions per second) on the baseline machine.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runOne(b, ucp.Baseline(), "int02")
+	}
+	b.ReportMetric(float64(benchWarmup+benchMeasure)*float64(b.N)/b.Elapsed().Seconds(), "insts/s")
+}

@@ -1,0 +1,83 @@
+// Command experiments regenerates the paper's evaluation: every figure
+// and table has a named experiment that sweeps the relevant machine
+// configurations over the synthetic trace set and prints the same
+// rows/series the paper reports.
+//
+// Examples:
+//
+//	experiments -fig 11                 # one figure
+//	experiments -all -o results.md      # the whole evaluation
+//	experiments -fig 15 -quick          # reduced trace set
+//	experiments -fig artifact -warmup 1000000 -measure 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ucp/internal/harness"
+	"ucp/internal/trace"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "figure to regenerate: 2,3,4,5,6,7,9,10,11,12,13,14,15,16,artifact (6 and 7 run together)")
+		all     = flag.Bool("all", false, "run the complete evaluation")
+		quick   = flag.Bool("quick", false, "use the reduced 4-trace set")
+		warmup  = flag.Uint64("warmup", 800_000, "warmup instructions per run")
+		measure = flag.Uint64("measure", 700_000, "measured instructions per run")
+		out     = flag.String("o", "", "write the report to a file (default stdout)")
+		verbose = flag.Bool("v", false, "log every completed run")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	opts := harness.DefaultOptions(w)
+	opts.Warmup, opts.Measure = *warmup, *measure
+	opts.Verbose = *verbose
+	if *quick {
+		opts.Profiles = trace.QuickProfiles()
+	}
+	r := harness.NewRunner(opts)
+
+	figs := map[string]func(){
+		"2": r.Fig2, "3": r.Fig3, "4": r.Fig4, "5": r.Fig5,
+		"6": r.Fig6and7, "7": r.Fig6and7, "9": r.Fig9, "9x": r.Fig9JRS,
+		"10": r.Fig10, "11": r.Fig11, "12": r.Fig12, "13": r.Fig13,
+		"14": r.Fig14, "15": r.Fig15, "16": r.Fig16,
+		"artifact": r.ArtifactTable, "dist": r.Distributions,
+	}
+	if *all {
+		fmt.Fprintf(w, "# UCP evaluation — full reproduction run\n\n")
+		fmt.Fprintf(w, "Traces: %d synthetic profiles; %d warmup + %d measured instructions per run.\n",
+			len(opts.Profiles), opts.Warmup, opts.Measure)
+		order := []string{"2", "3", "4", "5", "6", "9", "9x", "10", "11", "12", "13", "14", "15", "16", "artifact", "dist"}
+		for _, k := range order {
+			figs[k]()
+		}
+		return
+	}
+	if *fig == "" {
+		fmt.Fprintln(os.Stderr, "need -fig or -all; figures:",
+			strings.Join([]string{"2", "3", "4", "5", "6", "7", "9", "10", "11", "12", "13", "14", "15", "16", "artifact"}, ","))
+		os.Exit(1)
+	}
+	fn, ok := figs[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(1)
+	}
+	fn()
+}

@@ -1,0 +1,206 @@
+// Command ucpsim runs one machine configuration over one or more
+// synthetic workloads (or a recorded trace file) and prints the key
+// metrics: IPC, µ-op cache hit rate, switch PKI, conditional MPKI, and
+// — when UCP is enabled — trigger/prefetch statistics.
+//
+// Examples:
+//
+//	ucpsim -trace srv203
+//	ucpsim -trace all -ucp -warmup 800000 -measure 700000
+//	ucpsim -trace int02 -ucp -ucp-noind -threshold 1000
+//	ucpsim -file trace.ucpt -prefetcher fnlmma
+//	ucpsim -trace srv205 -compare          # baseline vs UCP side by side
+//	ucpsim -trace srv203 -ucp -json        # machine-readable output
+//	ucpsim -trace srv206 -ucp -hist        # stream/refill distributions
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ucp"
+	"ucp/internal/sim"
+	"ucp/internal/trace"
+)
+
+func main() {
+	var (
+		traceName  = flag.String("trace", "srv203", "profile name, or 'all' for the full default set")
+		file       = flag.String("file", "", "run a recorded .ucpt trace file instead of a profile")
+		useUCP     = flag.Bool("ucp", false, "enable the UCP alternate-path prefetcher")
+		noInd      = flag.Bool("ucp-noind", false, "UCP without the dedicated indirect predictor")
+		tillL1I    = flag.Bool("ucp-l1i", false, "UCP prefetching only to the L1I (no µ-op fill)")
+		shared     = flag.Bool("ucp-shared-decoders", false, "UCP sharing the demand decoders")
+		idealBTB   = flag.Bool("ucp-ideal-btb", false, "UCP with ideal BTB banking")
+		tageConf   = flag.Bool("ucp-tage-conf", false, "use Seznec's TAGE-Conf instead of UCP-Conf")
+		threshold  = flag.Int("threshold", 500, "UCP stop threshold")
+		prefetcher = flag.String("prefetcher", "", "standalone L1I prefetcher: fnlmma, fnlmma++, djolt, ep, ep++")
+		noUop      = flag.Bool("no-uop-cache", false, "remove the µ-op cache")
+		idealUop   = flag.Bool("ideal-uop-cache", false, "perfect µ-op cache")
+		warmup     = flag.Uint64("warmup", 800_000, "warmup instructions")
+		measure    = flag.Uint64("measure", 700_000, "measured instructions")
+		compare    = flag.Bool("compare", false, "run baseline AND UCP, reporting the speedup")
+		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON instead of the table")
+		hist       = flag.Bool("hist", false, "print stream-length and refill-latency distributions")
+	)
+	flag.Parse()
+
+	cfg := ucp.Baseline()
+	if *useUCP {
+		u := ucp.DefaultUCP()
+		if *noInd {
+			u = ucp.NoIndUCP()
+		}
+		u.StopThreshold = *threshold
+		u.TillL1I = *tillL1I
+		u.SharedDecoders = *shared
+		u.IdealBTBBanking = *idealBTB
+		if *tageConf {
+			u.Estimator = ucp.EstimatorTageConf
+		}
+		cfg = ucp.WithUCP(u)
+	}
+	cfg.L1IPrefetcher = *prefetcher
+	cfg.Ideal.NoUopCache = *noUop
+	cfg.Ideal.UopAlwaysHit = *idealUop
+	cfg.WarmupInsts, cfg.MeasureInsts = *warmup, *measure
+
+	if *file != "" {
+		runFile(cfg, *file)
+		return
+	}
+	var profiles []ucp.Profile
+	if *traceName == "all" {
+		profiles = ucp.DefaultProfiles()
+	} else {
+		p, ok := ucp.ProfileByName(*traceName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown profile %q; available:", *traceName)
+			for _, pr := range ucp.DefaultProfiles() {
+				fmt.Fprintf(os.Stderr, " %s", pr.Name)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(1)
+		}
+		profiles = []ucp.Profile{p}
+	}
+	if *compare {
+		runCompare(profiles, *warmup, *measure)
+		return
+	}
+	if !*jsonOut {
+		header()
+	}
+	for _, p := range profiles {
+		res, err := ucp.RunProfile(cfg, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, err)
+			os.Exit(1)
+		}
+		emit(res, *jsonOut, *hist)
+	}
+}
+
+// runCompare runs the baseline and UCP over each profile and reports
+// the per-trace speedup.
+func runCompare(profiles []ucp.Profile, warmup, measure uint64) {
+	fmt.Printf("%-10s %10s %10s %10s %9s %9s\n",
+		"trace", "base IPC", "UCP IPC", "speedup%", "HR base%", "HR UCP%")
+	for _, p := range profiles {
+		base := ucp.Baseline()
+		base.WarmupInsts, base.MeasureInsts = warmup, measure
+		withUCP := ucp.WithUCP(ucp.DefaultUCP())
+		withUCP.WarmupInsts, withUCP.MeasureInsts = warmup, measure
+		b, err := ucp.RunProfile(base, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, err)
+			os.Exit(1)
+		}
+		u, err := ucp.RunProfile(withUCP, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-10s %10.4f %10.4f %+10.2f %9.2f %9.2f\n",
+			p.Name, b.IPC, u.IPC, 100*(u.IPC/b.IPC-1),
+			b.UopHitRate*100, u.UopHitRate*100)
+	}
+}
+
+// emit prints one result as a table row or JSON object.
+func emit(r sim.Result, asJSON, withHist bool) {
+	if asJSON {
+		out := map[string]any{
+			"trace":            r.Trace,
+			"config":           r.Name,
+			"instructions":     r.Insts,
+			"cycles":           r.Cycles,
+			"ipc":              r.IPC,
+			"uopHitRate":       r.UopHitRate,
+			"switchPKI":        r.SwitchPKI,
+			"condMPKI":         r.CondMPKI,
+			"prefetchAccuracy": r.PrefetchAccuracy,
+			"ucp": map[string]any{
+				"triggers":     r.UCP.Triggers,
+				"fills":        r.UCP.FillsInserted,
+				"prefetches":   r.UCP.PrefetchesIssued,
+				"linesPerPath": safeDiv(r.UCP.LinesPrefetched, r.UCP.Triggers),
+				"storageKB":    r.UCPStorageKB,
+				"btbConflicts": r.UCP.BTBConflicts,
+			},
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	row(r)
+	if withHist {
+		fmt.Println(r.StreamLens.Render())
+		fmt.Println(r.RefillLat.Render())
+	}
+}
+
+func safeDiv(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func runFile(cfg sim.Config, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	insts, err := trace.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := sim.Run(cfg, trace.NewSliceSource(insts), nil, path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	header()
+	row(res)
+}
+
+func header() {
+	fmt.Printf("%-10s %8s %8s %9s %9s %9s %10s %9s\n",
+		"trace", "IPC", "uopHR%", "switchPKI", "condMPKI", "ucpTrig", "ucpFills", "prefAcc%")
+}
+
+func row(r sim.Result) {
+	fmt.Printf("%-10s %8.4f %8.2f %9.2f %9.2f %9d %10d %9.2f\n",
+		r.Trace, r.IPC, r.UopHitRate*100, r.SwitchPKI, r.CondMPKI,
+		r.UCP.Triggers, r.UCP.FillsInserted, r.PrefetchAccuracy*100)
+}

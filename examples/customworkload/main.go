@@ -1,0 +1,67 @@
+// Custom workload: define your own synthetic workload profile — code
+// footprint, branch difficulty mix, data working set — generate its
+// instruction stream, and measure how the µ-op cache and UCP behave on
+// it. This is the API a user reaches for when their workload is not
+// covered by the default CVP-1-style trace set.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ucp"
+)
+
+func main() {
+	// A medium-footprint service with a nasty H2P branch population:
+	// 300 functions (~190KB of code), 6% of conditional branch sites
+	// irreducibly noisy at a ~35% miss level, and an 8MB data working
+	// set accessed mostly randomly.
+	profile := ucp.Profile{
+		Name: "myservice", Seed: 2024,
+		Funcs: 300, AvgFuncInsts: 160, FlatFrac: 0.6,
+		CondPatternFrac: 0.02, CondHistoryFrac: 0.12,
+		CondRandomFrac: 0.06, RandomTakenP: 0.35,
+		HistMaskBitsMin: 1, HistMaskBitsMax: 3,
+		LoopTripMean: 6, FixedTripFrac: 0.5,
+		IndirectFrac: 0.12, IndHistFrac: 0.4,
+		DataWSS: 8 << 20, StreamFrac: 0.25,
+		LoadFrac: 0.25, StoreFrac: 0.12,
+	}
+
+	prog, err := ucp.BuildProgram(profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d static instructions (%.0fKB)\n",
+		prog.StaticInsts(), float64(prog.StaticInsts())*4/1024)
+
+	// Peek at the stream: the walker produces a control-flow-consistent
+	// endless trace; Limit caps it.
+	src := ucp.Limit(ucp.NewWalker(prog), 10)
+	for {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		fmt.Printf("  pc=%#x %v\n", in.PC, in.Class)
+	}
+
+	for _, mk := range []struct {
+		name string
+		cfg  ucp.Config
+	}{
+		{"baseline", ucp.Baseline()},
+		{"UCP", ucp.WithUCP(ucp.DefaultUCP())},
+		{"UCP-NoInd", ucp.WithUCP(ucp.NoIndUCP())},
+	} {
+		cfg := mk.cfg
+		cfg.WarmupInsts, cfg.MeasureInsts = 500_000, 400_000
+		res, err := ucp.RunProfile(cfg, profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s IPC=%.4f  µopHR=%.1f%%  switchPKI=%.2f  condMPKI=%.2f\n",
+			mk.name, res.IPC, res.UopHitRate*100, res.SwitchPKI, res.CondMPKI)
+	}
+}

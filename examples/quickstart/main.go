@@ -1,0 +1,43 @@
+// Quickstart: simulate one datacenter-style workload on the baseline
+// Alder-Lake-like core and on the same core with UCP (alternate path
+// µ-op cache prefetching), and report the headline numbers the paper
+// cares about: IPC, µ-op cache hit rate, and the UCP speedup.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ucp"
+)
+
+func main() {
+	profile, ok := ucp.ProfileByName("srv203")
+	if !ok {
+		log.Fatal("profile srv203 missing")
+	}
+
+	base := ucp.Baseline()
+	base.WarmupInsts, base.MeasureInsts = 600_000, 500_000
+
+	withUCP := ucp.WithUCP(ucp.DefaultUCP())
+	withUCP.WarmupInsts, withUCP.MeasureInsts = 600_000, 500_000
+
+	fmt.Printf("workload %s: ~%dKB static code, %d functions\n\n",
+		profile.Name, profile.FootprintBytes()/1024, profile.Funcs)
+
+	b, err := ucp.RunProfile(base, profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u, err := ucp.RunProfile(withUCP, profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s %10s %12s %12s\n", "config", "IPC", "µop hit %", "cond MPKI")
+	fmt.Printf("%-22s %10.4f %12.2f %12.2f\n", "baseline (Table II)", b.IPC, b.UopHitRate*100, b.CondMPKI)
+	fmt.Printf("%-22s %10.4f %12.2f %12.2f\n", "UCP (12.95KB extra)", u.IPC, u.UopHitRate*100, u.CondMPKI)
+	fmt.Printf("\nUCP speedup: %+.2f%%  (alternate paths started: %d, µ-op entries prefetched: %d)\n",
+		100*(u.IPC/b.IPC-1), u.UCP.Triggers, u.Uop.PrefetchInserts)
+}

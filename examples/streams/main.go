@@ -1,0 +1,44 @@
+// Streams: visualize WHY the µ-op cache stops paying off on datacenter
+// code and HOW UCP helps. The paper's §III-A observes the µ-op cache is
+// only beneficial with long streams of consecutive hits; its §VI shows
+// UCP attacks the pipeline-refill latency after mispredictions. This
+// example prints both distributions — consecutive-hit stream lengths and
+// mispredict-to-first-µ-op refill latencies — for a small crypto kernel
+// and a flat datacenter trace, with and without UCP.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ucp"
+)
+
+func main() {
+	for _, traceName := range []string{"crypto02", "srv206"} {
+		profile, ok := ucp.ProfileByName(traceName)
+		if !ok {
+			log.Fatalf("profile %s missing", traceName)
+		}
+		base := ucp.Baseline()
+		base.WarmupInsts, base.MeasureInsts = 500_000, 400_000
+		b, err := ucp.RunProfile(base, profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		withUCP := ucp.WithUCP(ucp.DefaultUCP())
+		withUCP.WarmupInsts, withUCP.MeasureInsts = 500_000, 400_000
+		u, err := ucp.RunProfile(withUCP, profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("=== %s (footprint %dKB, hit rate %.1f%%) ===\n\n",
+			traceName, profile.FootprintBytes()/1024, b.UopHitRate*100)
+		fmt.Println(b.StreamLens.Render())
+		fmt.Printf("refill latency: baseline %s\n", b.RefillLat)
+		fmt.Printf("refill latency: UCP      %s\n", u.RefillLat)
+		fmt.Printf("IPC %.4f -> %.4f (%+.2f%%)\n\n",
+			b.IPC, u.IPC, 100*(u.IPC/b.IPC-1))
+	}
+}

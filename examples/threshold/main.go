@@ -1,0 +1,53 @@
+// Threshold sweep: reproduce the paper's stopping-threshold sensitivity
+// study (Fig. 15, §IV-E) on one trace. Small thresholds cut alternate
+// paths short (missing prefetches); very large ones let long alternate
+// paths thrash the 4Kops µ-op cache. The paper finds a plateau starting
+// around 500 for µ-op cache prefetching.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ucp"
+)
+
+func main() {
+	profile, ok := ucp.ProfileByName("srv205")
+	if !ok {
+		log.Fatal("profile srv205 missing")
+	}
+
+	base := ucp.Baseline()
+	base.WarmupInsts, base.MeasureInsts = 600_000, 500_000
+	b, err := ucp.RunProfile(base, profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline IPC on %s: %.4f\n\n", profile.Name, b.IPC)
+	fmt.Printf("%10s %14s %14s %16s\n", "threshold", "µ-op pf (%)", "L1I-only pf (%)", "entries filled")
+
+	for _, th := range []int{16, 64, 256, 500, 1024, 4096} {
+		uopCfg := ucp.DefaultUCP()
+		uopCfg.StopThreshold = th
+		cfgU := ucp.WithUCP(uopCfg)
+		cfgU.WarmupInsts, cfgU.MeasureInsts = 600_000, 500_000
+		u, err := ucp.RunProfile(cfgU, profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		l1iCfg := ucp.DefaultUCP()
+		l1iCfg.StopThreshold = th
+		l1iCfg.TillL1I = true
+		cfgL := ucp.WithUCP(l1iCfg)
+		cfgL.WarmupInsts, cfgL.MeasureInsts = 600_000, 500_000
+		l, err := ucp.RunProfile(cfgL, profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%10d %14.2f %14.2f %16d\n", th,
+			100*(u.IPC/b.IPC-1), 100*(l.IPC/b.IPC-1), u.UCP.FillsInserted)
+	}
+}

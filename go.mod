@@ -1,0 +1,3 @@
+module ucp
+
+go 1.22

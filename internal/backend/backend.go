@@ -1,0 +1,240 @@
+// Package backend models the out-of-order execution engine of the
+// baseline core (Table II): a 512-entry ROB, 6-wide dispatch, 10-wide
+// issue and commit, 3 load + 2 store ports, with dependency tracking
+// through a register ready-time scoreboard. Because the simulator never
+// dispatches wrong-path µ-ops (the frontend stalls at a mispredicted
+// branch), a "flush" reduces to resolving the branch and releasing the
+// frontend — the refill cost UCP targets is then paid entirely in the
+// frontend, which is exactly the effect under study.
+package backend
+
+import (
+	"ucp/internal/cache"
+	"ucp/internal/isa"
+)
+
+// Config sizes the backend.
+type Config struct {
+	ROB           int
+	DispatchWidth int
+	IssueWidth    int
+	CommitWidth   int
+	LoadPorts     int
+	StorePorts    int
+	// SchedWindow bounds how deep past the oldest unissued µ-op the
+	// scheduler looks each cycle (reservation-station reach).
+	SchedWindow int
+	// Latencies per class.
+	ALULat, MulLat, FPLat, BranchLat uint64
+}
+
+// DefaultConfig mirrors Table II.
+func DefaultConfig() Config {
+	return Config{
+		ROB: 512, DispatchWidth: 6, IssueWidth: 10, CommitWidth: 10,
+		LoadPorts: 3, StorePorts: 2, SchedWindow: 160,
+		ALULat: 1, MulLat: 3, FPLat: 4, BranchLat: 1,
+	}
+}
+
+// Uop is one micro-operation handed to the backend at dispatch.
+type Uop struct {
+	PC      uint64
+	Class   isa.Class
+	Dst     uint8
+	Src1    uint8
+	Src2    uint8
+	MemAddr uint64
+	// Mispredict marks a branch whose resolution redirects the frontend.
+	Mispredict bool
+}
+
+type robEntry struct {
+	uop    Uop
+	issued bool
+	done   uint64
+}
+
+// Flush reports a resolved misprediction.
+type Flush struct {
+	// Cycle is when the branch resolved (frontend may restart at
+	// Cycle+1).
+	Cycle uint64
+	// PC is the branch address.
+	PC uint64
+}
+
+// DataPrefetcher observes issued loads (the IP-stride L1D prefetcher
+// of Table II attaches here).
+type DataPrefetcher interface {
+	// OnLoad fires when a load issues.
+	OnLoad(pc, addr uint64, now uint64)
+}
+
+// Backend is the out-of-order engine.
+type Backend struct {
+	cfg Config
+	mem *cache.Hierarchy
+	// DataPrefetcher is optional.
+	DataPrefetcher   DataPrefetcher
+	rob              []robEntry
+	head, tail, used int
+	// scan is the ring index of the oldest possibly-unissued entry;
+	// everything between head and scan has already issued. It keeps the
+	// per-cycle scheduler scan O(window) instead of O(ROB).
+	scan int
+	// dirty forces a scheduler scan; nextWake is the earliest cycle a
+	// blocked µ-op can become ready when the window is quiescent. They
+	// make memory-stall phases O(1) per cycle instead of O(window).
+	dirty    bool
+	nextWake uint64
+
+	regReady [isa.RegCount]uint64
+
+	// Stats.
+	Committed   uint64
+	Issued      uint64
+	LoadsIssued uint64
+	StoreIssued uint64
+}
+
+// New constructs a backend over the given memory hierarchy.
+func New(cfg Config, mem *cache.Hierarchy) *Backend {
+	return &Backend{cfg: cfg, mem: mem, rob: make([]robEntry, cfg.ROB)}
+}
+
+// CanDispatch reports whether n more µ-ops fit in the ROB.
+func (b *Backend) CanDispatch(n int) bool { return b.used+n <= b.cfg.ROB }
+
+// Dispatch inserts a µ-op into the ROB. Callers must respect
+// CanDispatch and the configured dispatch width.
+func (b *Backend) Dispatch(u Uop) {
+	b.rob[b.tail] = robEntry{uop: u}
+	b.tail = (b.tail + 1) % b.cfg.ROB
+	b.used++
+	b.dirty = true
+}
+
+// DispatchWidth returns the per-cycle dispatch capacity.
+func (b *Backend) DispatchWidth() int { return b.cfg.DispatchWidth }
+
+// Cycle advances execution by one cycle: issues ready µ-ops oldest
+// first, commits finished ones in order, and reports a resolved
+// misprediction if one completed this cycle.
+func (b *Backend) Cycle(now uint64) (committed int, flush *Flush) {
+	issued, loads, stores := 0, 0, 0
+	if b.dirty || now >= b.nextWake {
+		issued, flush = b.issue(now)
+	}
+	_ = issued
+	// Commit in order.
+	for committed < b.cfg.CommitWidth && b.used > 0 {
+		e := &b.rob[b.head]
+		if !e.issued || e.done > now {
+			break
+		}
+		b.head = (b.head + 1) % b.cfg.ROB
+		b.used--
+		committed++
+		b.Committed++
+	}
+	if committed > 0 {
+		b.dirty = true
+	}
+	_ = loads
+	_ = stores
+	return committed, flush
+}
+
+// issue runs one scheduler scan, returning the number of µ-ops issued
+// and any resolved misprediction.
+func (b *Backend) issue(now uint64) (issued int, flush *Flush) {
+	// Advance the oldest-unissued pointer past the issued prefix. The
+	// offset bound keeps this loop finite even when the whole ROB is
+	// issued and waiting to commit.
+	off := (b.scan - b.head + b.cfg.ROB) % b.cfg.ROB
+	if off > b.used {
+		b.scan, off = b.head, 0
+	}
+	for off < b.used && b.rob[b.scan].issued {
+		b.scan = (b.scan + 1) % b.cfg.ROB
+		off++
+	}
+	loads, stores := 0, 0
+	portLimited := false
+	wake := ^uint64(0)
+	idx := b.scan
+	remaining := b.used - off
+	for scanned := 0; scanned < remaining && scanned < b.cfg.SchedWindow && issued < b.cfg.IssueWidth; scanned++ {
+		e := &b.rob[idx]
+		idx = (idx + 1) % b.cfg.ROB
+		if e.issued {
+			continue
+		}
+		u := &e.uop
+		if r1, r2 := b.regReady[u.Src1], b.regReady[u.Src2]; r1 > now || r2 > now {
+			if r2 > r1 {
+				r1 = r2
+			}
+			if r1 < wake {
+				wake = r1
+			}
+			continue
+		}
+		switch u.Class {
+		case isa.Load:
+			if loads >= b.cfg.LoadPorts {
+				portLimited = true
+				continue
+			}
+			loads++
+			e.done = b.mem.Load(u.MemAddr, now) + 1
+			b.LoadsIssued++
+			if b.DataPrefetcher != nil {
+				b.DataPrefetcher.OnLoad(u.PC, u.MemAddr, now)
+			}
+		case isa.Store:
+			if stores >= b.cfg.StorePorts {
+				portLimited = true
+				continue
+			}
+			stores++
+			b.mem.Store(u.MemAddr, now)
+			e.done = now + 1
+			b.StoreIssued++
+		case isa.Mul:
+			e.done = now + b.cfg.MulLat
+		case isa.FP:
+			e.done = now + b.cfg.FPLat
+		default:
+			if u.Class.IsBranch() {
+				e.done = now + b.cfg.BranchLat
+			} else {
+				e.done = now + b.cfg.ALULat
+			}
+		}
+		e.issued = true
+		issued++
+		b.Issued++
+		if u.Dst != 0 {
+			b.regReady[u.Dst] = e.done
+		}
+		if u.Class.IsBranch() && u.Mispredict {
+			if flush == nil || e.done < flush.Cycle {
+				flush = &Flush{Cycle: e.done, PC: u.PC}
+			}
+		}
+	}
+	// A scan that issued something (or hit a port limit) may unblock
+	// more work next cycle; a quiescent scan sleeps until the earliest
+	// source-ready time.
+	b.dirty = issued > 0 || portLimited || issued == b.cfg.IssueWidth
+	b.nextWake = wake
+	return issued, flush
+}
+
+// Occupancy returns the live ROB entries.
+func (b *Backend) Occupancy() int { return b.used }
+
+// Drained reports an empty ROB.
+func (b *Backend) Drained() bool { return b.used == 0 }

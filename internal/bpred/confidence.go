@@ -1,0 +1,115 @@
+package bpred
+
+// Branch confidence estimation (§IV-A). Both estimators are storage-free:
+// they classify a prediction as hard-to-predict (H2P) from information
+// the predictor already produced.
+
+// TageConfH2P is Seznec's original storage-free TAGE confidence
+// heuristic [67]: a prediction is high confidence when the providing
+// counter is saturated, unless the bimodal provided and at least one of
+// its last eight provided predictions missed. It predates SC and LP, so
+// it considers only the TAGE provider.
+func TageConfH2P(p *Prediction) bool {
+	if !p.ProviderSat {
+		return true
+	}
+	if p.TageSource == SrcBimodal && p.BimodalRecentMiss {
+		return true
+	}
+	return false
+}
+
+// UCPConfH2P is the paper's extended estimator. A branch instance is H2P
+// if its prediction comes from:
+//  1. the bimodal table with a miss in its last 8 provided predictions,
+//  2. the bimodal table or the HitBank with an unsaturated counter,
+//  3. the AltBank (always low confidence, Fig. 6a), or
+//  4. the statistical corrector (Fig. 6b),
+//
+// while loop-predictor provisions are always high confidence (Fig. 6b).
+func UCPConfH2P(p *Prediction) bool {
+	switch p.Source {
+	case SrcLoop:
+		return false
+	case SrcSC:
+		return true
+	}
+	switch p.TageSource {
+	case SrcAltBank:
+		return true
+	case SrcBimodal:
+		return p.BimodalRecentMiss || !p.ProviderSat
+	default: // SrcHitBank
+		return !p.ProviderSat
+	}
+}
+
+// Estimator names an H2P classification function. It lets the simulator
+// switch between the paper's UCP-Conf and the TAGE-Conf baseline
+// (Fig. 12b).
+type Estimator uint8
+
+const (
+	// EstimatorUCPConf is the paper's extended heuristic.
+	EstimatorUCPConf Estimator = iota
+	// EstimatorTageConf is Seznec's original heuristic.
+	EstimatorTageConf
+)
+
+// H2P applies the selected estimator.
+func (e Estimator) H2P(p *Prediction) bool {
+	if e == EstimatorTageConf {
+		return TageConfH2P(p)
+	}
+	return UCPConfH2P(p)
+}
+
+// String returns the estimator's paper name.
+func (e Estimator) String() string {
+	if e == EstimatorTageConf {
+		return "TAGE-Conf"
+	}
+	return "UCP-Conf"
+}
+
+// H2PStats accumulates coverage/accuracy of an H2P classifier (Fig. 9).
+type H2PStats struct {
+	// Cond counts conditional branch predictions observed.
+	Cond uint64
+	// Mispred counts actual mispredictions.
+	Mispred uint64
+	// H2P counts branches classified hard-to-predict.
+	H2P uint64
+	// H2PMispred counts classified-H2P branches that indeed mispredicted.
+	H2PMispred uint64
+}
+
+// Record accumulates one classified prediction outcome.
+func (s *H2PStats) Record(h2p, mispredicted bool) {
+	s.Cond++
+	if mispredicted {
+		s.Mispred++
+	}
+	if h2p {
+		s.H2P++
+		if mispredicted {
+			s.H2PMispred++
+		}
+	}
+}
+
+// Coverage is the fraction of mispredictions that were classified H2P.
+func (s *H2PStats) Coverage() float64 {
+	if s.Mispred == 0 {
+		return 0
+	}
+	return float64(s.H2PMispred) / float64(s.Mispred)
+}
+
+// Accuracy is the fraction of H2P-classified branches that mispredicted.
+func (s *H2PStats) Accuracy() float64 {
+	if s.H2P == 0 {
+		return 0
+	}
+	return float64(s.H2PMispred) / float64(s.H2P)
+}

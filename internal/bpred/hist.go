@@ -1,0 +1,138 @@
+// Package bpred implements the conditional branch prediction stack the
+// paper builds on: a bimodal base predictor, TAGE tagged-geometric
+// tables, a loop predictor, a GEHL-style statistical corrector, their
+// TAGE-SC-L composition, and the two branch-confidence estimators the
+// paper compares (Seznec's storage-free TAGE confidence, "TAGE-Conf",
+// and the paper's extended estimator, "UCP-Conf", §IV-A).
+//
+// History handling: predictors separate *tables* (shared, trained once
+// per branch) from *history contexts* (Hist). The primary Hist follows
+// the demand path; UCP's alternate-path walker clones the Hist at an H2P
+// branch, flips the direction, and predicts down the alternate path with
+// the clone without disturbing demand-path state — exactly the dual-GHR
+// arrangement of §IV-C.
+package bpred
+
+// maxHistBits is the capacity of the global history ring. It bounds the
+// longest usable TAGE history length.
+const maxHistBits = 1024
+
+// folded is a cyclically-folded history register (Michaud/Seznec CSR),
+// maintaining hash(h[0:origLen]) incrementally in compLen bits.
+type folded struct {
+	comp    uint32
+	compLen int
+	origLen int
+}
+
+func newFolded(origLen, compLen int) folded {
+	return folded{compLen: compLen, origLen: origLen}
+}
+
+// update shifts in newBit and removes oldBit (the bit leaving the
+// origLen-deep window).
+func (f *folded) update(newBit, oldBit uint32) {
+	f.comp = (f.comp << 1) | newBit
+	f.comp ^= oldBit << uint(f.origLen%f.compLen)
+	f.comp ^= f.comp >> uint(f.compLen)
+	f.comp &= (1 << uint(f.compLen)) - 1
+}
+
+// histShape describes the folded registers a predictor needs; it is
+// derived from the table configuration and shared by all Hist clones.
+type histShape struct {
+	lens     []int // history length per tagged table
+	idxBits  []int // log2(table entries)
+	tagBits  []int
+	scGEHLen []int // statistical corrector history lengths
+}
+
+// Hist is a branch history context: the global direction history ring,
+// a path history, and the folded registers for every tagged table. It
+// is a value-copyable snapshot: Clone returns an independent context.
+type Hist struct {
+	shape *histShape
+
+	ring [maxHistBits / 64]uint64
+	pos  int // next write position (bits written so far, mod capacity)
+
+	path uint64 // path history (low bits of branch PCs)
+
+	// ghr mirrors the youngest 64 direction bits for cheap SC indexing.
+	ghr uint64
+
+	fIdx  []folded // per-table index folds
+	fTag1 []folded // per-table tag folds (width tagBits)
+	fTag2 []folded // per-table tag folds (width tagBits-1)
+}
+
+func newHist(shape *histShape) *Hist {
+	h := &Hist{shape: shape}
+	n := len(shape.lens)
+	h.fIdx = make([]folded, n)
+	h.fTag1 = make([]folded, n)
+	h.fTag2 = make([]folded, n)
+	for i := 0; i < n; i++ {
+		l := shape.lens[i]
+		h.fIdx[i] = newFolded(l, shape.idxBits[i])
+		h.fTag1[i] = newFolded(l, shape.tagBits[i])
+		h.fTag2[i] = newFolded(l, shape.tagBits[i]-1)
+	}
+	return h
+}
+
+// Clone returns an independent deep copy of the history context.
+func (h *Hist) Clone() *Hist {
+	c := &Hist{shape: h.shape, ring: h.ring, pos: h.pos, path: h.path, ghr: h.ghr}
+	c.fIdx = append([]folded(nil), h.fIdx...)
+	c.fTag1 = append([]folded(nil), h.fTag1...)
+	c.fTag2 = append([]folded(nil), h.fTag2...)
+	return c
+}
+
+// CopyFrom overwrites this context with src (both must share a shape).
+func (h *Hist) CopyFrom(src *Hist) {
+	h.ring = src.ring
+	h.pos = src.pos
+	h.path = src.path
+	h.ghr = src.ghr
+	copy(h.fIdx, src.fIdx)
+	copy(h.fTag1, src.fTag1)
+	copy(h.fTag2, src.fTag2)
+}
+
+// bitAt returns the direction bit written `age` updates ago (age 0 is
+// the most recent).
+func (h *Hist) bitAt(age int) uint32 {
+	idx := (h.pos - 1 - age) & (maxHistBits - 1)
+	return uint32(h.ring[idx/64]>>(uint(idx)%64)) & 1
+}
+
+// Push records the outcome of a conditional branch (or the taken-ness of
+// any branch feeding history) into the context.
+func (h *Hist) Push(pc uint64, taken bool) {
+	var nb uint32
+	if taken {
+		nb = 1
+	}
+	// Collect outgoing bits before overwriting.
+	for i := range h.shape.lens {
+		l := h.shape.lens[i]
+		ob := h.bitAt(l - 1)
+		h.fIdx[i].update(nb, ob)
+		h.fTag1[i].update(nb, ob)
+		h.fTag2[i].update(nb, ob)
+	}
+	idx := h.pos & (maxHistBits - 1)
+	if nb == 1 {
+		h.ring[idx/64] |= 1 << (uint(idx) % 64)
+	} else {
+		h.ring[idx/64] &^= 1 << (uint(idx) % 64)
+	}
+	h.pos++
+	h.path = (h.path << 3) ^ (pc >> 2)
+	h.ghr = (h.ghr << 1) | uint64(nb)
+}
+
+// GHR returns the youngest 64 direction bits (bit 0 = most recent).
+func (h *Hist) GHR() uint64 { return h.ghr }

@@ -1,0 +1,64 @@
+package bpred
+
+// JRS implements the Jacobsen/Rotenberg/Smith confidence estimator
+// ("Assigning confidence to conditional branch predictions", MICRO'96),
+// the classic *dedicated-structure* alternative to the storage-free
+// TAGE-derived estimators (§VII-D): a table of resetting correctness
+// counters indexed by PC ⊕ global history. A branch is low-confidence
+// (H2P) until its counter accumulates enough consecutive correct
+// predictions. The paper notes such tables struggle on datacenter
+// footprints because they are small and thrash — which this
+// implementation lets the harness quantify against UCP-Conf.
+type JRS struct {
+	table     []uint8
+	idxBits   int
+	histBits  int
+	threshold uint8
+}
+
+// NewJRS builds an estimator with 2^idxBits counters, folding histBits
+// of global history into the index, classifying as high confidence at
+// counter >= threshold (the original uses 4-bit counters, threshold 15
+// for "strong" confidence; smaller thresholds trade accuracy for
+// coverage).
+func NewJRS(idxBits, histBits int, threshold uint8) *JRS {
+	if threshold > 15 {
+		threshold = 15
+	}
+	return &JRS{
+		table:     make([]uint8, 1<<idxBits),
+		idxBits:   idxBits,
+		histBits:  histBits,
+		threshold: threshold,
+	}
+}
+
+// DefaultJRS is a 1K-entry, 4-bit-counter configuration (0.5KB).
+func DefaultJRS() *JRS { return NewJRS(10, 8, 12) }
+
+func (j *JRS) index(pc, ghr uint64) int {
+	h := ghr & ((1 << uint(j.histBits)) - 1)
+	return int(((pc >> 2) ^ h) & uint64(len(j.table)-1))
+}
+
+// H2P classifies the branch as hard-to-predict (counter below the
+// confidence threshold).
+func (j *JRS) H2P(pc, ghr uint64) bool {
+	return j.table[j.index(pc, ghr)] < j.threshold
+}
+
+// Update trains the counter: saturating increment on a correct
+// prediction, reset on a misprediction (the "resetting counter" MDC).
+func (j *JRS) Update(pc, ghr uint64, correct bool) {
+	e := &j.table[j.index(pc, ghr)]
+	if correct {
+		if *e < 15 {
+			*e++
+		}
+	} else {
+		*e = 0
+	}
+}
+
+// StorageBits returns the modeled hardware budget (4-bit counters).
+func (j *JRS) StorageBits() int { return len(j.table) * 4 }

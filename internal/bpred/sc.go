@@ -1,0 +1,142 @@
+package bpred
+
+// Statistical corrector (SC): a GEHL-style perceptron-ish corrector that
+// can revert the TAGE(-L) prediction when statistical evidence against it
+// is strong. As in the paper's Fig. 6b, the absolute value of the SC
+// output correlates with confidence but even saturated outputs miss
+// around 10%, which is why UCP-Conf classifies SC-provided predictions
+// as low confidence.
+
+// scTables is the number of global-history GEHL tables (the bias table
+// is separate).
+const scTables = 4
+
+// scHistLens are the global history lengths of the GEHL tables.
+var scHistLens = [scTables]int{4, 11, 19, 34}
+
+// SC is the statistical corrector component.
+type SC struct {
+	bias    []int8 // indexed by (pc, tagePred)
+	tables  [scTables][]int8
+	idxBits int
+
+	// Adaptive use-threshold (O-GEHL style).
+	theta int32
+	tc    int8
+	scale int32 // weight of the TAGE direction inside the sum
+}
+
+// NewSC returns a statistical corrector with 2^idxBits counters per
+// table and a 2^(idxBits+2)-entry bias table.
+func NewSC(idxBits int) *SC {
+	s := &SC{idxBits: idxBits, theta: 10, scale: 6}
+	s.bias = make([]int8, 1<<(idxBits+2))
+	for i := range s.tables {
+		s.tables[i] = make([]int8, 1<<idxBits)
+	}
+	return s
+}
+
+func (s *SC) biasIndex(pc uint64, tageTaken bool) int32 {
+	v := (pc >> 2) << 1
+	if tageTaken {
+		v |= 1
+	}
+	return int32(v & uint64(len(s.bias)-1))
+}
+
+func (s *SC) tableIndex(pc uint64, h *Hist, i int) int32 {
+	hist := h.GHR() & ((1 << uint(scHistLens[i])) - 1)
+	v := (pc >> 2) ^ hist ^ (hist << 5) ^ uint64(i)*0x9e37
+	return int32(v & uint64((1<<s.idxBits)-1))
+}
+
+// compute evaluates the corrector against the incoming prediction
+// (post-loop TAGE output) and fills the SC fields of p. It returns the
+// possibly-reverted direction.
+func (s *SC) compute(pc uint64, h *Hist, pre bool, p *Prediction) bool {
+	p.scPreTaken = pre
+	sum := int32(0)
+	bi := s.biasIndex(pc, pre)
+	p.scIndices[0] = bi
+	sum += 2*int32(s.bias[bi]) + 1
+	for i := 0; i < scTables; i++ {
+		idx := s.tableIndex(pc, h, i)
+		p.scIndices[i+1] = idx
+		sum += 2*int32(s.tables[i][idx]) + 1
+	}
+	if pre {
+		sum += s.scale
+	} else {
+		sum -= s.scale
+	}
+	p.SCSum = sum
+	scTaken := sum >= 0
+	if scTaken != pre && abs32(sum) >= s.theta {
+		p.SCUsed = true
+		return scTaken
+	}
+	return pre
+}
+
+// update trains the corrector toward the architectural outcome.
+func (s *SC) update(taken bool, p *Prediction) {
+	scTaken := p.SCSum >= 0
+	mispredicted := scTaken != taken
+	weak := abs32(p.SCSum) < s.theta
+	if mispredicted || weak {
+		s.bias[p.scIndices[0]] = bump6(s.bias[p.scIndices[0]], taken)
+		for i := 0; i < scTables; i++ {
+			idx := p.scIndices[i+1]
+			s.tables[i][idx] = bump6(s.tables[i][idx], taken)
+		}
+	}
+	// Threshold adaptation (O-GEHL): widen when the corrector commits
+	// confident mistakes, narrow when weak sums are already correct.
+	if mispredicted {
+		s.tc++
+		if s.tc == 7 {
+			s.tc = 0
+			if s.theta < 300 {
+				s.theta++
+			}
+		}
+	} else if weak {
+		s.tc--
+		if s.tc == -8 {
+			s.tc = 0
+			if s.theta > 4 {
+				s.theta--
+			}
+		}
+	}
+}
+
+func bump6(c int8, up bool) int8 {
+	if up {
+		if c < 31 {
+			return c + 1
+		}
+		return c
+	}
+	if c > -32 {
+		return c - 1
+	}
+	return c
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// StorageBits returns the modeled hardware budget.
+func (s *SC) StorageBits() int {
+	bits := len(s.bias) * 6
+	for i := range s.tables {
+		bits += len(s.tables[i]) * 6
+	}
+	return bits + 16
+}

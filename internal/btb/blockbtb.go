@@ -1,0 +1,181 @@
+package btb
+
+// Block-based BTB (Perais & Sheikh, MICRO'23 — discussed in §IV-C as an
+// alternative organization): one entry covers an aligned code *block*
+// and records up to N taken-at-least-once branches inside it, so a
+// single lookup returns every branch of the block. Both the demand and
+// alternate paths can then be served with far fewer banks, since one
+// access per block replaces one access per branch. UCP is agnostic of
+// the organization (§IV-C); this implementation lets the ablation
+// benchmarks quantify that claim.
+
+// BlockConfig sizes a block-based BTB.
+type BlockConfig struct {
+	// Blocks is the total number of block entries (power of two).
+	Blocks int
+	// Ways is the set associativity.
+	Ways int
+	// BlockBytes is the aligned code region one entry covers.
+	BlockBytes int
+	// BranchesPerBlock bounds the taken branches recorded per entry.
+	BranchesPerBlock int
+	// Banks is the number of lookup banks.
+	Banks int
+}
+
+// DefaultBlockConfig matches the reach of the 64K-entry instruction BTB
+// with 8K 64-byte blocks × up to 8 branches.
+func DefaultBlockConfig() BlockConfig {
+	return BlockConfig{Blocks: 8192, Ways: 4, BlockBytes: 64, BranchesPerBlock: 8, Banks: 4}
+}
+
+type blockBranch struct {
+	valid  bool
+	offset uint8 // (pc - blockBase) / 4
+	target uint64
+	kind   BranchKind
+}
+
+type blockEntry struct {
+	valid    bool
+	tag      uint64
+	lru      uint64
+	branches [16]blockBranch
+}
+
+// BlockBTB is a block-organized branch target buffer.
+type BlockBTB struct {
+	cfg   BlockConfig
+	sets  int
+	data  []blockEntry
+	clock uint64
+	stats Stats
+}
+
+// NewBlock constructs a block-based BTB.
+func NewBlock(cfg BlockConfig) *BlockBTB {
+	if cfg.BranchesPerBlock > 16 {
+		cfg.BranchesPerBlock = 16
+	}
+	sets := cfg.Blocks / cfg.Ways
+	if sets < 1 {
+		sets = 1
+	}
+	return &BlockBTB{cfg: cfg, sets: sets, data: make([]blockEntry, sets*cfg.Ways)}
+}
+
+func (b *BlockBTB) blockOf(pc uint64) uint64 { return pc / uint64(b.cfg.BlockBytes) }
+
+func (b *BlockBTB) setOf(pc uint64) int { return int(b.blockOf(pc) % uint64(b.sets)) }
+
+func (b *BlockBTB) tagOf(pc uint64) uint64 { return b.blockOf(pc) / uint64(b.sets) }
+
+// BankOf returns the lookup bank for pc's block.
+func (b *BlockBTB) BankOf(pc uint64) int { return b.setOf(pc) & (b.cfg.Banks - 1) }
+
+// Banks returns the bank count.
+func (b *BlockBTB) Banks() int { return b.cfg.Banks }
+
+func (b *BlockBTB) find(pc uint64, touch bool) (*blockEntry, *blockBranch) {
+	set := b.setOf(pc)
+	tag := b.tagOf(pc)
+	base := set * b.cfg.Ways
+	off := uint8((pc % uint64(b.cfg.BlockBytes)) / 4)
+	for w := 0; w < b.cfg.Ways; w++ {
+		e := &b.data[base+w]
+		if e.valid && e.tag == tag {
+			if touch {
+				b.clock++
+				e.lru = b.clock
+			}
+			for i := 0; i < b.cfg.BranchesPerBlock; i++ {
+				br := &e.branches[i]
+				if br.valid && br.offset == off {
+					return e, br
+				}
+			}
+			return e, nil
+		}
+	}
+	return nil, nil
+}
+
+// Lookup returns the target and kind of a branch at pc.
+func (b *BlockBTB) Lookup(pc uint64) (target uint64, kind BranchKind, hit bool) {
+	b.stats.Lookups++
+	_, br := b.find(pc, true)
+	if br == nil {
+		return 0, 0, false
+	}
+	b.stats.Hits++
+	return br.target, br.kind, true
+}
+
+// Probe checks for a branch at pc without LRU or statistics effects.
+func (b *BlockBTB) Probe(pc uint64) (target uint64, kind BranchKind, hit bool) {
+	_, br := b.find(pc, false)
+	if br == nil {
+		return 0, 0, false
+	}
+	return br.target, br.kind, true
+}
+
+// Insert installs or refreshes the branch at pc.
+func (b *BlockBTB) Insert(pc, target uint64, kind BranchKind) {
+	b.stats.Inserts++
+	e, br := b.find(pc, true)
+	if br != nil {
+		br.target = target
+		br.kind = kind
+		return
+	}
+	if e == nil {
+		e = b.allocateBlock(pc)
+	}
+	off := uint8((pc % uint64(b.cfg.BlockBytes)) / 4)
+	// Free slot, else replace the first branch (FIFO within the block).
+	for i := 0; i < b.cfg.BranchesPerBlock; i++ {
+		if !e.branches[i].valid {
+			e.branches[i] = blockBranch{valid: true, offset: off, target: target, kind: kind}
+			return
+		}
+	}
+	copy(e.branches[:b.cfg.BranchesPerBlock-1], e.branches[1:b.cfg.BranchesPerBlock])
+	e.branches[b.cfg.BranchesPerBlock-1] = blockBranch{valid: true, offset: off, target: target, kind: kind}
+}
+
+func (b *BlockBTB) allocateBlock(pc uint64) *blockEntry {
+	set := b.setOf(pc)
+	base := set * b.cfg.Ways
+	victim, oldest := 0, ^uint64(0)
+	for w := 0; w < b.cfg.Ways; w++ {
+		e := &b.data[base+w]
+		if !e.valid {
+			victim, oldest = w, 0
+			break
+		}
+		if e.lru < oldest {
+			victim, oldest = w, e.lru
+		}
+	}
+	if b.data[base+victim].valid {
+		b.stats.Evictions++
+	}
+	b.clock++
+	b.data[base+victim] = blockEntry{valid: true, tag: b.tagOf(pc), lru: b.clock}
+	return &b.data[base+victim]
+}
+
+// Stats returns a copy of the traffic counters.
+func (b *BlockBTB) Stats() Stats { return b.stats }
+
+// StorageBits returns the modeled hardware budget: per block a tag plus
+// BranchesPerBlock × (valid, offset, compressed target, kind).
+func (b *BlockBTB) StorageBits() int {
+	perBranch := 1 + 4 + 32 + 2
+	perBlock := 16 + 3 + b.cfg.BranchesPerBlock*perBranch
+	return b.sets * b.cfg.Ways * perBlock
+}
+
+// StorageKB returns the budget in kilobytes.
+func (b *BlockBTB) StorageKB() float64 { return float64(b.StorageBits()) / 8 / 1024 }

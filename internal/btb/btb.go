@@ -1,0 +1,202 @@
+// Package btb implements the banked instruction Branch Target Buffer of
+// the baseline frontend (Table II: 64K entries, 16 banks, LRU). UCP
+// doubles the bank count to 32 so the demand and alternate paths can
+// look up targets concurrently, arbitrating conflicts with a 3-bit
+// starvation counter (§IV-C). The bank-conflict policy itself lives with
+// the consumer; this package exposes the geometry (BankOf) and a plain
+// lookup/insert interface.
+package btb
+
+import "ucp/internal/isa"
+
+// BranchKind compresses the branch classes a BTB entry distinguishes.
+type BranchKind uint8
+
+const (
+	// KindCond is a conditional direct branch.
+	KindCond BranchKind = iota
+	// KindDirect is an unconditional direct branch or call.
+	KindDirect
+	// KindIndirect is an indirect jump or call (target from ITTAGE).
+	KindIndirect
+	// KindReturn is a return (target from the RAS).
+	KindReturn
+)
+
+// KindOf maps an instruction class to its BTB kind.
+func KindOf(c isa.Class) BranchKind {
+	switch c {
+	case isa.CondBranch:
+		return KindCond
+	case isa.DirectJump, isa.Call:
+		return KindDirect
+	case isa.Return:
+		return KindReturn
+	default:
+		return KindIndirect
+	}
+}
+
+// TargetBuffer is the interface both BTB organizations (the baseline
+// instruction BTB and the block-based BTB of §IV-C) implement, so the
+// frontend and UCP are agnostic of the organization.
+type TargetBuffer interface {
+	// Lookup returns the predicted target and kind for a branch at pc.
+	Lookup(pc uint64) (target uint64, kind BranchKind, hit bool)
+	// Probe is a side-effect-free Lookup (alternate-path walking).
+	Probe(pc uint64) (target uint64, kind BranchKind, hit bool)
+	// Insert installs or refreshes the entry for a taken branch.
+	Insert(pc, target uint64, kind BranchKind)
+	// BankOf maps a PC to its lookup bank; Banks is the bank count.
+	BankOf(pc uint64) int
+	Banks() int
+	// StorageKB is the modeled hardware budget.
+	StorageKB() float64
+}
+
+// Config sizes a BTB.
+type Config struct {
+	Entries int // total entries (power of two)
+	Ways    int
+	Banks   int // power of two
+}
+
+// DefaultConfig is the paper's baseline: 64K entries, 16 banks.
+func DefaultConfig() Config { return Config{Entries: 64 * 1024, Ways: 8, Banks: 16} }
+
+// UCPConfig doubles the banks for dual-path lookups (§IV-C).
+func UCPConfig() Config { return Config{Entries: 64 * 1024, Ways: 8, Banks: 32} }
+
+type entry struct {
+	valid  bool
+	tag    uint32
+	target uint64
+	kind   BranchKind
+	lru    uint32
+}
+
+// BTB is a set-associative, banked branch target buffer.
+type BTB struct {
+	cfg   Config
+	sets  int
+	data  []entry // sets × ways
+	clock uint32
+	stats Stats
+}
+
+// Stats counts BTB traffic.
+type Stats struct {
+	Lookups, Hits, Inserts, Evictions uint64
+}
+
+// New constructs a BTB.
+func New(cfg Config) *BTB {
+	sets := cfg.Entries / cfg.Ways
+	if sets < 1 {
+		sets = 1
+	}
+	return &BTB{cfg: cfg, sets: sets, data: make([]entry, sets*cfg.Ways)}
+}
+
+func (b *BTB) setOf(pc uint64) int {
+	return int((pc >> 2) & uint64(b.sets-1))
+}
+
+func (b *BTB) tagOf(pc uint64) uint32 {
+	return uint32(pc >> uint(2+log2(b.sets)))
+}
+
+func log2(v int) uint {
+	n := uint(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// BankOf returns the bank a PC's set maps to; concurrent lookups to the
+// same bank in one cycle conflict.
+func (b *BTB) BankOf(pc uint64) int {
+	return b.setOf(pc) & (b.cfg.Banks - 1)
+}
+
+// Banks returns the number of banks.
+func (b *BTB) Banks() int { return b.cfg.Banks }
+
+// Lookup returns the predicted target and kind for a branch at pc.
+func (b *BTB) Lookup(pc uint64) (target uint64, kind BranchKind, hit bool) {
+	b.stats.Lookups++
+	b.clock++
+	set := b.setOf(pc)
+	tag := b.tagOf(pc)
+	base := set * b.cfg.Ways
+	for w := 0; w < b.cfg.Ways; w++ {
+		e := &b.data[base+w]
+		if e.valid && e.tag == tag {
+			e.lru = b.clock
+			b.stats.Hits++
+			return e.target, e.kind, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Probe checks for a branch at pc without touching LRU or statistics.
+// UCP's alternate-path walker uses it to discover taken-at-least-once
+// branches along a never-fetched path (§IV-C).
+func (b *BTB) Probe(pc uint64) (target uint64, kind BranchKind, hit bool) {
+	set := b.setOf(pc)
+	tag := b.tagOf(pc)
+	base := set * b.cfg.Ways
+	for w := 0; w < b.cfg.Ways; w++ {
+		e := &b.data[base+w]
+		if e.valid && e.tag == tag {
+			return e.target, e.kind, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Insert installs or refreshes the entry for a taken branch at pc.
+func (b *BTB) Insert(pc, target uint64, kind BranchKind) {
+	b.stats.Inserts++
+	b.clock++
+	set := b.setOf(pc)
+	tag := b.tagOf(pc)
+	base := set * b.cfg.Ways
+	victim, oldest := 0, ^uint32(0)
+	for w := 0; w < b.cfg.Ways; w++ {
+		e := &b.data[base+w]
+		if e.valid && e.tag == tag {
+			e.target = target
+			e.kind = kind
+			e.lru = b.clock
+			return
+		}
+		if !e.valid {
+			victim, oldest = w, 0
+			break
+		}
+		if e.lru < oldest {
+			victim, oldest = w, e.lru
+		}
+	}
+	if b.data[base+victim].valid {
+		b.stats.Evictions++
+	}
+	b.data[base+victim] = entry{valid: true, tag: tag, target: target, kind: kind, lru: b.clock}
+}
+
+// Stats returns a copy of the traffic counters.
+func (b *BTB) Stats() Stats { return b.stats }
+
+// StorageBits returns the modeled hardware budget (32-bit targets,
+// partial tags as in commercial BTBs).
+func (b *BTB) StorageBits() int {
+	entryBits := 1 + 16 + 32 + 2 + 3 // valid, partial tag, target, kind, lru
+	return len(b.data) * entryBits
+}
+
+// StorageKB returns the budget in kilobytes.
+func (b *BTB) StorageKB() float64 { return float64(b.StorageBits()) / 8 / 1024 }

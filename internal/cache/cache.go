@@ -1,0 +1,234 @@
+// Package cache implements the memory hierarchy of the baseline core
+// (Table II): set-associative LRU caches with MSHRs (L1I, L1D, L2, LLC),
+// TLBs (ITLB, DTLB, STLB), and a fixed-latency DRAM backend. The model
+// is functional-with-latency: an access returns the cycle its data is
+// available, misses allocate MSHRs and fill the line, and a full MSHR
+// file delays the access until an outstanding miss retires — enough
+// fidelity for the frontend questions the paper asks without modeling
+// per-bank DRAM timing.
+package cache
+
+// LineBytes is the cache line size throughout the hierarchy.
+const LineBytes = 64
+
+// Config sizes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	HitLatency uint64
+	MSHRs      int
+}
+
+// Stats counts per-level traffic.
+type Stats struct {
+	Accesses, Hits, Misses uint64
+	Prefetches             uint64
+	PrefetchDropped        uint64
+	Evictions              uint64
+	MSHRStalls             uint64
+}
+
+type line struct {
+	valid bool
+	tag   uint64
+	lru   uint64
+}
+
+// Cache is one set-associative level backed by a lower Level.
+type Cache struct {
+	cfg   Config
+	sets  int
+	ways  int
+	data  []line
+	lower Level
+	clock uint64
+	stats Stats
+
+	// OnEvict, when set, observes every line eviction (used to keep the
+	// µ-op cache inclusive of the L1I, §IV-G2).
+	OnEvict func(lineAddr uint64)
+
+	// mshr maps in-flight line addresses to their fill-complete cycle.
+	mshr map[uint64]uint64
+}
+
+// Level is anything that can serve a line fetch.
+type Level interface {
+	// FetchLine returns the cycle at which the line containing addr is
+	// available, issuing the request at cycle now.
+	FetchLine(addr uint64, now uint64) uint64
+}
+
+// FixedLatency is a Level with a constant access time (the DRAM model:
+// tRP+tRCD+tCAS at 12.5ns each ≈ 150 cycles at 4GHz, Table II).
+type FixedLatency struct {
+	Latency  uint64
+	Accesses uint64
+}
+
+// FetchLine implements Level.
+func (f *FixedLatency) FetchLine(_ uint64, now uint64) uint64 {
+	f.Accesses++
+	return now + f.Latency
+}
+
+// New constructs a cache level on top of lower.
+func New(cfg Config, lower Level) *Cache {
+	lines := cfg.SizeBytes / LineBytes
+	sets := lines / cfg.Ways
+	if sets < 1 {
+		sets = 1
+	}
+	return &Cache{
+		cfg:   cfg,
+		sets:  sets,
+		ways:  cfg.Ways,
+		data:  make([]line, sets*cfg.Ways),
+		lower: lower,
+		mshr:  make(map[uint64]uint64),
+	}
+}
+
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr &^ (LineBytes - 1) }
+
+func (c *Cache) setOf(la uint64) int { return int((la / LineBytes) % uint64(c.sets)) }
+
+func (c *Cache) tagOf(la uint64) uint64 { return la / LineBytes / uint64(c.sets) }
+
+// purge drops completed MSHR entries.
+func (c *Cache) purge(now uint64) {
+	for la, ready := range c.mshr {
+		if ready <= now {
+			delete(c.mshr, la)
+		}
+	}
+}
+
+// Contains reports whether the line holding addr is resident (no state
+// update, no timing effect). Used by the L1I-Hits ideal configuration.
+func (c *Cache) Contains(addr uint64) bool {
+	la := c.lineAddr(addr)
+	base := c.setOf(la) * c.ways
+	tag := c.tagOf(la)
+	for w := 0; w < c.ways; w++ {
+		e := &c.data[base+w]
+		if e.valid && e.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// FetchLine implements Level: demand access issued at cycle `now`,
+// returning the data-ready cycle.
+func (c *Cache) FetchLine(addr uint64, now uint64) uint64 {
+	return c.access(addr, now, false)
+}
+
+// Prefetch brings a line in without charging a consumer. It returns the
+// fill-complete cycle and whether the line was already resident.
+func (c *Cache) Prefetch(addr uint64, now uint64) (done uint64, resident bool) {
+	la := c.lineAddr(addr)
+	if c.Contains(la) {
+		return now, true
+	}
+	c.stats.Prefetches++
+	return c.access(addr, now, true), false
+}
+
+func (c *Cache) access(addr uint64, now uint64, isPrefetch bool) uint64 {
+	la := c.lineAddr(addr)
+	c.clock++
+	if !isPrefetch {
+		c.stats.Accesses++
+	}
+	base := c.setOf(la) * c.ways
+	tag := c.tagOf(la)
+	for w := 0; w < c.ways; w++ {
+		e := &c.data[base+w]
+		if e.valid && e.tag == tag {
+			e.lru = c.clock
+			if !isPrefetch {
+				c.stats.Hits++
+			}
+			return now + c.cfg.HitLatency
+		}
+	}
+	if !isPrefetch {
+		c.stats.Misses++
+	}
+	// Merge with an outstanding miss for the same line. Entries whose
+	// fill already completed are stale (purged lazily): drop them and
+	// treat this as a fresh miss.
+	if ready, ok := c.mshr[la]; ok {
+		if ready > now {
+			if ready < now+c.cfg.HitLatency {
+				return now + c.cfg.HitLatency
+			}
+			return ready
+		}
+		delete(c.mshr, la)
+	}
+	issue := now
+	if len(c.mshr) >= c.cfg.MSHRs {
+		c.purge(now)
+	}
+	if len(c.mshr) >= c.cfg.MSHRs {
+		// MSHR file full: the request waits for the earliest outstanding
+		// fill to retire.
+		earliest := ^uint64(0)
+		var victim uint64
+		for a, ready := range c.mshr {
+			if ready < earliest {
+				earliest, victim = ready, a
+			}
+		}
+		c.stats.MSHRStalls++
+		delete(c.mshr, victim)
+		if earliest > issue {
+			issue = earliest
+		}
+	}
+	ready := c.lower.FetchLine(la, issue+c.cfg.HitLatency)
+	c.mshr[la] = ready
+	c.fill(la)
+	return ready
+}
+
+// fill installs la, evicting LRU. (The timing of availability is carried
+// by the returned ready cycle; the directory state updates eagerly,
+// which is the standard trace-simulator simplification.)
+func (c *Cache) fill(la uint64) {
+	base := c.setOf(la) * c.ways
+	tag := c.tagOf(la)
+	victim, oldest := 0, ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		e := &c.data[base+w]
+		if !e.valid {
+			victim, oldest = w, 0
+			break
+		}
+		if e.lru < oldest {
+			victim, oldest = w, e.lru
+		}
+	}
+	if v := &c.data[base+victim]; v.valid {
+		c.stats.Evictions++
+		if c.OnEvict != nil {
+			set := c.setOf(la)
+			evicted := (v.tag*uint64(c.sets) + uint64(set)) * LineBytes
+			c.OnEvict(evicted)
+		}
+	}
+	c.data[base+victim] = line{valid: true, tag: tag, lru: c.clock}
+}
+
+// Stats returns a copy of the traffic counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Sets returns the number of sets (for bank interleaving by consumers).
+func (c *Cache) Sets() int { return c.sets }
+
+// HitLatency returns the configured hit latency.
+func (c *Cache) HitLatency() uint64 { return c.cfg.HitLatency }

@@ -1,0 +1,121 @@
+// Package core implements UCP — alternate path µ-op cache prefetching —
+// the paper's primary contribution (§IV). When the branch prediction
+// unit classifies a conditional branch as hard-to-predict (H2P), the
+// engine starts generating addresses along the path *opposite* to the
+// prediction using a small dedicated predictor stack (Alt-BP, Alt-Ind,
+// Alt-RAS) and the shared banked BTB, prefetches the corresponding
+// lines, decodes them with dedicated decoders, and installs the µ-ops
+// into the µ-op cache so a likely upcoming pipeline refill hits there.
+package core
+
+import (
+	"ucp/internal/bpred"
+	"ucp/internal/ittage"
+)
+
+// Config selects a UCP variant and sizes its structures (§IV-F).
+type Config struct {
+	// Estimator selects the H2P classifier: the paper's UCP-Conf or the
+	// TAGE-Conf baseline (Fig. 12b).
+	Estimator bpred.Estimator
+	// AltBP sizes the dedicated alternate conditional predictor (8KB).
+	AltBP bpred.Config
+	// UseAltInd enables the dedicated 4KB ITTAGE for alternate-path
+	// indirect branches; without it the path stops at indirect branches
+	// (UCP-NoIND, Fig. 12a).
+	UseAltInd bool
+	// AltInd sizes the alternate indirect predictor.
+	AltInd ittage.Config
+	// AltRASEntries sizes the alternate return address stack (16).
+	AltRASEntries int
+	// AltFTQEntries bounds the alternate fetch target queue (24 µ-op
+	// entry addresses).
+	AltFTQEntries int
+	// UopMSHRs bounds in-flight µ-op cache prefetches (32).
+	UopMSHRs int
+	// AltDecodeQueue bounds prefetched entries awaiting decode (32).
+	AltDecodeQueue int
+	// AltDecodeWidth is the dedicated decoder throughput (6 µ-ops).
+	AltDecodeWidth int
+	// StopThreshold is the stop-heuristic saturation value (500; §IV-E,
+	// Fig. 15). The paper describes the counter as "6-bit saturated" yet
+	// uses thresholds up to 10000 in the sweep — we implement a wide
+	// counter and keep the separate 6-bit no-branch instruction counter.
+	StopThreshold int
+	// MaxNoBranchInsts stops a path after this many instructions without
+	// any BTB-known branch (the 6-bit counter of §IV-E).
+	MaxNoBranchInsts int
+	// WalkWidth is how many alternate-path instructions are scanned per
+	// cycle (one 16-address prediction window).
+	WalkWidth int
+
+	// TillL1I prefetches only into the L1I, with no decode or µ-op
+	// cache fill (UCP-TillL1I; §VI-E).
+	TillL1I bool
+	// SharedDecoders reuses the demand decoders: alternate-path decode
+	// proceeds only while the demand path streams from the µ-op cache
+	// (UCP-SharedDecoders; §VI-F).
+	SharedDecoders bool
+	// IdealBTBBanking removes BTB bank conflicts between the demand and
+	// alternate paths (UCP-NoBTBConflict; §VI-F).
+	IdealBTBBanking bool
+}
+
+// DefaultConfig is the paper's main proposal: UCP with a 4KB Alt-Ind,
+// UCP-Conf, and a stop threshold of 500 (12.95KB total overhead).
+func DefaultConfig() Config {
+	return Config{
+		Estimator:        bpred.EstimatorUCPConf,
+		AltBP:            bpred.Config8KB(),
+		UseAltInd:        true,
+		AltInd:           ittage.Config4KB(),
+		AltRASEntries:    16,
+		AltFTQEntries:    24,
+		UopMSHRs:         32,
+		AltDecodeQueue:   32,
+		AltDecodeWidth:   6,
+		StopThreshold:    500,
+		MaxNoBranchInsts: 63,
+		WalkWidth:        16,
+	}
+}
+
+// NoIndConfig is UCP without the dedicated indirect predictor (8.95KB).
+func NoIndConfig() Config {
+	c := DefaultConfig()
+	c.UseAltInd = false
+	return c
+}
+
+// Stats aggregates UCP engine counters.
+type Stats struct {
+	// Triggers counts alternate paths started.
+	Triggers uint64
+	// TriggersBlocked counts H2P branches whose alternate path could not
+	// start (predicted not-taken with a BTB target miss).
+	TriggersBlocked uint64
+	// Stop reasons.
+	StopThreshold uint64
+	StopNoBranch  uint64
+	StopIndirect  uint64
+	StopRASEmpty  uint64
+	StopNewH2P    uint64
+	// Walked instructions and generated entry addresses.
+	WalkedInsts      uint64
+	EntriesGenerated uint64
+	// Tag-check outcomes on the Alt-FTQ (§IV-D).
+	TagChecks    uint64
+	TagCheckHits uint64
+	// Prefetch traffic.
+	PrefetchesIssued uint64
+	PrefetchDropped  uint64
+	LinesPrefetched  uint64
+	FillsInserted    uint64
+	// Conflicts.
+	BTBConflicts     uint64
+	BTBStolenCycles  uint64
+	UopBankConflicts uint64
+	MSHRFull         uint64
+	AltFTQFull       uint64
+	DecodeQFull      uint64
+}

@@ -1,0 +1,511 @@
+package core
+
+import (
+	"testing"
+
+	"ucp/internal/bpred"
+	"ucp/internal/btb"
+	"ucp/internal/cache"
+	"ucp/internal/frontend"
+	"ucp/internal/isa"
+	"ucp/internal/ittage"
+	"ucp/internal/ras"
+	"ucp/internal/trace"
+	"ucp/internal/uopcache"
+)
+
+// fakeCode is a map-backed CodeInfo.
+type fakeCode map[uint64]isa.Class
+
+func (f fakeCode) ClassAt(pc uint64) (isa.Class, bool) {
+	c, ok := f[pc]
+	return c, ok
+}
+
+// rig builds an engine over an idle frontend whose structures we can
+// populate directly.
+func rig(cfg Config, code CodeInfo) (*Engine, *frontend.Frontend) {
+	mem := cache.NewHierarchy(cache.DefaultHierarchyConfig())
+	pred := bpred.NewTageSCL(bpred.Config8KB())
+	b := btb.New(btb.UCPConfig())
+	r := ras.New(64)
+	ind := ittage.New(ittage.Config4KB())
+	u := uopcache.New(uopcache.DefaultConfig())
+	fe := frontend.New(frontend.DefaultConfig(), trace.NewSliceSource(nil),
+		pred, b, r, ind, u, mem, frontend.Ideal{})
+	e := New(cfg, fe, code)
+	fe.SetHook(e)
+	return e, fe
+}
+
+// h2pPrediction returns a Prediction that UCP-Conf classifies as H2P.
+func h2pPrediction() bpred.Prediction {
+	return bpred.Prediction{
+		Taken:      false,
+		Source:     bpred.SrcHitBank,
+		TageSource: bpred.SrcHitBank,
+		// Unsaturated HitBank counter → hard to predict.
+		ProviderCtr: 0,
+		ProviderSat: false,
+	}
+}
+
+// highConfPrediction returns a Prediction UCP-Conf trusts.
+func highConfPrediction() bpred.Prediction {
+	return bpred.Prediction{
+		Taken:       true,
+		Source:      bpred.SrcHitBank,
+		TageSource:  bpred.SrcHitBank,
+		ProviderCtr: 3,
+		ProviderSat: true,
+	}
+}
+
+// straightCode fills a fakeCode with ALU instructions over [base, end).
+func straightCode(base, end uint64) fakeCode {
+	f := fakeCode{}
+	for pc := base; pc < end; pc += 4 {
+		f[pc] = isa.ALU
+	}
+	return f
+}
+
+func TestTriggerOnH2PPredictedTaken(t *testing.T) {
+	code := straightCode(0x1000, 0x2000)
+	e, _ := rig(DefaultConfig(), code)
+	p := h2pPrediction()
+	p.Taken = true
+	// Predicted taken → alternate path is the fall-through; no BTB
+	// target needed.
+	e.OnCond(0x1000, &p, true, 0, false, 0)
+	if e.Stats().Triggers != 1 {
+		t.Fatalf("triggers %d", e.Stats().Triggers)
+	}
+	if !e.active || e.altPC != 0x1004 {
+		t.Fatalf("alternate path at %#x active=%v, want 0x1004", e.altPC, e.active)
+	}
+}
+
+func TestTriggerBlockedWithoutBTBTarget(t *testing.T) {
+	e, _ := rig(DefaultConfig(), straightCode(0x1000, 0x2000))
+	p := h2pPrediction()
+	p.Taken = false
+	// Predicted not-taken → alternate is the taken target, unknown here.
+	e.OnCond(0x1000, &p, false, 0, false, 0)
+	if e.Stats().Triggers != 0 || e.Stats().TriggersBlocked != 1 {
+		t.Fatalf("stats %+v", e.Stats())
+	}
+}
+
+func TestNoTriggerOnHighConfidence(t *testing.T) {
+	e, _ := rig(DefaultConfig(), straightCode(0x1000, 0x2000))
+	p := highConfPrediction()
+	e.OnCond(0x1000, &p, true, 0x5000, true, 0)
+	if e.Stats().Triggers != 0 {
+		t.Fatal("high-confidence branch triggered an alternate path")
+	}
+}
+
+func TestWalkPrefetchesAndFills(t *testing.T) {
+	// Straight-line alternate path: the engine must generate entries,
+	// prefetch their lines, and insert prefetched entries.
+	code := straightCode(0x1000, 0x1400)
+	e, fe := rig(DefaultConfig(), code)
+	p := h2pPrediction()
+	p.Taken = true
+	e.OnCond(0x1000, &p, true, 0, false, 0)
+	for now := uint64(1); now < 600; now++ {
+		e.Cycle(now)
+	}
+	s := e.Stats()
+	if s.EntriesGenerated == 0 || s.PrefetchesIssued == 0 {
+		t.Fatalf("no prefetch traffic: %+v", s)
+	}
+	if s.FillsInserted == 0 {
+		t.Fatal("no µ-op cache fills")
+	}
+	// The fall-through region entry must be resident and marked
+	// prefetched.
+	if !fe.Uop.Probe(0x1004) {
+		t.Fatal("alternate-path entry not in the µ-op cache")
+	}
+	if fe.Uop.Stats().PrefetchInserts == 0 {
+		t.Fatal("fills not marked as prefetched")
+	}
+}
+
+func TestStopOnNoBranchCounter(t *testing.T) {
+	// An empty BTB: the path must stop after MaxNoBranchInsts (§IV-E).
+	e, _ := rig(DefaultConfig(), straightCode(0x1000, 0x10000))
+	p := h2pPrediction()
+	p.Taken = true
+	e.OnCond(0x1000, &p, true, 0, false, 0)
+	for now := uint64(1); now < 100; now++ {
+		e.Cycle(now)
+	}
+	s := e.Stats()
+	if s.StopNoBranch != 1 {
+		t.Fatalf("StopNoBranch=%d stats=%+v", s.StopNoBranch, s)
+	}
+	if e.active {
+		t.Fatal("path still active after the no-branch stop")
+	}
+	if s.WalkedInsts > uint64(DefaultConfig().MaxNoBranchInsts)+1 {
+		t.Fatalf("walked %d insts past the 6-bit counter", s.WalkedInsts)
+	}
+}
+
+func TestStopOnIndirectWithoutAltInd(t *testing.T) {
+	code := straightCode(0x1000, 0x2000)
+	code[0x1010] = isa.IndirectJump
+	e, fe := rig(NoIndConfig(), code)
+	fe.BTB.Insert(0x1010, 0x3000, btb.KindIndirect)
+	p := h2pPrediction()
+	p.Taken = true
+	e.OnCond(0x1000, &p, true, 0, false, 0)
+	e.Cycle(1)
+	if e.Stats().StopIndirect != 1 {
+		t.Fatalf("StopIndirect=%d", e.Stats().StopIndirect)
+	}
+}
+
+func TestAltIndContinuesThroughIndirect(t *testing.T) {
+	code := straightCode(0x1000, 0x2000)
+	code[0x1010] = isa.IndirectJump
+	e, fe := rig(DefaultConfig(), code)
+	fe.BTB.Insert(0x1010, 0x3000, btb.KindIndirect)
+	// Train the Alt-Ind shadow so it knows the target.
+	for i := 0; i < 8; i++ {
+		e.OnUncond(0x1010, isa.IndirectJump, 0x1800, uint64(i))
+	}
+	p := h2pPrediction()
+	p.Taken = true
+	e.OnCond(0x1000, &p, true, 0, false, 100)
+	e.Cycle(101)
+	if e.Stats().StopIndirect != 0 {
+		t.Fatal("path stopped at a predictable indirect despite Alt-Ind")
+	}
+	if !e.active {
+		t.Fatal("path not active after the indirect")
+	}
+	if e.altPC != 0x1800 {
+		t.Fatalf("altPC %#x, want the Alt-Ind target 0x1800", e.altPC)
+	}
+}
+
+func TestFollowsBTBDirectJump(t *testing.T) {
+	code := straightCode(0x1000, 0x9000)
+	code[0x100c] = isa.DirectJump
+	e, fe := rig(DefaultConfig(), code)
+	fe.BTB.Insert(0x100c, 0x8000, btb.KindDirect)
+	p := h2pPrediction()
+	p.Taken = true
+	e.OnCond(0x1000, &p, true, 0, false, 0)
+	e.Cycle(1)
+	if e.altPC != 0x8000 {
+		t.Fatalf("altPC %#x, want direct target 0x8000", e.altPC)
+	}
+}
+
+func TestNewH2PRestartsPath(t *testing.T) {
+	e, _ := rig(DefaultConfig(), straightCode(0x1000, 0x20000))
+	p := h2pPrediction()
+	p.Taken = true
+	e.OnCond(0x1000, &p, true, 0, false, 0)
+	e.Cycle(1) // generate some Alt-FTQ occupancy
+	p2 := h2pPrediction()
+	p2.Taken = true
+	e.OnCond(0x4000, &p2, true, 0, false, 2)
+	s := e.Stats()
+	if s.Triggers != 2 || s.StopNewH2P != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if e.altPC != 0x4004 {
+		t.Fatalf("altPC %#x after restart", e.altPC)
+	}
+	if e.ftqUsed != 0 {
+		t.Fatal("Alt-FTQ not flushed on restart")
+	}
+}
+
+func TestTillL1IDoesNotFill(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TillL1I = true
+	code := straightCode(0x1000, 0x1400)
+	e, fe := rig(cfg, code)
+	p := h2pPrediction()
+	p.Taken = true
+	e.OnCond(0x1000, &p, true, 0, false, 0)
+	for now := uint64(1); now < 400; now++ {
+		e.Cycle(now)
+	}
+	s := e.Stats()
+	if s.PrefetchesIssued == 0 {
+		t.Fatal("TillL1I issued no prefetches")
+	}
+	if s.FillsInserted != 0 {
+		t.Fatal("TillL1I filled the µ-op cache")
+	}
+	if fe.Uop.Probe(0x1004) {
+		t.Fatal("µ-op entry present under TillL1I")
+	}
+	if !fe.Mem.L1I.Contains(0x1004) {
+		t.Fatal("L1I line not prefetched")
+	}
+}
+
+func TestTagCheckSkipsResidentEntries(t *testing.T) {
+	code := straightCode(0x1000, 0x1400)
+	e, fe := rig(DefaultConfig(), code)
+	// Pre-fill the first alternate entry.
+	fe.Uop.Insert(0x1004, 7, 0, false, false)
+	p := h2pPrediction()
+	p.Taken = true
+	e.OnCond(0x1000, &p, true, 0, false, 0)
+	for now := uint64(1); now < 200; now++ {
+		e.Cycle(now)
+	}
+	s := e.Stats()
+	if s.TagCheckHits == 0 {
+		t.Fatal("resident entry not filtered by the tag check")
+	}
+}
+
+func TestHighConfidenceBranchExtendsThreshold(t *testing.T) {
+	// A path through well-predicted branches raises the stop budget
+	// (§IV-E: threshold++ on high-confidence branches).
+	code := straightCode(0x1000, 0x8000)
+	for pc := uint64(0x1040); pc < 0x8000; pc += 0x40 {
+		code[pc] = isa.CondBranch
+	}
+	e, fe := rig(DefaultConfig(), code)
+	for pc := uint64(0x1040); pc < 0x8000; pc += 0x40 {
+		fe.BTB.Insert(pc, pc+0x400, btb.KindCond)
+	}
+	// Train the Alt-BP to be confident not-taken on everything.
+	for i := 0; i < 3000; i++ {
+		pc := uint64(0x1040) + uint64(i%16)*0x40
+		p := e.altBP.Predict(e.altBPHist, pc)
+		e.altBP.Update(pc, false, &p)
+		e.altBPHist.Push(pc, false)
+	}
+	p := h2pPrediction()
+	p.Taken = true
+	e.OnCond(0x1000, &p, true, 0, false, 0)
+	start := e.threshold
+	for now := uint64(1); now < 50 && e.active; now++ {
+		e.Cycle(now)
+	}
+	if e.threshold <= start {
+		t.Fatalf("threshold %d did not grow from %d", e.threshold, start)
+	}
+}
+
+func TestStorageBudgets(t *testing.T) {
+	e, _ := rig(DefaultConfig(), nil)
+	if kb := e.StorageKB(); kb < 11 || kb > 15 {
+		t.Errorf("UCP storage %.2fKB, paper says 12.95KB", kb)
+	}
+	n, _ := rig(NoIndConfig(), nil)
+	if kb := n.StorageKB(); kb < 7 || kb > 11 {
+		t.Errorf("UCP-NoInd storage %.2fKB, paper says 8.95KB", kb)
+	}
+	cfg := DefaultConfig()
+	cfg.TillL1I = true
+	l, _ := rig(cfg, nil)
+	if l.StorageKB() >= e.StorageKB() {
+		t.Error("TillL1I must cost less than full UCP")
+	}
+}
+
+func TestTableIWeights(t *testing.T) {
+	mk := func(src, tageSrc bpred.Source, ctr int8, sat, recentMiss bool, scSum int32) *bpred.Prediction {
+		return &bpred.Prediction{
+			Source: src, TageSource: tageSrc,
+			ProviderCtr: ctr, ProviderSat: sat,
+			BimodalRecentMiss: recentMiss, SCSum: scSum,
+		}
+	}
+	cases := []struct {
+		name string
+		p    *bpred.Prediction
+		want int
+	}{
+		{"bimodal saturated", mk(bpred.SrcBimodal, bpred.SrcBimodal, -2, true, false, 0), 1},
+		{"bimodal weak", mk(bpred.SrcBimodal, bpred.SrcBimodal, 0, false, false, 0), 2},
+		{"bimodal>1in8 saturated", mk(bpred.SrcBimodal, bpred.SrcBimodal, 1, true, true, 0), 2},
+		{"bimodal>1in8 weak", mk(bpred.SrcBimodal, bpred.SrcBimodal, -1, false, true, 0), 6},
+		{"hitbank -4&3", mk(bpred.SrcHitBank, bpred.SrcHitBank, 3, true, false, 0), 1},
+		{"hitbank -3&2", mk(bpred.SrcHitBank, bpred.SrcHitBank, -3, false, false, 0), 3},
+		{"hitbank -2&1", mk(bpred.SrcHitBank, bpred.SrcHitBank, 1, false, false, 0), 4},
+		{"hitbank -1&0", mk(bpred.SrcHitBank, bpred.SrcHitBank, 0, false, false, 0), 6},
+		{"altbank saturated", mk(bpred.SrcAltBank, bpred.SrcAltBank, -4, true, false, 0), 5},
+		{"altbank middle", mk(bpred.SrcAltBank, bpred.SrcAltBank, 1, false, false, 0), 7},
+		{"loop", mk(bpred.SrcLoop, bpred.SrcHitBank, 0, false, false, 0), 1},
+		{"sc 128+", mk(bpred.SrcSC, bpred.SrcHitBank, 0, false, false, 200), 3},
+		{"sc 64..127", mk(bpred.SrcSC, bpred.SrcHitBank, 0, false, false, -90), 6},
+		{"sc 32..63", mk(bpred.SrcSC, bpred.SrcHitBank, 0, false, false, 40), 8},
+		{"sc 0..31", mk(bpred.SrcSC, bpred.SrcHitBank, 0, false, false, -5), 10},
+	}
+	for _, tc := range cases {
+		if got := condWeight(tc.p); got != tc.want {
+			t.Errorf("%s: weight %d, want %d (Table I)", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestThresholdStops(t *testing.T) {
+	// Force tiny threshold: even a single weak branch stops the path.
+	cfg := DefaultConfig()
+	cfg.StopThreshold = 1
+	code := straightCode(0x1000, 0x4000)
+	code[0x1020] = isa.CondBranch
+	e, fe := rig(cfg, code)
+	fe.BTB.Insert(0x1020, 0x2000, btb.KindCond)
+	p := h2pPrediction()
+	p.Taken = true
+	e.OnCond(0x1000, &p, true, 0, false, 0)
+	e.Cycle(1)
+	if e.Stats().StopThreshold != 1 {
+		t.Fatalf("threshold stop not taken: %+v", e.Stats())
+	}
+}
+
+func TestSharedDecodersGateOnBuildMode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SharedDecoders = true
+	code := straightCode(0x1000, 0x1400)
+	e, fe := rig(cfg, code)
+	p := h2pPrediction()
+	p.Taken = true
+	e.OnCond(0x1000, &p, true, 0, false, 0)
+	// The idle frontend starts in build mode, so shared decoders are
+	// busy: no fills may happen.
+	for now := uint64(1); now < 400; now++ {
+		e.Cycle(now)
+	}
+	if fe.InStreamMode() {
+		t.Skip("frontend unexpectedly in stream mode")
+	}
+	if e.Stats().FillsInserted != 0 {
+		t.Fatal("shared decoders filled while the demand path owned them")
+	}
+}
+
+func TestWalkCrossesRegionBoundaries(t *testing.T) {
+	// A straight alternate path spanning several 32B regions must
+	// produce one entry per region, each starting at the path's entry
+	// point into that region.
+	code := straightCode(0x1000, 0x1100)
+	e, fe := rig(DefaultConfig(), code)
+	p := h2pPrediction()
+	p.Taken = true
+	e.OnCond(0x1008, &p, true, 0, false, 0) // alt path starts at 0x100c
+	for now := uint64(1); now < 400; now++ {
+		e.Cycle(now)
+	}
+	if !fe.Uop.Probe(0x100c) {
+		t.Fatal("first (mid-region) entry missing")
+	}
+	if !fe.Uop.Probe(0x1020) || !fe.Uop.Probe(0x1040) {
+		t.Fatal("subsequent region entries missing")
+	}
+	if fe.Uop.Probe(0x1000) {
+		t.Fatal("entry before the alternate start present")
+	}
+}
+
+func TestAltPathFollowsPredictedTakenCond(t *testing.T) {
+	// Alt-BP trained strongly taken on a BTB-resident conditional: the
+	// walker must follow its target and prefetch there.
+	code := straightCode(0x1000, 0x9000)
+	code[0x1010] = isa.CondBranch
+	e, fe := rig(DefaultConfig(), code)
+	fe.BTB.Insert(0x1010, 0x8000, btb.KindCond)
+	for i := 0; i < 3000; i++ {
+		ap := e.altBP.Predict(e.altBPHist, 0x1010)
+		e.altBP.Update(0x1010, true, &ap)
+		e.altBPHist.Push(0x1010, true)
+	}
+	p := h2pPrediction()
+	p.Taken = true
+	e.OnCond(0x1000, &p, true, 0, false, 0)
+	// Keep cycling after the path stops so in-flight fills drain.
+	for now := uint64(1); now < 800; now++ {
+		e.Cycle(now)
+	}
+	if !fe.Uop.Probe(0x8000) {
+		t.Fatal("taken-path target region never prefetched")
+	}
+}
+
+func TestAltRASFollowsReturns(t *testing.T) {
+	// A call on the alternate path pushes Alt-RAS; a later return must
+	// come back to the call site's successor.
+	code := straightCode(0x1000, 0x9000)
+	code[0x1008] = isa.Call
+	code[0x8004] = isa.Return
+	e, fe := rig(DefaultConfig(), code)
+	fe.BTB.Insert(0x1008, 0x8000, btb.KindDirect) // call target
+	fe.BTB.Insert(0x8004, 0, btb.KindReturn)
+	p := h2pPrediction()
+	p.Taken = true
+	e.OnCond(0x1000, &p, true, 0, false, 0)
+	for now := uint64(1); now < 800; now++ {
+		e.Cycle(now)
+	}
+	// The fall-through after the call (0x100c region) must be reachable
+	// again via the return.
+	if !fe.Uop.Probe(0x8000) {
+		t.Fatal("callee never prefetched")
+	}
+	if e.Stats().StopRASEmpty != 0 {
+		t.Fatal("Alt-RAS lost the pushed return address")
+	}
+}
+
+func TestEngineStatsConsistency(t *testing.T) {
+	// Invariants over a real workload: fills ≤ prefetches issued,
+	// tag-check hits ≤ tag checks, triggers == sum of terminal events +
+	// possibly one active path.
+	code := straightCode(0x1000, 0x40000)
+	for pc := uint64(0x1100); pc < 0x40000; pc += 0x100 {
+		code[pc] = isa.CondBranch
+	}
+	e, fe := rig(DefaultConfig(), code)
+	for pc := uint64(0x1100); pc < 0x40000; pc += 0x100 {
+		fe.BTB.Insert(pc, pc+0x400, btb.KindCond)
+	}
+	r := rngLike{state: 12345}
+	for now := uint64(0); now < 20000; now++ {
+		if now%37 == 0 {
+			p := h2pPrediction()
+			p.Taken = true
+			pc := 0x1000 + (r.next()%0x3e000)&^3
+			e.OnCond(pc, &p, true, 0, false, now)
+		}
+		e.Cycle(now)
+	}
+	s := e.Stats()
+	if s.FillsInserted > s.PrefetchesIssued {
+		t.Fatalf("fills %d > prefetches %d", s.FillsInserted, s.PrefetchesIssued)
+	}
+	if s.TagCheckHits > s.TagChecks {
+		t.Fatalf("tag hits %d > checks %d", s.TagCheckHits, s.TagChecks)
+	}
+	stops := s.StopThreshold + s.StopNoBranch + s.StopIndirect + s.StopRASEmpty + s.StopNewH2P
+	active := uint64(0)
+	if e.active {
+		active = 1
+	}
+	if s.Triggers != stops+active {
+		t.Fatalf("triggers %d != stops %d + active %d", s.Triggers, stops, active)
+	}
+}
+
+type rngLike struct{ state uint64 }
+
+func (r *rngLike) next() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state >> 16
+}

@@ -1,0 +1,79 @@
+package core
+
+import "ucp/internal/bpred"
+
+// Table I: weights added to the stop-heuristic saturating counter for
+// each branch encountered on the alternate path, derived from the
+// average miss rate of the providing predictor component (≈1 unit per
+// extra 5% miss rate). Higher accumulated weight means the alternate
+// path is less likely to become the correct path.
+
+// Target-prediction weights (Table I, bottom rows). WeightInfinite
+// forces an immediate stop (BTB miss; indirect without Alt-Ind).
+const (
+	weightIndirect = 1
+	weightReturn   = 1
+	// WeightInfinite marks an immediate-stop event.
+	WeightInfinite = 1 << 20
+)
+
+// condWeight maps an alternate-path conditional prediction to its
+// Table I weight.
+func condWeight(p *bpred.Prediction) int {
+	switch p.Source {
+	case bpred.SrcLoop:
+		return 1
+	case bpred.SrcSC:
+		s := p.SCSum
+		if s < 0 {
+			s = -s
+		}
+		switch {
+		case s >= 128:
+			return 3
+		case s >= 64:
+			return 6
+		case s >= 32:
+			return 8
+		default:
+			return 10
+		}
+	}
+	// TAGE providers, bucketed by centered counter magnitude: for a
+	// 3-bit counter the pairs are (-4,3) (-3,2) (-2,1) (-1,0), and for
+	// the 2-bit bimodal (-2,1) (-1,0).
+	m := int(p.ProviderCtr)
+	if m < 0 {
+		m = -m - 1
+	}
+	switch p.TageSource {
+	case bpred.SrcAltBank:
+		if p.ProviderSat {
+			return 5
+		}
+		return 7
+	case bpred.SrcBimodal:
+		saturated := m >= 1
+		if p.BimodalRecentMiss {
+			if saturated {
+				return 2
+			}
+			return 6
+		}
+		if saturated {
+			return 1
+		}
+		return 2
+	default: // SrcHitBank
+		switch m {
+		case 3:
+			return 1
+		case 2:
+			return 3
+		case 1:
+			return 4
+		default:
+			return 6
+		}
+	}
+}

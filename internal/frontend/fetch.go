@@ -1,0 +1,228 @@
+package frontend
+
+import (
+	"ucp/internal/isa"
+	"ucp/internal/uopcache"
+)
+
+// fetch consumes FTQ windows: stream mode reads the µ-op cache, build
+// mode reads the L1I and decodes, and the machine switches between the
+// two with a one-cycle penalty (§II, §V).
+func (f *Frontend) fetch(now uint64) {
+	if now < f.fetchStall {
+		return
+	}
+	for processed := 0; processed < 2 && f.ftqUsed > 0; processed++ {
+		win := &f.ftq[f.ftqHead]
+		if f.uopqUsed+win.n > len(f.uopq) {
+			return // backpressure from the µ-op queue
+		}
+		if !f.fetchWindow(now, win) {
+			return // mode switch consumed the slot; window retries
+		}
+		f.ftqHead = (f.ftqHead + 1) % len(f.ftq)
+		f.ftqUsed--
+		if now < f.fetchStall {
+			return
+		}
+	}
+}
+
+// fetchWindow serves one window. It returns false when the cycle was
+// spent on a mode switch and the window must be retried.
+func (f *Frontend) fetchWindow(now uint64, win *window) bool {
+	if f.ideal.NoUopCache {
+		f.decodePath(now, win, false)
+		return true
+	}
+	hit := f.windowHit(now, win)
+	if f.mode == 0 { // stream mode: µ-op cache only
+		if hit {
+			f.deliver(win, f.ordered(now+f.cfg.StreamLat), true)
+			return true
+		}
+		f.mode = 1
+		f.stats.ModeSwitches++
+		f.consecHits = 0
+		f.fetchStall = now + f.cfg.ModeSwitchPenalty
+		return false
+	}
+	// Build mode: µ-op cache and L1I are queried in parallel.
+	if hit {
+		f.consecHits++
+		f.deliver(win, f.ordered(now+f.cfg.StreamLat), true)
+		if f.consecHits >= f.cfg.StreamSwitchHits {
+			f.mode = 0
+			f.stats.ModeSwitches++
+			f.fetchStall = now + f.cfg.ModeSwitchPenalty
+		}
+		return true
+	}
+	f.consecHits = 0
+	f.decodePath(now, win, true)
+	return true
+}
+
+// decodePath serves a window through the L1I and the decoders. The L1I
+// access was normally initiated at FTQ-insertion time (FDP); when the
+// window was expected to stream from the µ-op cache and missed anyway,
+// the access starts now.
+func (f *Frontend) decodePath(now uint64, win *window, build bool) {
+	ready := win.lineReady
+	if ready == 0 {
+		firstLine := win.insts[0].inst.LineAddr()
+		lastLine := win.insts[win.n-1].inst.LineAddr()
+		for line := firstLine; ; line += isa.LineBytes {
+			resident := f.Mem.L1I.Contains(line)
+			if done := f.Mem.FetchInst(line, now); done > ready {
+				ready = done
+			}
+			if f.L1IPrefetcher != nil {
+				f.L1IPrefetcher.OnFetch(line, resident, now)
+			}
+			if line >= lastLine {
+				break
+			}
+		}
+		win.lineReady = ready
+	}
+	if ready < now {
+		ready = now
+	}
+	f.deliver(win, f.ordered(ready+f.cfg.DecodePipeLat), false)
+	if build {
+		// Build µ-op cache entries as the instructions decode.
+		for i := 0; i < win.n; i++ {
+			wi := &win.insts[i]
+			f.builder.Add(wi.inst.PC, wi.inst.Class, wi.predTaken)
+		}
+	}
+}
+
+// ordered enforces in-order µ-op delivery across windows.
+func (f *Frontend) ordered(desired uint64) uint64 {
+	if desired <= f.lastDeliver {
+		return f.lastDeliver + 1
+	}
+	return desired
+}
+
+// deliver places the window's µ-ops into the µ-op queue starting at
+// cycle first, at the path's width (8/cycle from the µ-op cache,
+// DecodeWidth/cycle from the decoders). An MRC fast-deliver credit
+// overrides the path latency entirely.
+func (f *Frontend) deliver(win *window, first uint64, fromUop bool) {
+	width := f.cfg.DecodeWidth
+	if fromUop {
+		width = f.cfg.WindowInsts
+	}
+	if f.fastCredit >= win.n {
+		f.fastCredit -= win.n
+		first = f.lastDeliver + 1
+		width = f.cfg.WindowInsts
+	} else {
+		f.fastCredit = 0
+	}
+	if fromUop {
+		f.curStreamLen += uint64(win.n)
+	} else if f.curStreamLen > 0 {
+		f.StreamLens.Add(f.curStreamLen)
+		f.curStreamLen = 0
+	}
+	var last uint64
+	for i := 0; i < win.n; i++ {
+		ready := first + uint64(i/width)
+		tail := (f.uopqHead + f.uopqUsed) % len(f.uopq)
+		f.uopq[tail] = DeliveredUop{
+			Inst:         win.insts[i].inst,
+			Mispredict:   win.insts[i].mispredict,
+			ReadyAt:      ready,
+			FromUopCache: fromUop,
+		}
+		f.uopqUsed++
+		last = ready
+		f.stats.FetchedInsts++
+		if fromUop {
+			f.stats.UopsFromUopCache++
+		} else {
+			f.stats.UopsFromDecode++
+		}
+	}
+	f.lastDeliver = last
+	if f.resumedAt != 0 && first >= f.resumedAt {
+		f.RefillLat.Add(first - f.resumedAt)
+		f.resumedAt = 0
+	}
+	if win.resteer {
+		// Decode-time redirect: the BPU resumes once the target is
+		// computed at the end of this window's delivery.
+		f.waitingDeliver = false
+		if resume := last + 1 + f.cfg.ResteerPenalty; resume > f.bpuStallUntil {
+			f.bpuStallUntil = resume
+		}
+	}
+}
+
+// windowHit determines whether the window is served by the µ-op cache,
+// performing the tag checks (and their statistics) for each entry the
+// window maps to. Entry keys follow the build-side termination rules,
+// with a carry so that a window continuing a sequential run looks up
+// the entry that run opened, not a phantom entry at the window start.
+func (f *Frontend) windowHit(now uint64, win *window) bool {
+	if win.forceHit {
+		return true
+	}
+	if f.ideal.L1IHits {
+		// Residency was sampled when the address was generated, before
+		// fetch-directed prefetching brought the line in (§III-C: "all
+		// L1I hits are µ-op cache hits").
+		return win.l1iResident
+	}
+	var metas [16]uopcache.InstMeta
+	for i := 0; i < win.n; i++ {
+		metas[i] = uopcache.InstMeta{
+			PC:        win.insts[i].inst.PC,
+			Class:     win.insts[i].inst.Class,
+			PredTaken: win.insts[i].predTaken,
+		}
+	}
+	specs := uopcache.Split(metas[:win.n], f.Uop.Config())
+	allHit := true
+	firstKey := uint64(0)
+	for i := range specs {
+		key := specs[i].StartPC
+		if i == 0 && f.carryValid && key == f.carryNext &&
+			uopcache.RegionOf(key) == uopcache.RegionOf(f.carryPC) {
+			key = f.carryPC
+		}
+		if i == 0 {
+			firstKey = key
+		}
+		f.markUopBank(now, key)
+		if _, ok := f.Uop.Lookup(key); !ok {
+			allHit = false
+		}
+	}
+	// Update the carry from the final spec: the run stays open if it
+	// neither ended taken nor reached the region boundary.
+	lastInst := &win.insts[win.n-1]
+	last := specs[len(specs)-1]
+	endPC := last.StartPC + uint64(last.Ops-1)*isa.InstBytes
+	nextPC := endPC + isa.InstBytes
+	open := !last.EndsTaken &&
+		!(lastInst.inst.Class.IsBranch() && lastInst.predTaken) &&
+		int(last.Ops) < f.Uop.Config().OpsPerEntry &&
+		uopcache.RegionOf(nextPC) == uopcache.RegionOf(last.StartPC)
+	if open {
+		f.carryValid = true
+		f.carryNext = nextPC
+		if len(specs) == 1 {
+			f.carryPC = firstKey
+		} else {
+			f.carryPC = last.StartPC
+		}
+	} else {
+		f.carryValid = false
+	}
+	return allHit
+}

@@ -1,0 +1,93 @@
+package frontend
+
+import (
+	"ucp/internal/btb"
+	"ucp/internal/isa"
+)
+
+// Wrong-path fetch modeling (optional, off by default — see DESIGN.md).
+//
+// While a misprediction is unresolved, real hardware keeps fetching down
+// the wrong path, touching the L1I and µ-op cache and occupying fetch
+// bandwidth. The trace contains only the correct path, so the wrong path
+// is reconstructed the same way UCP reconstructs alternate paths: by
+// walking the BTB from the mispredicted branch's predicted successor.
+// Fetched wrong-path lines perturb L1I and µ-op cache LRU state (the
+// pollution effect); the µ-ops themselves are squashed at resolution and
+// never delivered.
+
+// wrongPath holds the walker state while a flush is pending.
+type wrongPath struct {
+	active bool
+	pc     uint64
+	walked int
+}
+
+// maxWrongPathInsts bounds one wrong-path excursion.
+const maxWrongPathInsts = 128
+
+// startWrongPath begins a wrong-path excursion at the predicted (wrong)
+// successor of the mispredicted branch. For a branch wrongly predicted
+// taken, the wrong path starts at the BTB target (if known); wrongly
+// predicted not-taken starts at the fall-through.
+func (f *Frontend) startWrongPath(in *isa.Inst, predTaken bool) {
+	if !f.cfg.WrongPathFetch {
+		return
+	}
+	var pc uint64
+	if predTaken {
+		target, _, hit := f.BTB.Probe(in.PC)
+		if !hit {
+			return
+		}
+		pc = target
+	} else {
+		pc = in.PC + isa.InstBytes
+	}
+	f.wp = wrongPath{active: true, pc: pc}
+}
+
+// stopWrongPath squashes the excursion (at flush resolution).
+func (f *Frontend) stopWrongPath() { f.wp.active = false }
+
+// wrongPathCycle advances the excursion by one fetch window, touching
+// the caches the demand path would have touched.
+func (f *Frontend) wrongPathCycle(now uint64) {
+	if !f.wp.active || !f.waitingFlush {
+		return
+	}
+	pc := f.wp.pc
+	for i := 0; i < f.cfg.WindowInsts; i++ {
+		if f.wp.walked >= maxWrongPathInsts {
+			f.wp.active = false
+			return
+		}
+		f.wp.walked++
+		f.stats.WrongPathInsts++
+		// Tag-check the µ-op cache (LRU perturbation) and, on a miss,
+		// fetch the line (L1I pollution + MSHR/bandwidth use).
+		if f.ideal.NoUopCache || !f.Uop.Probe(pc) {
+			f.Mem.FetchInst(pc&^(isa.LineBytes-1), now)
+		}
+		target, kind, hit := f.BTB.Probe(pc)
+		if hit {
+			switch kind {
+			case btb.KindCond:
+				// Approximation: wrong-path conditionals follow their
+				// fall-through (no second predictor context is spent on
+				// an already-doomed path).
+				pc += isa.InstBytes
+			case btb.KindReturn:
+				// The RAS must not be perturbed; stop the excursion.
+				f.wp.active = false
+				f.wp.pc = pc
+				return
+			default:
+				pc = target
+			}
+		} else {
+			pc += isa.InstBytes
+		}
+	}
+	f.wp.pc = pc
+}

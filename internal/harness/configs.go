@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"fmt"
+
+	"ucp/internal/bpred"
+	"ucp/internal/core"
+	"ucp/internal/prefetch"
+	"ucp/internal/sim"
+	"ucp/internal/uopcache"
+)
+
+// Named machine configurations for the experiments. Every distinct
+// configuration must have a distinct Name — it keys the result cache.
+
+// NoUop removes the µ-op cache (the Fig. 2/10 reference point).
+func NoUop() sim.Config {
+	c := sim.Baseline()
+	c.Name = "no-uop-cache"
+	c.Ideal.NoUopCache = true
+	return c
+}
+
+// BaselineCfg is the Table II machine.
+func BaselineCfg() sim.Config { return sim.Baseline() }
+
+// UopSize scales the µ-op cache capacity (Fig. 4).
+func UopSize(ops int) sim.Config {
+	c := sim.Baseline()
+	c.Name = fmt.Sprintf("uop-%dK", ops/1024)
+	c.Uop = uopcache.ConfigOps(ops)
+	return c
+}
+
+// IdealUop is the perfect µ-op cache (Fig. 4's blue line).
+func IdealUop() sim.Config {
+	c := sim.Baseline()
+	c.Name = "uop-ideal"
+	c.Ideal.UopAlwaysHit = true
+	return c
+}
+
+// Prefetcher attaches a standalone L1I prefetcher; mode selects the
+// Fig. 5 idealization ("base", "l1ihits", "brcond8", "brcond16").
+func Prefetcher(name, mode string) sim.Config {
+	if name == "" && mode == "base" {
+		// Identical to the Table II baseline: share its cached results.
+		return sim.Baseline()
+	}
+	c := sim.Baseline()
+	label := name
+	if label == "" {
+		label = "none"
+	}
+	c.Name = "pf-" + label + "-" + mode
+	c.L1IPrefetcher = name
+	switch mode {
+	case "base":
+	case "l1ihits":
+		c.Ideal.L1IHits = true
+	case "brcond8":
+		c.Ideal.BRCondN = 8
+	case "brcond16":
+		c.Ideal.BRCondN = 16
+	default:
+		panic("harness: unknown prefetcher mode " + mode)
+	}
+	return c
+}
+
+// UCP is the main proposal (with Alt-Ind, threshold 500).
+func UCP() sim.Config { return sim.WithUCP(core.DefaultConfig()) }
+
+// UCPNoInd drops the dedicated indirect predictor (Fig. 12a).
+func UCPNoInd() sim.Config {
+	c := sim.WithUCP(core.NoIndConfig())
+	c.Name = "UCP-NoIND"
+	return c
+}
+
+// UCPTageConf swaps in Seznec's original confidence estimator (Fig. 12b).
+func UCPTageConf() sim.Config {
+	u := core.DefaultConfig()
+	u.Estimator = bpred.EstimatorTageConf
+	c := sim.WithUCP(u)
+	c.Name = "UCP-TAGE-Conf"
+	return c
+}
+
+// UCPThreshold sweeps the stop threshold (Fig. 15); tillL1I selects the
+// L1I-only flavor.
+func UCPThreshold(threshold int, tillL1I bool) sim.Config {
+	if threshold == 500 && !tillL1I {
+		return UCP() // the default configuration; share its cache entry
+	}
+	u := core.DefaultConfig()
+	u.StopThreshold = threshold
+	u.TillL1I = tillL1I
+	c := sim.WithUCP(u)
+	kind := "uop"
+	if tillL1I {
+		kind = "l1i"
+	}
+	c.Name = fmt.Sprintf("UCP-%s-T%d", kind, threshold)
+	return c
+}
+
+// UCPSharedDecoders shares the demand decoders (§VI-F).
+func UCPSharedDecoders() sim.Config {
+	u := core.DefaultConfig()
+	u.SharedDecoders = true
+	c := sim.WithUCP(u)
+	c.Name = "UCP-SharedDecoders"
+	return c
+}
+
+// UCPIdealBTB removes BTB bank conflicts (§VI-F).
+func UCPIdealBTB() sim.Config {
+	u := core.DefaultConfig()
+	u.IdealBTBBanking = true
+	c := sim.WithUCP(u)
+	c.Name = "UCP-IdealBTBBanking"
+	return c
+}
+
+// MRCCfg is the misprediction recovery cache baseline at a given budget.
+func MRCCfg(kb float64) sim.Config {
+	c := sim.Baseline()
+	c.Name = fmt.Sprintf("MRC-%.1fKB", kb)
+	m := prefetch.MRCConfigKB(kb)
+	c.MRC = &m
+	return c
+}
+
+// DoublePredictor doubles the conditional predictor budget (Fig. 16's
+// TAGE-SC-Lx2 point).
+func DoublePredictor() sim.Config {
+	c := sim.Baseline()
+	c.Name = "TAGE-SC-Lx2"
+	c.Pred = bpred.Config128KB()
+	return c
+}

@@ -1,0 +1,225 @@
+// Package harness runs the paper's experiments: for every table and
+// figure in the evaluation (§III, §VI) it builds the relevant machine
+// configurations, sweeps them over the synthetic CVP-1-substitute trace
+// set, and prints the same rows/series the paper reports. Results are
+// cached per (config, trace) within a process so figures can share runs.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"ucp/internal/sim"
+	"ucp/internal/trace"
+)
+
+// Options controls an experiment sweep.
+type Options struct {
+	// Profiles is the trace set (DefaultProfiles when empty).
+	Profiles []trace.Profile
+	// Warmup/Measure override the per-run instruction counts.
+	Warmup, Measure uint64
+	// Out receives the rendered tables (must be non-nil).
+	Out io.Writer
+	// Verbose prints one line per completed run.
+	Verbose bool
+}
+
+// DefaultOptions returns a laptop-scale sweep: the full trace set at
+// 800K warmup + 700K measured instructions.
+func DefaultOptions(out io.Writer) Options {
+	return Options{
+		Profiles: trace.DefaultProfiles(),
+		Warmup:   800_000,
+		Measure:  700_000,
+		Out:      out,
+	}
+}
+
+// Runner executes and caches simulation runs.
+type Runner struct {
+	opts  Options
+	progs map[string]*trace.Program
+	cache map[string]sim.Result
+}
+
+// NewRunner builds a runner; programs are constructed lazily.
+func NewRunner(opts Options) *Runner {
+	if len(opts.Profiles) == 0 {
+		opts.Profiles = trace.DefaultProfiles()
+	}
+	return &Runner{
+		opts:  opts,
+		progs: make(map[string]*trace.Program),
+		cache: make(map[string]sim.Result),
+	}
+}
+
+// Out returns the report writer.
+func (r *Runner) Out() io.Writer { return r.opts.Out }
+
+// Profiles returns the trace set.
+func (r *Runner) Profiles() []trace.Profile { return r.opts.Profiles }
+
+func (r *Runner) program(p trace.Profile) *trace.Program {
+	if prog, ok := r.progs[p.Name]; ok {
+		return prog
+	}
+	prog, err := trace.BuildProgram(p)
+	if err != nil {
+		panic(fmt.Sprintf("harness: building %s: %v", p.Name, err))
+	}
+	r.progs[p.Name] = prog
+	return prog
+}
+
+// Run executes cfg over one named trace (cached by cfg.Name+trace).
+func (r *Runner) Run(cfg sim.Config, prof trace.Profile) sim.Result {
+	key := cfg.Name + "/" + prof.Name
+	if res, ok := r.cache[key]; ok {
+		return res
+	}
+	prog := r.program(prof)
+	cfg.WarmupInsts = r.opts.Warmup
+	cfg.MeasureInsts = r.opts.Measure
+	src := trace.NewLimit(trace.NewWalker(prog), int(cfg.WarmupInsts+cfg.MeasureInsts)+200_000)
+	res, err := sim.Run(cfg, src, prog, prof.Name)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %s on %s: %v", cfg.Name, prof.Name, err))
+	}
+	r.cache[key] = res
+	if r.opts.Verbose {
+		fmt.Fprintf(r.opts.Out, "# run %-24s %-9s IPC=%.4f HR=%.3f\n",
+			cfg.Name, prof.Name, res.IPC, res.UopHitRate)
+	}
+	return res
+}
+
+// Sweep runs cfg over the whole trace set.
+func (r *Runner) Sweep(cfg sim.Config) []sim.Result {
+	out := make([]sim.Result, 0, len(r.opts.Profiles))
+	for _, p := range r.opts.Profiles {
+		out = append(out, r.Run(cfg, p))
+	}
+	return out
+}
+
+// heavyProfiles is the reduced subset used by the configuration-heavy
+// sweeps (Fig. 5's 24 combinations, Fig. 15's threshold sweep, and
+// Fig. 16's MRC points) to keep single-machine runtimes reasonable. It
+// preserves the category mix of the full set.
+func (r *Runner) heavyProfiles() []trace.Profile {
+	if len(r.opts.Profiles) <= 10 {
+		return r.opts.Profiles
+	}
+	keep := map[string]bool{
+		"crypto02": true, "fp02": true, "int02": true, "int04": true,
+		"srv201": true, "srv203": true, "srv205": true, "srv206": true,
+		"srv208": true, "srv209": true,
+	}
+	var out []trace.Profile
+	for _, p := range r.opts.Profiles {
+		if keep[p.Name] {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return r.opts.Profiles
+	}
+	return out
+}
+
+// HeavySweep runs cfg over the reduced subset (cache-compatible with
+// full sweeps: results are keyed per trace).
+func (r *Runner) HeavySweep(cfg sim.Config) []sim.Result {
+	profs := r.heavyProfiles()
+	out := make([]sim.Result, 0, len(profs))
+	for _, p := range profs {
+		out = append(out, r.Run(cfg, p))
+	}
+	return out
+}
+
+// Geomean returns the geometric mean of per-trace speedups of exp over
+// base (aligned by index), as a percentage improvement.
+func Geomean(base, exp []sim.Result) float64 {
+	if len(base) != len(exp) || len(base) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range base {
+		sum += math.Log(exp[i].IPC / base[i].IPC)
+	}
+	return (math.Exp(sum/float64(len(base))) - 1) * 100
+}
+
+// MinMax returns the minimum and maximum per-trace improvement (%).
+func MinMax(base, exp []sim.Result) (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for i := range base {
+		v := (exp[i].IPC/base[i].IPC - 1) * 100
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Amean averages f over results.
+func Amean(rs []sim.Result, f func(sim.Result) float64) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range rs {
+		s += f(r)
+	}
+	return s / float64(len(rs))
+}
+
+// improvements returns per-trace improvement (%) of exp over base,
+// sorted ascending (the paper's "sorted traces" x-axis).
+func improvements(base, exp []sim.Result) []traceValue {
+	out := make([]traceValue, len(base))
+	for i := range base {
+		out[i] = traceValue{
+			trace: base[i].Trace,
+			value: (exp[i].IPC/base[i].IPC - 1) * 100,
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })
+	return out
+}
+
+type traceValue struct {
+	trace string
+	value float64
+}
+
+// section prints a figure heading.
+func (r *Runner) section(title, caption string) {
+	fmt.Fprintf(r.opts.Out, "\n## %s\n\n%s\n\n", title, caption)
+}
+
+func (r *Runner) tableHeader(cols ...string) {
+	w := r.opts.Out
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Fprint(w, " | ")
+		}
+		fmt.Fprint(w, c)
+	}
+	fmt.Fprintln(w)
+	for i := range cols {
+		if i > 0 {
+			fmt.Fprint(w, " | ")
+		}
+		fmt.Fprint(w, "---")
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ucp/internal/sim"
+	"ucp/internal/trace"
+)
+
+func tinyRunner(buf *bytes.Buffer) *Runner {
+	return NewRunner(Options{
+		Profiles: trace.QuickProfiles(),
+		Warmup:   60_000,
+		Measure:  60_000,
+		Out:      buf,
+	})
+}
+
+func TestRunCaching(t *testing.T) {
+	var buf bytes.Buffer
+	r := tinyRunner(&buf)
+	p := r.Profiles()[0]
+	a := r.Run(BaselineCfg(), p)
+	b := r.Run(BaselineCfg(), p)
+	if a != b {
+		t.Fatal("cached result differs")
+	}
+	if len(r.cache) != 1 {
+		t.Fatalf("cache has %d entries, want 1", len(r.cache))
+	}
+}
+
+func TestGeomeanMath(t *testing.T) {
+	base := []sim.Result{{IPC: 1}, {IPC: 2}}
+	exp := []sim.Result{{IPC: 1.1}, {IPC: 2.2}}
+	if g := Geomean(base, exp); g < 9.99 || g > 10.01 {
+		t.Fatalf("geomean %.4f, want 10", g)
+	}
+	min, max := MinMax(base, exp)
+	if min < 9.99 || max > 10.01 {
+		t.Fatalf("minmax %v %v", min, max)
+	}
+	if Geomean(nil, nil) != 0 {
+		t.Fatal("empty geomean must be 0")
+	}
+}
+
+func TestAmean(t *testing.T) {
+	rs := []sim.Result{{UopHitRate: 0.5}, {UopHitRate: 1.0}}
+	if a := Amean(rs, func(r sim.Result) float64 { return r.UopHitRate }); a != 0.75 {
+		t.Fatalf("amean %v", a)
+	}
+}
+
+func TestConfigNamesUnique(t *testing.T) {
+	cfgs := []sim.Config{
+		NoUop(), BaselineCfg(), UopSize(8192), UopSize(16384), IdealUop(),
+		Prefetcher("fnlmma", "base"), Prefetcher("fnlmma", "l1ihits"),
+		Prefetcher("ep", "brcond8"), Prefetcher("", "brcond16"),
+		UCP(), UCPNoInd(), UCPTageConf(), UCPThreshold(64, false),
+		UCPThreshold(64, true), UCPSharedDecoders(), UCPIdealBTB(),
+		MRCCfg(33), MRCCfg(66), DoublePredictor(),
+	}
+	seen := map[string]bool{}
+	for _, c := range cfgs {
+		if c.Name == "" {
+			t.Fatal("config with empty name")
+		}
+		if seen[c.Name] {
+			t.Fatalf("duplicate config name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}
+
+func TestConfigAliases(t *testing.T) {
+	// Shared cache entries: the no-prefetcher base mode IS the baseline,
+	// and threshold 500 µ-op flavor IS the default UCP.
+	if Prefetcher("", "base").Name != BaselineCfg().Name {
+		t.Fatal("pf-none-base must alias the baseline")
+	}
+	if UCPThreshold(500, false).Name != UCP().Name {
+		t.Fatal("UCP-T500 must alias the default UCP")
+	}
+}
+
+func TestFig9Output(t *testing.T) {
+	var buf bytes.Buffer
+	r := tinyRunner(&buf)
+	r.Fig9()
+	out := buf.String()
+	if !strings.Contains(out, "TAGE-Conf") || !strings.Contains(out, "UCP-Conf") {
+		t.Fatalf("Fig9 output incomplete:\n%s", out)
+	}
+}
+
+func TestFig6and7Output(t *testing.T) {
+	var buf bytes.Buffer
+	r := tinyRunner(&buf)
+	r.Fig6and7()
+	out := buf.String()
+	for _, want := range []string{"Fig. 6a", "Fig. 6b", "Fig. 7", "HitBank", "AltBank", "Loop"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig6/7 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestArtifactTableOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-config sweep")
+	}
+	var buf bytes.Buffer
+	r := tinyRunner(&buf)
+	r.ArtifactTable()
+	out := buf.String()
+	for _, want := range []string{"UCP", "UCP-TillL1I", "UCP-SharedDecoders", "UCP-IdealBTBBanking"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("artifact table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHeavyProfilesSubset(t *testing.T) {
+	var buf bytes.Buffer
+	full := NewRunner(Options{Out: &buf, Warmup: 1, Measure: 1})
+	hp := full.heavyProfiles()
+	if len(hp) >= len(full.Profiles()) {
+		t.Fatalf("heavy subset (%d) not smaller than full set (%d)", len(hp), len(full.Profiles()))
+	}
+	// A small configured set is used as-is.
+	small := tinyRunner(&buf)
+	if len(small.heavyProfiles()) != len(small.Profiles()) {
+		t.Fatal("small trace sets must not be reduced further")
+	}
+}

@@ -1,0 +1,79 @@
+package isa
+
+import "testing"
+
+func TestClassPredicates(t *testing.T) {
+	cases := []struct {
+		c                                   Class
+		branch, cond, indirect, call, taken bool
+	}{
+		{ALU, false, false, false, false, false},
+		{Mul, false, false, false, false, false},
+		{FP, false, false, false, false, false},
+		{Load, false, false, false, false, false},
+		{Store, false, false, false, false, false},
+		{CondBranch, true, true, false, false, false},
+		{DirectJump, true, false, false, false, true},
+		{IndirectJump, true, false, true, false, true},
+		{Call, true, false, false, true, true},
+		{IndirectCall, true, false, true, true, true},
+		{Return, true, false, true, false, true},
+	}
+	for _, tc := range cases {
+		if got := tc.c.IsBranch(); got != tc.branch {
+			t.Errorf("%v.IsBranch() = %v", tc.c, got)
+		}
+		if got := tc.c.IsConditional(); got != tc.cond {
+			t.Errorf("%v.IsConditional() = %v", tc.c, got)
+		}
+		if got := tc.c.IsIndirect(); got != tc.indirect {
+			t.Errorf("%v.IsIndirect() = %v", tc.c, got)
+		}
+		if got := tc.c.IsCall(); got != tc.call {
+			t.Errorf("%v.IsCall() = %v", tc.c, got)
+		}
+		if got := tc.c.IsUncondTaken(); got != tc.taken {
+			t.Errorf("%v.IsUncondTaken() = %v", tc.c, got)
+		}
+	}
+}
+
+func TestNextPC(t *testing.T) {
+	in := Inst{PC: 0x1000, Class: ALU}
+	if got := in.NextPC(); got != 0x1004 {
+		t.Fatalf("ALU NextPC = %#x", got)
+	}
+	in = Inst{PC: 0x1000, Class: CondBranch, Taken: false, Target: 0x2000}
+	if got := in.NextPC(); got != 0x1004 {
+		t.Fatalf("not-taken NextPC = %#x", got)
+	}
+	in.Taken = true
+	if got := in.NextPC(); got != 0x2000 {
+		t.Fatalf("taken NextPC = %#x", got)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	in := Inst{PC: 0x107c}
+	if got := in.LineAddr(); got != 0x1040 {
+		t.Fatalf("LineAddr = %#x, want 0x1040", got)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if CondBranch.String() != "CondBranch" {
+		t.Fatalf("String = %q", CondBranch.String())
+	}
+	if Class(200).String() == "" {
+		t.Fatal("out-of-range class must still format")
+	}
+}
+
+func TestEntryGeometry(t *testing.T) {
+	if EntryOps != 8 {
+		t.Fatalf("EntryOps = %d, want 8 (paper §III-A)", EntryOps)
+	}
+	if EntryBytes != 32 || LineBytes != 64 || InstBytes != 4 {
+		t.Fatal("geometry constants drifted from the paper's model")
+	}
+}

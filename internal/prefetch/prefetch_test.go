@@ -1,0 +1,199 @@
+package prefetch
+
+import (
+	"testing"
+
+	"ucp/internal/cache"
+)
+
+func mem() *cache.Hierarchy {
+	return cache.NewHierarchy(cache.DefaultHierarchyConfig())
+}
+
+func TestFactory(t *testing.T) {
+	m := mem()
+	if NewL1I("", m) != nil {
+		t.Fatal("empty name must return nil")
+	}
+	for _, n := range []string{"fnlmma", "fnlmma++", "djolt", "ep", "ep++"} {
+		if NewL1I(n, m) == nil {
+			t.Fatalf("prefetcher %q not constructed", n)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown name must panic")
+		}
+	}()
+	NewL1I("bogus", m)
+}
+
+func TestFNLMMANextLine(t *testing.T) {
+	m := mem()
+	f := NewFNLMMA(m, false)
+	// Sequential fetch stream trains the next-line footprint.
+	base := uint64(0x100000)
+	for rep := 0; rep < 4; rep++ {
+		for i := uint64(0); i < 16; i++ {
+			line := base + i*64
+			f.OnFetch(line, m.L1I.Contains(line), uint64(rep*100)+i)
+		}
+	}
+	// After training, fetching line k should have prefetched k+1.
+	if !m.L1I.Contains(base + 8*64) {
+		t.Fatal("next-line prefetch did not fill L1I")
+	}
+}
+
+func TestFNLMMAMissAhead(t *testing.T) {
+	m := mem()
+	f := NewFNLMMA(m, false)
+	// A repeating miss sequence A,B,C,D...: MMA learns miss(n-2)→miss(n).
+	seq := []uint64{0x200000, 0x310000, 0x420000, 0x530000, 0x640000}
+	for rep := 0; rep < 6; rep++ {
+		for i, line := range seq {
+			f.OnFetch(line, false, uint64(rep*1000+i*10))
+		}
+	}
+	issued := m.PQIssued
+	if issued == 0 {
+		t.Fatal("MMA issued no prefetches on a repeating miss stream")
+	}
+}
+
+func TestDJOLTLearnsDistantMisses(t *testing.T) {
+	m := mem()
+	d := NewDJOLT(m)
+	seq := make([]uint64, 12)
+	for i := range seq {
+		seq[i] = uint64(0x10000000 + i*0x10000)
+	}
+	for rep := 0; rep < 5; rep++ {
+		for i, line := range seq {
+			d.OnFetch(line, false, uint64(rep*1000+i))
+		}
+	}
+	if m.PQIssued == 0 {
+		t.Fatal("D-JOLT issued no prefetches")
+	}
+	// The distant table must have associated seq[0] with seq[8].
+	found := false
+	for _, tgt := range d.table[lineHash(seq[0], d.bits)] {
+		if tgt == seq[8] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("distance-8 correlation not learned")
+	}
+}
+
+func TestEntanglingAssociatesTimelySource(t *testing.T) {
+	m := mem()
+	e := NewEntangling(m, false)
+	// Source S fetched 200 cycles before destination D misses.
+	const S, D = 0x40000000, 0x50000000
+	for rep := 0; rep < 4; rep++ {
+		now := uint64(rep * 10000)
+		e.OnFetch(S, true, now)
+		e.OnFetch(D, false, now+200)
+	}
+	row := e.table[lineHash(uint64(S), e.bits)]
+	found := false
+	for _, tgt := range row {
+		if tgt == D {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("entangling pair not learned")
+	}
+	// Now fetching S prefetches D.
+	before := m.PQIssued
+	e.OnFetch(S, true, 100000)
+	if m.PQIssued == before && !m.L1I.Contains(D) {
+		t.Fatal("entangled destination not prefetched")
+	}
+}
+
+func TestMRCBasics(t *testing.T) {
+	m := NewMRC(MRCConfig{Entries: 2, OpsPerEntry: 64})
+	if m.Lookup(0x1000) {
+		t.Fatal("hit in empty MRC")
+	}
+	m.Record(0x1000)
+	if !m.Lookup(0x1000) {
+		t.Fatal("recorded tag misses")
+	}
+	m.Record(0x2000)
+	m.Lookup(0x1000) // make 0x1000 MRU
+	m.Record(0x3000) // evicts 0x2000
+	if m.Lookup(0x2000) {
+		t.Fatal("LRU victim survived")
+	}
+	if !m.Lookup(0x1000) || !m.Lookup(0x3000) {
+		t.Fatal("resident tags lost")
+	}
+	if m.OpsPerEntry() != 64 {
+		t.Fatalf("ops per entry %d", m.OpsPerEntry())
+	}
+}
+
+func TestMRCConfigKB(t *testing.T) {
+	for _, kb := range []float64{16.5, 33, 66, 132} {
+		cfg := MRCConfigKB(kb)
+		got := NewMRC(cfg).StorageKB()
+		if got < kb*0.9 || got > kb*1.1 {
+			t.Errorf("MRCConfigKB(%.1f) → %.1fKB", kb, got)
+		}
+	}
+}
+
+func TestIPStrideDetectsStride(t *testing.T) {
+	m := mem()
+	s := NewIPStride(m)
+	const pc = 0x1000
+	base := uint64(1 << 32)
+	for i := uint64(0); i < 8; i++ {
+		s.OnLoad(pc, base+i*256, i*10)
+	}
+	// The +2-ahead prefetch for the last access lands at base+10*256.
+	if !m.L1D.Contains(base + 9*256) {
+		t.Fatal("stride prefetch did not fill L1D")
+	}
+}
+
+func TestIPStrideIgnoresRandom(t *testing.T) {
+	m := mem()
+	s := NewIPStride(m)
+	addrs := []uint64{1 << 32, 1<<32 + 8192, 1<<32 + 64, 1<<32 + 99840, 1<<32 + 16}
+	for i, a := range addrs {
+		s.OnLoad(0x2000, a, uint64(i*10))
+	}
+	if got := m.L1D.Stats().Prefetches; got != 0 {
+		t.Fatalf("random pattern triggered %d prefetches", got)
+	}
+}
+
+func TestStorageBudgets(t *testing.T) {
+	cases := map[string][2]float64{
+		"fnlmma":   {15, 40},
+		"fnlmma++": {30, 60},
+		"djolt":    {100, 160},
+		"ep":       {20, 45},
+		"ep++":     {35, 70},
+	}
+	for name, band := range cases {
+		kb := StorageKBOf(name)
+		if kb < band[0] || kb > band[1] {
+			t.Errorf("%s storage %.1fKB outside [%v,%v]", name, kb, band[0], band[1])
+		}
+	}
+	// D-JOLT must be the largest (§VII-A: "up to 125KB").
+	if StorageKBOf("djolt") <= StorageKBOf("ep++") {
+		t.Error("D-JOLT should be the largest prefetcher")
+	}
+	if StorageKBOf("") != 0 {
+		t.Error("no prefetcher must cost 0KB")
+	}
+}

@@ -1,0 +1,80 @@
+// Package ras implements a return address stack. The baseline frontend
+// uses a 64-entry RAS (Table II); UCP adds a 16-entry Alt-RAS that is
+// copied from the main RAS when alternate-path generation starts and is
+// then updated speculatively while walking the alternate path (§IV-C).
+package ras
+
+// Stack is a circular return address stack. Overflow silently wraps
+// (oldest entries are overwritten), underflow returns 0 — both mirror
+// hardware behavior rather than erroring.
+type Stack struct {
+	entries []uint64
+	top     int // index of the next push slot
+	depth   int // live entries, ≤ len(entries)
+}
+
+// New returns a stack with the given capacity.
+func New(capacity int) *Stack {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Stack{entries: make([]uint64, capacity)}
+}
+
+// Push records a return address (on a call).
+func (s *Stack) Push(addr uint64) {
+	s.entries[s.top] = addr
+	s.top = (s.top + 1) % len(s.entries)
+	if s.depth < len(s.entries) {
+		s.depth++
+	}
+}
+
+// Pop predicts the target of a return. It returns 0 when empty.
+func (s *Stack) Pop() uint64 {
+	if s.depth == 0 {
+		return 0
+	}
+	s.top = (s.top - 1 + len(s.entries)) % len(s.entries)
+	s.depth--
+	return s.entries[s.top]
+}
+
+// Peek returns the top entry without popping (0 when empty).
+func (s *Stack) Peek() uint64 {
+	if s.depth == 0 {
+		return 0
+	}
+	return s.entries[(s.top-1+len(s.entries))%len(s.entries)]
+}
+
+// Depth returns the number of live entries.
+func (s *Stack) Depth() int { return s.depth }
+
+// Capacity returns the stack capacity.
+func (s *Stack) Capacity() int { return len(s.entries) }
+
+// CopyFrom overwrites this stack with the youngest entries of src,
+// truncating to this stack's capacity (the Alt-RAS is smaller than the
+// main RAS, so only the youngest frames are retained).
+func (s *Stack) CopyFrom(src *Stack) {
+	n := src.depth
+	if n > len(s.entries) {
+		n = len(s.entries)
+	}
+	for i := 0; i < n; i++ {
+		// i-th youngest entry of src.
+		idx := (src.top - 1 - i + len(src.entries)*2) % len(src.entries)
+		s.entries[(n-1-i+len(s.entries))%len(s.entries)] = src.entries[idx]
+	}
+	s.top = n % len(s.entries)
+	s.depth = n
+}
+
+// Reset empties the stack.
+func (s *Stack) Reset() {
+	s.top, s.depth = 0, 0
+}
+
+// StorageBits returns the modeled hardware budget (32-bit addresses).
+func (s *Stack) StorageBits() int { return len(s.entries) * 32 }

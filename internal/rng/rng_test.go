@@ -1,0 +1,136 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	// splitmix64 seeding must not leave the all-zero state.
+	if r.s == [4]uint64{} {
+		t.Fatal("zero seed produced zero state")
+	}
+	if x, y := r.Uint64(), r.Uint64(); x == 0 && y == 0 {
+		t.Fatal("suspicious zero outputs")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(99)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if got < 0.28 || got > 0.32 {
+		t.Fatalf("Bool(0.3) frequency = %v, want ~0.3", got)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(5)
+	n, sum := 20000, 0
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(8)
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 7 || mean > 9 {
+		t.Fatalf("Geometric(8) mean = %v, want ~8", mean)
+	}
+}
+
+func TestGeometricDegenerate(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 100; i++ {
+		if g := r.Geometric(0.5); g != 1 {
+			t.Fatalf("Geometric(0.5) = %d, want 1", g)
+		}
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	r := New(3)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		v := r.Zipf(100)
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Low indices must be much hotter than high ones.
+	low := counts[0] + counts[1] + counts[2]
+	high := counts[97] + counts[98] + counts[99]
+	if low <= high*3 {
+		t.Fatalf("Zipf not skewed: low=%d high=%d", low, high)
+	}
+	if r.Zipf(1) != 0 {
+		t.Fatal("Zipf(1) must be 0")
+	}
+}
+
+func TestFork(t *testing.T) {
+	a := New(42)
+	f := a.Fork()
+	if f.Uint64() == a.Uint64() {
+		t.Fatal("forked stream mirrors parent")
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}

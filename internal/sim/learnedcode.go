@@ -1,0 +1,56 @@
+package sim
+
+import "ucp/internal/isa"
+
+// LearnedCode is a CodeInfo that learns instruction classes from the
+// dynamic stream. It backs UCP's alternate decode path when a run is
+// driven by a recorded trace file rather than a generated Program
+// (hardware inspects real bytes; a trace file only reveals a static
+// instruction once it has been fetched at least once).
+type LearnedCode struct {
+	classes map[uint64]isa.Class
+}
+
+// NewLearnedCode returns an empty map.
+func NewLearnedCode() *LearnedCode {
+	return &LearnedCode{classes: make(map[uint64]isa.Class, 1<<16)}
+}
+
+// Observe records one dynamic instruction.
+func (l *LearnedCode) Observe(in *isa.Inst) {
+	l.classes[in.PC] = in.Class
+}
+
+// ClassAt implements core.CodeInfo.
+func (l *LearnedCode) ClassAt(pc uint64) (isa.Class, bool) {
+	c, ok := l.classes[pc]
+	if !ok {
+		return isa.ALU, false
+	}
+	return c, true
+}
+
+// Known returns the number of learned static instructions.
+func (l *LearnedCode) Known() int { return len(l.classes) }
+
+// observingSource wraps a trace source, feeding every instruction into
+// a LearnedCode before handing it to the consumer.
+type observingSource struct {
+	src interface {
+		Next() (isa.Inst, bool)
+		Reset()
+	}
+	code *LearnedCode
+}
+
+// Next implements trace.Source.
+func (o *observingSource) Next() (isa.Inst, bool) {
+	in, ok := o.src.Next()
+	if ok {
+		o.code.Observe(&in)
+	}
+	return in, ok
+}
+
+// Reset implements trace.Source.
+func (o *observingSource) Reset() { o.src.Reset() }

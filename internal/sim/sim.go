@@ -1,0 +1,328 @@
+// Package sim assembles the full core model — decoupled frontend,
+// out-of-order backend, memory hierarchy, µ-op cache, and optionally the
+// UCP engine and standalone L1I prefetcher baselines — and runs it over
+// a trace, producing the metrics the paper's figures report.
+package sim
+
+import (
+	"fmt"
+
+	"ucp/internal/backend"
+	"ucp/internal/bpred"
+	"ucp/internal/btb"
+	"ucp/internal/cache"
+	"ucp/internal/core"
+	"ucp/internal/frontend"
+	"ucp/internal/ittage"
+	"ucp/internal/prefetch"
+	"ucp/internal/ras"
+	"ucp/internal/stats"
+	"ucp/internal/trace"
+	"ucp/internal/uopcache"
+)
+
+// Config describes one simulated machine configuration.
+type Config struct {
+	// Name labels the variant in experiment output.
+	Name string
+
+	Frontend   frontend.Config
+	Backend    backend.Config
+	Memory     cache.HierarchyConfig
+	Pred       bpred.Config
+	BTB        btb.Config
+	Ind        ittage.Config
+	Uop        uopcache.Config
+	RASEntries int
+
+	Ideal frontend.Ideal
+
+	// UCP enables the alternate-path prefetcher when non-nil.
+	UCP *core.Config
+
+	// L1IPrefetcher selects a standalone instruction prefetcher
+	// baseline ("", "fnlmma", "fnlmma++", "djolt", "ep", "ep++").
+	L1IPrefetcher string
+
+	// MRC enables the misprediction recovery cache baseline (§VI-F).
+	MRC *prefetch.MRCConfig
+
+	// InclusiveUop keeps the µ-op cache inclusive of the L1I (the
+	// §IV-G2 design point the paper argues against): L1I evictions
+	// invalidate the corresponding µ-op cache entries.
+	InclusiveUop bool
+
+	// BlockBTB replaces the baseline instruction BTB with the
+	// block-based organization of §IV-C when non-nil (one entry per
+	// aligned code block holding several branches, fewer banks).
+	BlockBTB *btb.BlockConfig
+
+	// WarmupInsts are committed before statistics start; MeasureInsts
+	// are then measured (§V: 50M + 50M at full scale).
+	WarmupInsts  uint64
+	MeasureInsts uint64
+}
+
+// Baseline is the Table II configuration: 4Kops µ-op cache, 64KB
+// TAGE-SC-L, 64KB ITTAGE, 64K-entry BTB, no UCP, no L1I prefetcher.
+func Baseline() Config {
+	return Config{
+		Name:         "baseline",
+		Frontend:     frontend.DefaultConfig(),
+		Backend:      backend.DefaultConfig(),
+		Memory:       cache.DefaultHierarchyConfig(),
+		Pred:         bpred.Config64KB(),
+		BTB:          btb.DefaultConfig(),
+		Ind:          ittage.Config64KB(),
+		Uop:          uopcache.DefaultConfig(),
+		RASEntries:   64,
+		WarmupInsts:  400_000,
+		MeasureInsts: 600_000,
+	}
+}
+
+// WithUCP returns the baseline plus a UCP engine (which also doubles the
+// BTB banks, §IV-C).
+func WithUCP(ucp core.Config) Config {
+	c := Baseline()
+	c.Name = "UCP"
+	c.UCP = &ucp
+	c.BTB = btb.UCPConfig()
+	return c
+}
+
+// Result carries the measured metrics of one run.
+type Result struct {
+	Name  string
+	Trace string
+
+	Insts  uint64
+	Cycles uint64
+	IPC    float64
+
+	// UopHitRate is the per-instruction µ-op cache hit rate (Fig. 3).
+	UopHitRate float64
+	// SwitchPKI is stream/build mode switches per kilo-instruction.
+	SwitchPKI float64
+	// CondMPKI is conditional branch mispredictions per kilo-instruction.
+	CondMPKI float64
+	// PrefetchAccuracy is used prefetched entries over prefetched
+	// entries (Fig. 14); zero when UCP is off.
+	PrefetchAccuracy float64
+
+	// StreamLens is the distribution of consecutive µ-op cache hit
+	// stream lengths; RefillLat the mispredict-resolve to first-µ-op
+	// latency distribution (measured window only).
+	StreamLens *stats.Histogram
+	RefillLat  *stats.Histogram
+
+	FE           frontend.Stats
+	Uop          uopcache.Stats
+	UCP          core.Stats
+	UCPStorageKB float64
+	L1I          cache.Stats
+}
+
+// Machine is one assembled core, stepped cycle by cycle.
+type Machine struct {
+	cfg   Config
+	fe    *frontend.Frontend
+	be    *backend.Backend
+	mem   *cache.Hierarchy
+	ucp   *core.Engine
+	mrc   *prefetch.MRC
+	uop   *uopcache.UopCache
+	cycle uint64
+
+	mrcPending uint64 // corrected target of the stalled misprediction
+}
+
+// NewMachine assembles a machine over src. When code is nil and UCP is
+// enabled, instruction classes are learned from the dynamic stream (the
+// recorded-trace case) instead of read from a generated Program.
+func NewMachine(cfg Config, src trace.Source, code core.CodeInfo) *Machine {
+	if code == nil && cfg.UCP != nil {
+		lc := NewLearnedCode()
+		src = &observingSource{src: src, code: lc}
+		code = lc
+	}
+	mem := cache.NewHierarchy(cfg.Memory)
+	pred := bpred.NewTageSCL(cfg.Pred)
+	var b btb.TargetBuffer = btb.New(cfg.BTB)
+	if cfg.BlockBTB != nil {
+		b = btb.NewBlock(*cfg.BlockBTB)
+	}
+	r := ras.New(cfg.RASEntries)
+	ind := ittage.New(cfg.Ind)
+	uop := uopcache.New(cfg.Uop)
+	fe := frontend.New(cfg.Frontend, src, pred, b, r, ind, uop, mem, cfg.Ideal)
+	if cfg.InclusiveUop {
+		mem.L1I.OnEvict = uop.InvalidateLine
+	}
+	be := backend.New(cfg.Backend, mem)
+	m := &Machine{cfg: cfg, fe: fe, be: be, mem: mem, uop: uop}
+	if cfg.UCP != nil {
+		m.ucp = core.New(*cfg.UCP, fe, code)
+		fe.SetHook(m.ucp)
+	}
+	if pf := prefetch.NewL1I(cfg.L1IPrefetcher, mem); pf != nil {
+		fe.L1IPrefetcher = pf
+	}
+	if cfg.MRC != nil {
+		m.mrc = prefetch.NewMRC(*cfg.MRC)
+	}
+	be.DataPrefetcher = prefetch.NewIPStride(mem)
+	return m
+}
+
+// Step advances one cycle and returns the µ-ops committed in it.
+func (m *Machine) Step() int {
+	now := m.cycle
+	committed, flush := m.be.Cycle(now)
+	if flush != nil {
+		m.fe.ResumeAt(flush.Cycle + 1)
+	}
+	m.dispatch(now, flush)
+	m.fe.Cycle(now)
+	if m.ucp != nil {
+		m.ucp.Cycle(now)
+	}
+	m.cycle++
+	return committed
+}
+
+// dispatch moves ready µ-ops from the frontend queue into the backend.
+func (m *Machine) dispatch(now uint64, flush *backend.Flush) {
+	if m.mrc != nil && flush != nil && m.mrcPending != 0 {
+		// The MRC records the corrected-path µ-ops after every
+		// misprediction and, on a tag hit, streams them straight to
+		// execution (modeled as a fast-deliver credit; §VI-F).
+		if m.mrc.Lookup(m.mrcPending) {
+			m.fe.GrantFastDeliver(m.mrc.OpsPerEntry())
+		}
+		m.mrc.Record(m.mrcPending)
+		m.mrcPending = 0
+	}
+	width := m.be.DispatchWidth()
+	for i := 0; i < width; i++ {
+		if !m.be.CanDispatch(1) {
+			return
+		}
+		u, ok := m.fe.PopUop(now)
+		if !ok {
+			return
+		}
+		if u.Mispredict && m.mrc != nil {
+			m.mrcPending = u.Inst.NextPC()
+		}
+		m.be.Dispatch(backend.Uop{
+			PC:         u.Inst.PC,
+			Class:      u.Inst.Class,
+			Dst:        u.Inst.Dst,
+			Src1:       u.Inst.Src1,
+			Src2:       u.Inst.Src2,
+			MemAddr:    u.Inst.MemAddr,
+			Mispredict: u.Mispredict,
+		})
+	}
+}
+
+// snapshot captures the counters that are delta-measured across the
+// warmup boundary.
+type snapshot struct {
+	fe     frontend.Stats
+	uop    uopcache.Stats
+	ucp    core.Stats
+	l1i    cache.Stats
+	cycles uint64
+	insts  uint64
+}
+
+func (m *Machine) snap() snapshot {
+	s := snapshot{
+		fe:     m.fe.Stats(),
+		uop:    m.uop.Stats(),
+		l1i:    m.mem.L1I.Stats(),
+		cycles: m.cycle,
+		insts:  m.be.Committed,
+	}
+	if m.ucp != nil {
+		s.ucp = m.ucp.Stats()
+	}
+	return s
+}
+
+// Run executes the configured warmup + measurement phases over src.
+func Run(cfg Config, src trace.Source, code core.CodeInfo, traceName string) (Result, error) {
+	m := NewMachine(cfg, src, code)
+	target := cfg.WarmupInsts
+	var start snapshot
+	warm := false
+	lastCommit := m.be.Committed
+	stuck := uint64(0)
+	for {
+		m.Step()
+		if m.be.Committed == lastCommit {
+			stuck++
+			if stuck > 200_000 {
+				return Result{}, fmt.Errorf("sim: no commit for %d cycles at cycle %d (pc stall)", stuck, m.cycle)
+			}
+		} else {
+			stuck = 0
+			lastCommit = m.be.Committed
+		}
+		if !warm && m.be.Committed >= target {
+			warm = true
+			start = m.snap()
+			m.fe.ResetHistograms()
+			target = cfg.WarmupInsts + cfg.MeasureInsts
+		}
+		if warm && m.be.Committed >= target {
+			break
+		}
+		if m.fe.Done() && m.be.Drained() {
+			if !warm {
+				return Result{}, fmt.Errorf("sim: trace ended during warmup (%d committed)", m.be.Committed)
+			}
+			break
+		}
+	}
+	end := m.snap()
+	return buildResult(cfg, traceName, m, start, end), nil
+}
+
+func buildResult(cfg Config, traceName string, m *Machine, a, b snapshot) Result {
+	insts := b.insts - a.insts
+	cycles := b.cycles - a.cycles
+	r := Result{
+		Name:   cfg.Name,
+		Trace:  traceName,
+		Insts:  insts,
+		Cycles: cycles,
+	}
+	if cycles > 0 {
+		r.IPC = float64(insts) / float64(cycles)
+	}
+	fetched := (b.fe.UopsFromUopCache + b.fe.UopsFromDecode) - (a.fe.UopsFromUopCache + a.fe.UopsFromDecode)
+	if fetched > 0 {
+		r.UopHitRate = float64(b.fe.UopsFromUopCache-a.fe.UopsFromUopCache) / float64(fetched)
+	}
+	if insts > 0 {
+		r.SwitchPKI = float64(b.fe.ModeSwitches-a.fe.ModeSwitches) / float64(insts) * 1000
+		r.CondMPKI = float64(b.fe.CondMispredicts-a.fe.CondMispredicts) / float64(insts) * 1000
+	}
+	pi := b.uop.PrefetchInserts - a.uop.PrefetchInserts
+	if pi > 0 {
+		r.PrefetchAccuracy = float64(b.uop.PrefetchUsed-a.uop.PrefetchUsed) / float64(pi)
+	}
+	r.FE = b.fe
+	r.Uop = b.uop
+	r.UCP = b.ucp
+	r.L1I = b.l1i
+	r.StreamLens = m.fe.StreamLens
+	r.RefillLat = m.fe.RefillLat
+	if m.ucp != nil {
+		r.UCPStorageKB = m.ucp.StorageKB()
+	}
+	return r
+}

@@ -1,0 +1,368 @@
+package sim
+
+import (
+	"testing"
+
+	"ucp/internal/btb"
+	"ucp/internal/core"
+	"ucp/internal/isa"
+	"ucp/internal/prefetch"
+	"ucp/internal/trace"
+)
+
+func isaInst() isa.Inst {
+	return isa.Inst{PC: 0x4000, Class: isa.CondBranch}
+}
+
+// run executes cfg over the named profile with reduced instruction
+// counts for test speed.
+func run(t testing.TB, cfg Config, profile string, warm, meas uint64) Result {
+	t.Helper()
+	prof, ok := trace.ProfileByName(profile)
+	if !ok {
+		t.Fatalf("no profile %s", profile)
+	}
+	prog, err := trace.BuildProgram(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.WarmupInsts, cfg.MeasureInsts = warm, meas
+	src := trace.NewLimit(trace.NewWalker(prog), int(warm+meas)+100_000)
+	res, err := Run(cfg, src, prog, profile)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", cfg.Name, profile, err)
+	}
+	return res
+}
+
+func TestBaselineSanity(t *testing.T) {
+	res := run(t, Baseline(), "int02", 100_000, 200_000)
+	if res.IPC < 0.3 || res.IPC > 8 {
+		t.Fatalf("baseline IPC %.3f implausible", res.IPC)
+	}
+	if res.Insts < 190_000 {
+		t.Fatalf("measured %d insts, want ~200000", res.Insts)
+	}
+	if res.UopHitRate <= 0 || res.UopHitRate > 1 {
+		t.Fatalf("uop hit rate %.3f", res.UopHitRate)
+	}
+	if res.CondMPKI <= 0 || res.CondMPKI > 60 {
+		t.Fatalf("cond MPKI %.2f", res.CondMPKI)
+	}
+	t.Logf("int02 baseline: IPC=%.3f uopHR=%.3f switchPKI=%.2f condMPKI=%.2f",
+		res.IPC, res.UopHitRate, res.SwitchPKI, res.CondMPKI)
+}
+
+func TestDeterminism(t *testing.T) {
+	a := run(t, Baseline(), "crypto02", 50_000, 100_000)
+	b := run(t, Baseline(), "crypto02", 50_000, 100_000)
+	if a.Cycles != b.Cycles || a.Insts != b.Insts {
+		t.Fatalf("non-deterministic: %d/%d vs %d/%d cycles/insts",
+			a.Cycles, a.Insts, b.Cycles, b.Insts)
+	}
+}
+
+func TestUopCacheHitRateOrdering(t *testing.T) {
+	// Small-footprint crypto must hit far more than a large srv trace.
+	c := run(t, Baseline(), "crypto02", 100_000, 200_000)
+	s := run(t, Baseline(), "srv206", 100_000, 200_000)
+	if c.UopHitRate < 0.85 {
+		t.Errorf("crypto02 hit rate %.3f, want > 0.85", c.UopHitRate)
+	}
+	if s.UopHitRate > c.UopHitRate-0.1 {
+		t.Errorf("srv206 hit rate %.3f not clearly below crypto02 %.3f",
+			s.UopHitRate, c.UopHitRate)
+	}
+	t.Logf("hit rates: crypto02=%.3f srv206=%.3f", c.UopHitRate, s.UopHitRate)
+}
+
+func TestIdealUopCacheBeatsReal(t *testing.T) {
+	base := run(t, Baseline(), "srv203", 100_000, 200_000)
+	ideal := Baseline()
+	ideal.Name = "ideal-uop"
+	ideal.Ideal.UopAlwaysHit = true
+	id := run(t, ideal, "srv203", 100_000, 200_000)
+	if id.IPC <= base.IPC {
+		t.Fatalf("ideal µ-op cache IPC %.3f <= baseline %.3f", id.IPC, base.IPC)
+	}
+	t.Logf("srv203: base=%.3f ideal=%.3f (+%.1f%%)", base.IPC, id.IPC,
+		100*(id.IPC/base.IPC-1))
+}
+
+func TestNoUopCacheSlower(t *testing.T) {
+	// On a µ-op-cache-friendly trace, removing the µ-op cache must
+	// reduce IPC.
+	base := run(t, Baseline(), "crypto02", 100_000, 200_000)
+	no := Baseline()
+	no.Name = "no-uop"
+	no.Ideal.NoUopCache = true
+	n := run(t, no, "crypto02", 100_000, 200_000)
+	if n.IPC >= base.IPC {
+		t.Fatalf("no-µ-op-cache IPC %.3f >= baseline %.3f", n.IPC, base.IPC)
+	}
+	if n.UopHitRate != 0 {
+		t.Fatalf("no-uop config reports hit rate %.3f", n.UopHitRate)
+	}
+	t.Logf("crypto02: no-uop=%.3f base=%.3f (+%.1f%%)", n.IPC, base.IPC,
+		100*(base.IPC/n.IPC-1))
+}
+
+func TestUCPRuns(t *testing.T) {
+	cfg := WithUCP(core.DefaultConfig())
+	res := run(t, cfg, "srv205", 100_000, 200_000)
+	if res.UCP.Triggers == 0 {
+		t.Fatal("UCP never triggered")
+	}
+	if res.UCP.FillsInserted == 0 {
+		t.Fatal("UCP never filled the µ-op cache")
+	}
+	if res.UCPStorageKB < 10 || res.UCPStorageKB > 16 {
+		t.Errorf("UCP storage %.2fKB, paper says 12.95KB", res.UCPStorageKB)
+	}
+	t.Logf("UCP srv205: IPC=%.3f triggers=%d fills=%d prefAcc=%.3f storage=%.2fKB",
+		res.IPC, res.UCP.Triggers, res.UCP.FillsInserted, res.PrefetchAccuracy, res.UCPStorageKB)
+}
+
+func TestUCPNoIndStorage(t *testing.T) {
+	cfg := WithUCP(core.NoIndConfig())
+	cfg.Name = "UCP-NoInd"
+	res := run(t, cfg, "int02", 60_000, 100_000)
+	if res.UCPStorageKB < 6 || res.UCPStorageKB > 11 {
+		t.Errorf("UCP-NoInd storage %.2fKB, paper says 8.95KB", res.UCPStorageKB)
+	}
+}
+
+func TestArchitecturalNeutrality(t *testing.T) {
+	// UCP, prefetchers, and ideal modes must not change WHAT commits —
+	// only timing. Committed counts equal across configs by
+	// construction; verify committed == requested for several configs.
+	for _, cfg := range []Config{
+		Baseline(),
+		WithUCP(core.DefaultConfig()),
+		func() Config { c := Baseline(); c.L1IPrefetcher = "fnlmma"; return c }(),
+	} {
+		res := run(t, cfg, "int01", 50_000, 100_000)
+		// Commit width granularity can shave a few µ-ops off the window.
+		if res.Insts < 99_000 {
+			t.Errorf("%s: measured %d insts", cfg.Name, res.Insts)
+		}
+	}
+}
+
+func TestPrefetcherVariantsRun(t *testing.T) {
+	for _, name := range []string{"fnlmma", "fnlmma++", "djolt", "ep", "ep++"} {
+		cfg := Baseline()
+		cfg.Name = name
+		cfg.L1IPrefetcher = name
+		res := run(t, cfg, "srv202", 60_000, 100_000)
+		if res.IPC <= 0 {
+			t.Errorf("%s: IPC %.3f", name, res.IPC)
+		}
+	}
+}
+
+func TestMRCRuns(t *testing.T) {
+	cfg := Baseline()
+	cfg.Name = "mrc"
+	mrc := prefetch.MRCConfigKB(33)
+	cfg.MRC = &mrc
+	res := run(t, cfg, "srv203", 60_000, 100_000)
+	if res.IPC <= 0 {
+		t.Fatalf("MRC IPC %.3f", res.IPC)
+	}
+}
+
+func TestIdealBRCondBeatsBaseline(t *testing.T) {
+	base := run(t, Baseline(), "srv205", 100_000, 200_000)
+	br := Baseline()
+	br.Name = "idealbrcond16"
+	br.Ideal.BRCondN = 16
+	b16 := run(t, br, "srv205", 100_000, 200_000)
+	if b16.IPC < base.IPC {
+		t.Fatalf("IdealBRCond-16 IPC %.3f < baseline %.3f", b16.IPC, base.IPC)
+	}
+	t.Logf("srv205: base=%.3f brcond16=%.3f (+%.2f%%)", base.IPC, b16.IPC,
+		100*(b16.IPC/base.IPC-1))
+}
+
+func TestLearnedCodeForFileTraces(t *testing.T) {
+	// Running UCP over a recorded trace (no Program) must still fill the
+	// µ-op cache, using classes learned from the stream.
+	prof, _ := trace.ProfileByName("srv201")
+	prog, err := trace.BuildProgram(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := trace.Collect(trace.NewWalker(prog), 400_000)
+	cfg := WithUCP(core.DefaultConfig())
+	cfg.WarmupInsts, cfg.MeasureInsts = 150_000, 150_000
+	res, err := Run(cfg, trace.NewSliceSource(insts), nil, "file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UCP.Triggers == 0 || res.UCP.FillsInserted == 0 {
+		t.Fatalf("UCP inert on a recorded trace: %+v", res.UCP)
+	}
+}
+
+func TestLearnedCode(t *testing.T) {
+	lc := NewLearnedCode()
+	if _, ok := lc.ClassAt(0x1000); ok {
+		t.Fatal("empty map knows an address")
+	}
+	in := isaInst()
+	lc.Observe(&in)
+	if c, ok := lc.ClassAt(in.PC); !ok || c != in.Class {
+		t.Fatalf("learned class %v ok=%v", c, ok)
+	}
+	if lc.Known() != 1 {
+		t.Fatalf("known %d", lc.Known())
+	}
+}
+
+func TestInclusiveUopCacheCostsHits(t *testing.T) {
+	// The paper keeps the µ-op cache NOT inclusive of the L1I to
+	// maximize reach (§IV-G2); the inclusive design point must not
+	// increase the hit rate on a footprint-heavy trace.
+	base := run(t, Baseline(), "srv204", 300_000, 300_000)
+	inc := Baseline()
+	inc.Name = "inclusive"
+	inc.InclusiveUop = true
+	i := run(t, inc, "srv204", 300_000, 300_000)
+	if i.UopHitRate > base.UopHitRate+0.01 {
+		t.Fatalf("inclusive hit rate %.3f above non-inclusive %.3f",
+			i.UopHitRate, base.UopHitRate)
+	}
+	if i.Uop.Invalidations == 0 {
+		t.Fatal("inclusion never invalidated anything on a big footprint")
+	}
+}
+
+func TestHistogramsPopulated(t *testing.T) {
+	res := run(t, Baseline(), "int02", 150_000, 150_000)
+	if res.StreamLens.Count() == 0 {
+		t.Fatal("no stream-length samples")
+	}
+	if res.RefillLat.Count() == 0 {
+		t.Fatal("no refill-latency samples")
+	}
+	if res.StreamLens.Mean() <= 0 {
+		t.Fatal("degenerate stream lengths")
+	}
+}
+
+func TestStreamLengthsLongerOnCrypto(t *testing.T) {
+	// The paper's core observation (§III-A): small kernels sustain long
+	// µ-op hit streams; flat datacenter code does not.
+	c := run(t, Baseline(), "crypto02", 150_000, 200_000)
+	s := run(t, Baseline(), "srv206", 150_000, 200_000)
+	if c.StreamLens.Mean() <= s.StreamLens.Mean() {
+		t.Fatalf("crypto stream mean %.1f not above srv %.1f",
+			c.StreamLens.Mean(), s.StreamLens.Mean())
+	}
+	t.Logf("stream length mean: crypto02=%.1f srv206=%.1f",
+		c.StreamLens.Mean(), s.StreamLens.Mean())
+}
+
+func TestUCPShortensRefills(t *testing.T) {
+	// The mechanism itself: UCP must reduce the mean mispredict-to-
+	// first-µ-op refill latency on a trace where it helps.
+	base := run(t, Baseline(), "srv205", 600_000, 500_000)
+	u := run(t, WithUCP(core.DefaultConfig()), "srv205", 600_000, 500_000)
+	if u.RefillLat.Mean() >= base.RefillLat.Mean() {
+		t.Fatalf("UCP refill mean %.2f not below baseline %.2f",
+			u.RefillLat.Mean(), base.RefillLat.Mean())
+	}
+	t.Logf("refill latency mean: base=%.2f ucp=%.2f", base.RefillLat.Mean(), u.RefillLat.Mean())
+}
+
+func TestWrongPathFetchConfig(t *testing.T) {
+	cfg := Baseline()
+	cfg.Name = "wrongpath"
+	cfg.Frontend.WrongPathFetch = true
+	res := run(t, cfg, "srv203", 150_000, 150_000)
+	if res.FE.WrongPathInsts == 0 {
+		t.Fatal("wrong-path fetch enabled but never walked")
+	}
+	if res.IPC <= 0 {
+		t.Fatal("wrong-path run produced no progress")
+	}
+}
+
+func TestMRCBeatsNothingOnRefillHeavyTrace(t *testing.T) {
+	// The MRC accelerates refills: on a mispredict-heavy trace it should
+	// not lose to the baseline (paper: +0.3-0.7% at large sizes).
+	base := run(t, Baseline(), "srv209", 500_000, 400_000)
+	cfg := Baseline()
+	cfg.Name = "mrc132"
+	m := prefetch.MRCConfigKB(132)
+	cfg.MRC = &m
+	res := run(t, cfg, "srv209", 500_000, 400_000)
+	if res.IPC < base.IPC*0.995 {
+		t.Fatalf("132KB MRC IPC %.4f clearly below baseline %.4f", res.IPC, base.IPC)
+	}
+	t.Logf("srv209: base=%.4f mrc=%.4f (%+.2f%%)", base.IPC, res.IPC, 100*(res.IPC/base.IPC-1))
+}
+
+func TestBlockBTBEndToEnd(t *testing.T) {
+	// The block-based BTB must sustain the full machine, with UCP, at
+	// comparable quality to the instruction BTB (§IV-C: UCP is agnostic
+	// of the BTB organization).
+	inst := run(t, WithUCP(core.DefaultConfig()), "srv201", 300_000, 300_000)
+	cfg := WithUCP(core.DefaultConfig())
+	cfg.Name = "UCP-blockbtb"
+	bb := btb.DefaultBlockConfig()
+	cfg.BlockBTB = &bb
+	blk := run(t, cfg, "srv201", 300_000, 300_000)
+	if blk.UCP.Triggers == 0 || blk.UCP.FillsInserted == 0 {
+		t.Fatal("UCP inert over the block BTB")
+	}
+	if blk.IPC < inst.IPC*0.9 {
+		t.Fatalf("block BTB IPC %.4f way below instruction BTB %.4f", blk.IPC, inst.IPC)
+	}
+	t.Logf("srv201 UCP: instBTB=%.4f blockBTB=%.4f", inst.IPC, blk.IPC)
+}
+
+func TestObservingSourceReset(t *testing.T) {
+	prof, _ := trace.ProfileByName("crypto01")
+	prog, _ := trace.BuildProgram(prof)
+	lc := NewLearnedCode()
+	src := &observingSource{src: trace.NewLimit(trace.NewWalker(prog), 100), code: lc}
+	n := 0
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("observed %d", n)
+	}
+	if lc.Known() == 0 {
+		t.Fatal("nothing learned")
+	}
+	src.Reset()
+	if _, ok := src.Next(); !ok {
+		t.Fatal("reset source empty")
+	}
+}
+
+func TestResultCarriesConfigName(t *testing.T) {
+	cfg := Baseline()
+	cfg.Name = "custom-label"
+	res := run(t, cfg, "crypto01", 60_000, 60_000)
+	if res.Name != "custom-label" || res.Trace != "crypto01" {
+		t.Fatalf("labels %q/%q", res.Name, res.Trace)
+	}
+}
+
+func TestTraceEndsDuringWarmupErrors(t *testing.T) {
+	prof, _ := trace.ProfileByName("crypto01")
+	prog, _ := trace.BuildProgram(prof)
+	cfg := Baseline()
+	cfg.WarmupInsts, cfg.MeasureInsts = 1_000_000, 1_000_000
+	src := trace.NewLimit(trace.NewWalker(prog), 10_000) // far too short
+	if _, err := Run(cfg, src, prog, "short"); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}

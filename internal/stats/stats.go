@@ -1,0 +1,184 @@
+// Package stats provides the small statistics toolkit the simulator's
+// analyses are built on: log-bucketed histograms (stream lengths, refill
+// latencies), streaming means, and aggregate helpers. The paper reasons
+// about distributions — e.g. "the µ-op cache is only beneficial for
+// applications that exhibit long enough streams of consecutive hits"
+// (§III-A) — so the harness reports them, not just means.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a power-of-two bucketed histogram of non-negative
+// samples: bucket i counts samples in [2^i, 2^(i+1)) with bucket 0
+// holding zeros and ones.
+type Histogram struct {
+	name    string
+	buckets [40]uint64
+	count   uint64
+	sum     float64
+	min     uint64
+	max     uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram(name string) *Histogram {
+	return &Histogram{name: name, min: math.MaxUint64}
+}
+
+func bucketOf(v uint64) int {
+	b := 0
+	for v > 1 {
+		v >>= 1
+		b++
+	}
+	if b >= 40 {
+		b = 39
+	}
+	return b
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	h.buckets[bucketOf(v)]++
+	h.count++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min and Max return the observed extremes (0 when empty).
+func (h *Histogram) Min() uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observed sample.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Percentile returns an upper bound on the p-th percentile (p in
+// [0,100]) at bucket resolution.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var acc uint64
+	for i, c := range h.buckets {
+		acc += c
+		if acc >= target {
+			if i == 0 {
+				return 1
+			}
+			return 1<<uint(i+1) - 1 // inclusive bucket upper bound
+		}
+	}
+	return h.max
+}
+
+// String renders a compact one-line summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("%s: n=%d mean=%.1f p50≤%d p90≤%d p99≤%d max=%d",
+		h.name, h.count, h.Mean(), h.Percentile(50), h.Percentile(90),
+		h.Percentile(99), h.Max())
+}
+
+// Render draws an ASCII bar chart of the non-empty buckets.
+func (h *Histogram) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (n=%d, mean=%.1f)\n", h.name, h.count, h.Mean())
+	var peak uint64
+	last := 0
+	for i, c := range h.buckets {
+		if c > peak {
+			peak = c
+		}
+		if c > 0 {
+			last = i
+		}
+	}
+	if peak == 0 {
+		return sb.String()
+	}
+	for i := 0; i <= last; i++ {
+		lo := uint64(0)
+		if i > 0 {
+			lo = 1 << uint(i)
+		}
+		hi := uint64(1)<<uint(i+1) - 1
+		bar := int(40 * h.buckets[i] / peak)
+		fmt.Fprintf(&sb, "%10d-%-10d |%-40s %d\n", lo, hi, strings.Repeat("#", bar), h.buckets[i])
+	}
+	return sb.String()
+}
+
+// Merge adds other's samples into h (bucket-wise; min/max/mean exact).
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.count > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// Geomean computes the geometric mean of ratios (b[i]/a[i]) minus one,
+// as a percentage — the speedup aggregation the paper uses (§V).
+func Geomean(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: mismatched lengths %d vs %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, nil
+	}
+	sum := 0.0
+	for i := range a {
+		if a[i] <= 0 || b[i] <= 0 {
+			return 0, fmt.Errorf("stats: non-positive sample at %d", i)
+		}
+		sum += math.Log(b[i] / a[i])
+	}
+	return (math.Exp(sum/float64(len(a))) - 1) * 100, nil
+}
+
+// Amean is the arithmetic mean (0 when empty).
+func Amean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram("x")
+	for _, v := range []uint64{0, 1, 2, 3, 8, 100} {
+		h.Add(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 100 {
+		t.Fatalf("min/max %d/%d", h.Min(), h.Max())
+	}
+	if m := h.Mean(); math.Abs(m-19.0) > 0.01 {
+		t.Fatalf("mean %v", m)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram("empty")
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	if !strings.Contains(h.Render(), "empty") {
+		t.Fatal("render must include the name")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	if err := quick.Check(func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram("q")
+		for _, v := range vals {
+			h.Add(uint64(v))
+		}
+		last := uint64(0)
+		for _, p := range []float64{10, 25, 50, 75, 90, 99, 100} {
+			q := h.Percentile(p)
+			if q < last {
+				return false
+			}
+			last = q
+		}
+		// p100 bound must cover the max.
+		return h.Percentile(100) >= h.Max() || h.Percentile(100) >= 1<<15
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	h := NewHistogram("p")
+	for i := uint64(1); i <= 1000; i++ {
+		h.Add(i)
+	}
+	// p50 of uniform 1..1000 is ~500; the bucket bound gives ≤1023.
+	if q := h.Percentile(50); q < 256 || q > 1024 {
+		t.Fatalf("p50 bound %d", q)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewHistogram("a"), NewHistogram("b")
+	a.Add(1)
+	a.Add(100)
+	b.Add(50)
+	a.Merge(b)
+	if a.Count() != 3 || a.Max() != 100 || a.Min() != 1 {
+		t.Fatalf("merged %s", a)
+	}
+	if math.Abs(a.Mean()-(151.0/3)) > 0.01 {
+		t.Fatalf("merged mean %v", a.Mean())
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	g, err := Geomean([]float64{1, 2}, []float64{1.1, 2.2})
+	if err != nil || math.Abs(g-10) > 0.001 {
+		t.Fatalf("geomean %v err %v", g, err)
+	}
+	if _, err := Geomean([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Geomean([]float64{0}, []float64{1}); err == nil {
+		t.Fatal("zero sample accepted")
+	}
+	if g, err := Geomean(nil, nil); err != nil || g != 0 {
+		t.Fatal("empty geomean")
+	}
+}
+
+func TestAmean(t *testing.T) {
+	if Amean(nil) != 0 {
+		t.Fatal("empty amean")
+	}
+	if Amean([]float64{1, 3}) != 2 {
+		t.Fatal("amean math")
+	}
+}
+
+func TestRender(t *testing.T) {
+	h := NewHistogram("streams")
+	for i := 0; i < 100; i++ {
+		h.Add(uint64(i % 16))
+	}
+	out := h.Render()
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no bars:\n%s", out)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 1 << 20: 20}
+	for v, want := range cases {
+		if got := bucketOf(v); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if got := bucketOf(math.MaxUint64); got != 39 {
+		t.Errorf("bucketOf(max) = %d", got)
+	}
+}

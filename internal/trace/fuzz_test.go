@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"ucp/internal/isa"
+)
+
+// FuzzReadAny hardens the trace parsers against arbitrary input: they
+// must never panic, and anything they accept from a round-trip seed must
+// stay semantically intact.
+func FuzzReadAny(f *testing.F) {
+	prog, err := BuildProgram(QuickProfiles()[0])
+	if err != nil {
+		f.Fatal(err)
+	}
+	insts := Collect(NewWalker(prog), 200)
+	var v1, v2 bytes.Buffer
+	if err := Write(&v1, insts); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteCompact(&v2, insts); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	f.Add(v2.Bytes())
+	f.Add([]byte("UCPT"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadAny(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Whatever parses must be re-serializable.
+		var buf bytes.Buffer
+		if err := WriteCompact(&buf, got); err != nil {
+			t.Fatalf("accepted trace failed to re-serialize: %v", err)
+		}
+	})
+}
+
+// FuzzValidate ensures the consistency checker never panics on
+// adversarial instruction slices.
+func FuzzValidate(f *testing.F) {
+	f.Add(uint64(0x1000), uint8(5), true, uint64(0x2000))
+	f.Fuzz(func(t *testing.T, pc uint64, class uint8, taken bool, target uint64) {
+		insts := []isa.Inst{
+			{PC: pc, Class: isa.Class(class % uint8(isa.NumClasses)), Taken: taken, Target: target},
+			{PC: pc + 4, Class: isa.ALU},
+		}
+		_ = Validate(insts) // must not panic
+	})
+}

@@ -1,0 +1,206 @@
+package trace
+
+// DefaultProfiles returns the standard workload set used by the
+// experiment harness. It mirrors the composition of the paper's CVP-1
+// subset (2 FP, 97 INT, 73 crypto, 134 datacenter traces) at laptop
+// scale: a few representatives per category, spanning the same
+// qualitative range of code footprint (≪µ-op cache reach up to ~1 MB),
+// branch predictability, and data working-set size.
+//
+// Category intent:
+//   - crypto: small, loopy, highly predictable kernels. µ-op cache hit
+//     rates near 99%, low MPKI — the paper's right-hand tail in Fig. 3.
+//   - fp/int: moderate footprints, mixed difficulty.
+//   - srv (datacenter): large flat code footprints that over-subscribe
+//     the µ-op cache, with a meaningful H2P branch population — the
+//     traces where UCP pays off.
+func DefaultProfiles() []Profile {
+	return []Profile{
+		{
+			Name: "crypto01", Seed: 11, Funcs: 16, AvgFuncInsts: 140,
+			FlatFrac: 0.05, CondPatternFrac: 0.04, CondHistoryFrac: 0.1,
+			CondRandomFrac: 0.008, RandomTakenP: 0.2,
+			HistMaskBitsMin: 1, HistMaskBitsMax: 2,
+			LoopTripMean: 14, FixedTripFrac: 0.9,
+			IndirectFrac: 0.02, IndHistFrac: 0.8,
+			DataWSS: 64 << 10, StreamFrac: 0.6, LoadFrac: 0.24, StoreFrac: 0.10,
+		},
+		{
+			Name: "crypto02", Seed: 12, Funcs: 24, AvgFuncInsts: 140,
+			FlatFrac: 0.05, CondPatternFrac: 0.04, CondHistoryFrac: 0.1,
+			CondRandomFrac: 0.012, RandomTakenP: 0.2,
+			HistMaskBitsMin: 1, HistMaskBitsMax: 2,
+			LoopTripMean: 10, FixedTripFrac: 0.9,
+			IndirectFrac: 0.02, IndHistFrac: 0.8,
+			DataWSS: 128 << 10, StreamFrac: 0.7, LoadFrac: 0.22, StoreFrac: 0.12,
+		},
+		{
+			Name: "crypto03", Seed: 13, Funcs: 12, AvgFuncInsts: 130,
+			FlatFrac: 0.02, CondPatternFrac: 0.03, CondHistoryFrac: 0.1,
+			CondRandomFrac: 0.006, RandomTakenP: 0.2,
+			HistMaskBitsMin: 1, HistMaskBitsMax: 2,
+			LoopTripMean: 20, FixedTripFrac: 0.85,
+			IndirectFrac: 0.01, IndHistFrac: 0.9,
+			DataWSS: 32 << 10, StreamFrac: 0.75, LoadFrac: 0.26, StoreFrac: 0.08,
+		},
+		{
+			Name: "fp01", Seed: 21, Funcs: 48, AvgFuncInsts: 140,
+			FlatFrac: 0.1, CondPatternFrac: 0.05, CondHistoryFrac: 0.1,
+			CondRandomFrac: 0.015, RandomTakenP: 0.2,
+			HistMaskBitsMin: 1, HistMaskBitsMax: 2,
+			LoopTripMean: 24, FixedTripFrac: 0.75,
+			IndirectFrac: 0.03, IndHistFrac: 0.6,
+			DataWSS: 4 << 20, StreamFrac: 0.8, LoadFrac: 0.28, StoreFrac: 0.12,
+		},
+		{
+			Name: "fp02", Seed: 22, Funcs: 64, AvgFuncInsts: 140,
+			FlatFrac: 0.15, CondPatternFrac: 0.05, CondHistoryFrac: 0.1,
+			CondRandomFrac: 0.02, RandomTakenP: 0.22,
+			HistMaskBitsMin: 1, HistMaskBitsMax: 2,
+			LoopTripMean: 16, FixedTripFrac: 0.7,
+			IndirectFrac: 0.04, IndHistFrac: 0.5,
+			DataWSS: 8 << 20, StreamFrac: 0.7, LoadFrac: 0.26, StoreFrac: 0.14,
+		},
+		{
+			Name: "int01", Seed: 31, Funcs: 80, AvgFuncInsts: 150,
+			FlatFrac: 0.25, CondPatternFrac: 0.015, CondHistoryFrac: 0.12,
+			CondRandomFrac: 0.02, RandomTakenP: 0.22,
+			HistMaskBitsMin: 1, HistMaskBitsMax: 2,
+			LoopTripMean: 8, FixedTripFrac: 0.65,
+			IndirectFrac: 0.06, IndHistFrac: 0.5,
+			DataWSS: 1 << 20, StreamFrac: 0.4, LoadFrac: 0.25, StoreFrac: 0.11,
+		},
+		{
+			Name: "int02", Seed: 32, Funcs: 128, AvgFuncInsts: 150,
+			FlatFrac: 0.3, CondPatternFrac: 0.015, CondHistoryFrac: 0.12,
+			CondRandomFrac: 0.025, RandomTakenP: 0.25,
+			HistMaskBitsMin: 1, HistMaskBitsMax: 2,
+			LoopTripMean: 8, FixedTripFrac: 0.65,
+			IndirectFrac: 0.07, IndHistFrac: 0.45,
+			DataWSS: 2 << 20, StreamFrac: 0.35, LoadFrac: 0.24, StoreFrac: 0.12,
+		},
+		{
+			Name: "int03", Seed: 33, Funcs: 170, AvgFuncInsts: 150,
+			FlatFrac: 0.35, CondPatternFrac: 0.015, CondHistoryFrac: 0.12,
+			CondRandomFrac: 0.03, RandomTakenP: 0.28,
+			HistMaskBitsMin: 1, HistMaskBitsMax: 2,
+			LoopTripMean: 7, FixedTripFrac: 0.65,
+			IndirectFrac: 0.08, IndHistFrac: 0.4,
+			DataWSS: 2 << 20, StreamFrac: 0.3, LoadFrac: 0.23, StoreFrac: 0.12,
+		},
+		{
+			Name: "int04", Seed: 34, Funcs: 210, AvgFuncInsts: 155,
+			FlatFrac: 0.4, CondPatternFrac: 0.015, CondHistoryFrac: 0.12,
+			CondRandomFrac: 0.035, RandomTakenP: 0.28,
+			HistMaskBitsMin: 1, HistMaskBitsMax: 3,
+			LoopTripMean: 7, FixedTripFrac: 0.6,
+			IndirectFrac: 0.08, IndHistFrac: 0.4,
+			DataWSS: 4 << 20, StreamFrac: 0.3, LoadFrac: 0.24, StoreFrac: 0.12,
+		},
+		{
+			Name: "srv201", Seed: 41, Funcs: 300, AvgFuncInsts: 150,
+			FlatFrac: 0.5, CondPatternFrac: 0.015, CondHistoryFrac: 0.12,
+			CondRandomFrac: 0.025, RandomTakenP: 0.25,
+			HistMaskBitsMin: 1, HistMaskBitsMax: 2,
+			LoopTripMean: 8, FixedTripFrac: 0.65,
+			IndirectFrac: 0.1, IndHistFrac: 0.45,
+			DataWSS: 4 << 20, StreamFrac: 0.25, LoadFrac: 0.25, StoreFrac: 0.12,
+		},
+		{
+			Name: "srv202", Seed: 42, Funcs: 380, AvgFuncInsts: 150,
+			FlatFrac: 0.6, CondPatternFrac: 0.015, CondHistoryFrac: 0.12,
+			CondRandomFrac: 0.03, RandomTakenP: 0.26,
+			HistMaskBitsMin: 1, HistMaskBitsMax: 3,
+			LoopTripMean: 7, FixedTripFrac: 0.6,
+			IndirectFrac: 0.1, IndHistFrac: 0.4,
+			DataWSS: 6 << 20, StreamFrac: 0.25, LoadFrac: 0.24, StoreFrac: 0.12,
+		},
+		{
+			Name: "srv203", Seed: 43, Funcs: 450, AvgFuncInsts: 150,
+			FlatFrac: 0.65, CondPatternFrac: 0.015, CondHistoryFrac: 0.14,
+			CondRandomFrac: 0.03, RandomTakenP: 0.25,
+			HistMaskBitsMin: 1, HistMaskBitsMax: 2,
+			LoopTripMean: 7, FixedTripFrac: 0.65,
+			IndirectFrac: 0.12, IndHistFrac: 0.5,
+			DataWSS: 8 << 20, StreamFrac: 0.3, LoadFrac: 0.25, StoreFrac: 0.11,
+		},
+		{
+			Name: "srv204", Seed: 44, Funcs: 520, AvgFuncInsts: 150,
+			FlatFrac: 0.7, CondPatternFrac: 0.015, CondHistoryFrac: 0.12,
+			CondRandomFrac: 0.04, RandomTakenP: 0.28,
+			HistMaskBitsMin: 1, HistMaskBitsMax: 3,
+			LoopTripMean: 7, FixedTripFrac: 0.6,
+			IndirectFrac: 0.12, IndHistFrac: 0.35,
+			DataWSS: 8 << 20, StreamFrac: 0.25, LoadFrac: 0.24, StoreFrac: 0.12,
+		},
+		{
+			Name: "srv205", Seed: 45, Funcs: 600, AvgFuncInsts: 150,
+			FlatFrac: 0.75, CondPatternFrac: 0.015, CondHistoryFrac: 0.12,
+			CondRandomFrac: 0.045, RandomTakenP: 0.3,
+			HistMaskBitsMin: 1, HistMaskBitsMax: 3,
+			LoopTripMean: 6, FixedTripFrac: 0.6,
+			IndirectFrac: 0.14, IndHistFrac: 0.35,
+			DataWSS: 12 << 20, StreamFrac: 0.2, LoadFrac: 0.25, StoreFrac: 0.12,
+		},
+		{
+			Name: "srv206", Seed: 46, Funcs: 700, AvgFuncInsts: 150,
+			FlatFrac: 0.8, CondPatternFrac: 0.015, CondHistoryFrac: 0.1,
+			CondRandomFrac: 0.05, RandomTakenP: 0.32,
+			HistMaskBitsMin: 1, HistMaskBitsMax: 3,
+			LoopTripMean: 6, FixedTripFrac: 0.55,
+			IndirectFrac: 0.14, IndHistFrac: 0.3,
+			DataWSS: 12 << 20, StreamFrac: 0.2, LoadFrac: 0.24, StoreFrac: 0.12,
+		},
+		{
+			Name: "srv207", Seed: 47, Funcs: 800, AvgFuncInsts: 150,
+			FlatFrac: 0.85, CondPatternFrac: 0.015, CondHistoryFrac: 0.1,
+			CondRandomFrac: 0.055, RandomTakenP: 0.32,
+			HistMaskBitsMin: 1, HistMaskBitsMax: 3,
+			LoopTripMean: 6, FixedTripFrac: 0.55,
+			IndirectFrac: 0.16, IndHistFrac: 0.3,
+			DataWSS: 16 << 20, StreamFrac: 0.18, LoadFrac: 0.25, StoreFrac: 0.12,
+		},
+		{
+			Name: "srv208", Seed: 48, Funcs: 900, AvgFuncInsts: 150,
+			FlatFrac: 0.9, CondPatternFrac: 0.015, CondHistoryFrac: 0.1,
+			CondRandomFrac: 0.06, RandomTakenP: 0.35,
+			HistMaskBitsMin: 2, HistMaskBitsMax: 3,
+			LoopTripMean: 6, FixedTripFrac: 0.55,
+			IndirectFrac: 0.16, IndHistFrac: 0.25,
+			DataWSS: 16 << 20, StreamFrac: 0.15, LoadFrac: 0.24, StoreFrac: 0.12,
+		},
+		{
+			Name: "srv209", Seed: 49, Funcs: 500, AvgFuncInsts: 150,
+			FlatFrac: 0.55, CondPatternFrac: 0.015, CondHistoryFrac: 0.1,
+			CondRandomFrac: 0.07, RandomTakenP: 0.4,
+			HistMaskBitsMin: 1, HistMaskBitsMax: 3,
+			LoopTripMean: 6, FixedTripFrac: 0.55,
+			IndirectFrac: 0.1, IndHistFrac: 0.3,
+			DataWSS: 8 << 20, StreamFrac: 0.2, LoadFrac: 0.25, StoreFrac: 0.12,
+		},
+	}
+}
+
+// ProfileByName returns the default profile with the given name, or
+// ok=false if it does not exist.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range DefaultProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// QuickProfiles returns a reduced trace set for fast tests and benches:
+// one representative per category.
+func QuickProfiles() []Profile {
+	want := map[string]bool{"crypto02": true, "int02": true, "srv203": true, "srv206": true}
+	var out []Profile
+	for _, p := range DefaultProfiles() {
+		if want[p.Name] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

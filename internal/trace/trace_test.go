@@ -1,0 +1,397 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"ucp/internal/isa"
+)
+
+func TestSliceSource(t *testing.T) {
+	insts := []isa.Inst{{PC: 4}, {PC: 8}, {PC: 12}}
+	s := NewSliceSource(insts)
+	for i := 0; i < 2; i++ { // two passes, with a Reset in between
+		for j, want := range insts {
+			in, ok := s.Next()
+			if !ok || in.PC != want.PC {
+				t.Fatalf("pass %d inst %d: got %#x ok=%v", i, j, in.PC, ok)
+			}
+		}
+		if _, ok := s.Next(); ok {
+			t.Fatal("expected end of stream")
+		}
+		s.Reset()
+	}
+}
+
+func TestLimit(t *testing.T) {
+	prog := mustProgram(t, QuickProfiles()[0])
+	src := NewLimit(NewWalker(prog), 100)
+	n := 0
+	for {
+		_, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("Limit yielded %d, want 100", n)
+	}
+	src.Reset()
+	if _, ok := src.Next(); !ok {
+		t.Fatal("Reset did not rewind Limit")
+	}
+}
+
+func mustProgram(t *testing.T, p Profile) *Program {
+	t.Helper()
+	prog, err := BuildProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestBuildProgramRejectsBadProfile(t *testing.T) {
+	if _, err := BuildProgram(Profile{Name: "bad"}); err == nil {
+		t.Fatal("expected error for empty profile")
+	}
+}
+
+func TestWalkerControlFlowConsistency(t *testing.T) {
+	for _, p := range DefaultProfiles() {
+		prog := mustProgram(t, p)
+		insts := Collect(NewWalker(prog), 50000)
+		if len(insts) != 50000 {
+			t.Fatalf("%s: walker ended early (%d)", p.Name, len(insts))
+		}
+		if err := Validate(insts); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestWalkerDeterminism(t *testing.T) {
+	p := QuickProfiles()[1]
+	prog := mustProgram(t, p)
+	a := Collect(NewWalker(prog), 20000)
+	b := Collect(NewWalker(prog), 20000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("walkers diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Reset must reproduce the stream exactly.
+	w := NewWalker(prog)
+	_ = Collect(w, 5000)
+	w.Reset()
+	c := Collect(w, 20000)
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("Reset stream diverged at %d", i)
+		}
+	}
+}
+
+func TestWalkerPCsWithinImage(t *testing.T) {
+	prog := mustProgram(t, QuickProfiles()[0])
+	limit := CodeBase + uint64(len(prog.Code))*isa.InstBytes
+	w := NewWalker(prog)
+	for i := 0; i < 30000; i++ {
+		in, _ := w.Next()
+		if in.PC < CodeBase || in.PC >= limit {
+			t.Fatalf("inst %d PC %#x outside image [%#x,%#x)", i, in.PC, CodeBase, limit)
+		}
+	}
+}
+
+func TestFootprintMatchesProfile(t *testing.T) {
+	for _, p := range DefaultProfiles() {
+		prog := mustProgram(t, p)
+		got := uint64(len(prog.Code)) * isa.InstBytes
+		want := p.FootprintBytes()
+		// The builder targets the profile footprint within a loose band;
+		// construct granularity makes it overshoot somewhat.
+		if got < want/2 || got > want*3 {
+			t.Errorf("%s: footprint %d bytes, profile target %d", p.Name, got, want)
+		}
+	}
+}
+
+func TestBranchMixSane(t *testing.T) {
+	for _, p := range DefaultProfiles() {
+		prog := mustProgram(t, p)
+		insts := Collect(NewWalker(prog), 100000)
+		var branches, cond, calls, rets int
+		for i := range insts {
+			c := insts[i].Class
+			if c.IsBranch() {
+				branches++
+			}
+			if c.IsConditional() {
+				cond++
+			}
+			if c.IsCall() {
+				calls++
+			}
+			if c == isa.Return {
+				rets++
+			}
+		}
+		bf := float64(branches) / float64(len(insts))
+		if bf < 0.05 || bf > 0.40 {
+			t.Errorf("%s: branch fraction %.3f outside [0.05,0.40]", p.Name, bf)
+		}
+		if cond == 0 || calls == 0 || rets == 0 {
+			t.Errorf("%s: missing branch classes cond=%d calls=%d rets=%d", p.Name, cond, calls, rets)
+		}
+		// Calls and returns must roughly balance on a long run.
+		if diff := calls - rets; diff < -50 || diff > 50 {
+			t.Errorf("%s: call/return imbalance %d", p.Name, diff)
+		}
+	}
+}
+
+func TestH2PBranchesExist(t *testing.T) {
+	// A datacenter profile must contain conditional branches that flip
+	// directions frequently (the H2P population UCP targets).
+	prog := mustProgram(t, QuickProfiles()[3]) // srv206
+	insts := Collect(NewWalker(prog), 200000)
+	taken := map[uint64][2]int{}
+	for i := range insts {
+		if insts[i].Class.IsConditional() {
+			c := taken[insts[i].PC]
+			if insts[i].Taken {
+				c[1]++
+			} else {
+				c[0]++
+			}
+			taken[insts[i].PC] = c
+		}
+	}
+	noisy := 0
+	for _, c := range taken {
+		tot := c[0] + c[1]
+		if tot < 30 {
+			continue
+		}
+		r := float64(c[1]) / float64(tot)
+		if r > 0.2 && r < 0.8 {
+			noisy++
+		}
+	}
+	if noisy < 5 {
+		t.Fatalf("only %d noisy conditional branch sites; H2P population too small", noisy)
+	}
+}
+
+func TestMemAddressesWithinWSS(t *testing.T) {
+	p := QuickProfiles()[0]
+	prog := mustProgram(t, p)
+	w := NewWalker(prog)
+	for i := 0; i < 50000; i++ {
+		in, _ := w.Next()
+		if in.Class != isa.Load && in.Class != isa.Store {
+			continue
+		}
+		heap := in.MemAddr >= 1<<32 && in.MemAddr < (1<<32)+p.DataWSS+64*1024
+		stack := in.MemAddr >= stackBase
+		if !heap && !stack {
+			t.Fatalf("mem address %#x outside heap/stack windows", in.MemAddr)
+		}
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	prog := mustProgram(t, QuickProfiles()[0])
+	insts := Collect(NewWalker(prog), 5000)
+	var buf bytes.Buffer
+	if err := Write(&buf, insts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(insts) {
+		t.Fatalf("round trip length %d != %d", len(got), len(insts))
+	}
+	for i := range insts {
+		if got[i] != insts[i] {
+			t.Fatalf("round trip mismatch at %d: %+v vs %+v", i, got[i], insts[i])
+		}
+	}
+}
+
+func TestReadRejectsCorruptHeader(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE00000000"))); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	var buf bytes.Buffer
+	_ = Write(&buf, []isa.Inst{{PC: 4}})
+	b := buf.Bytes()
+	if _, err := Read(bytes.NewReader(b[:len(b)-3])); err == nil {
+		t.Fatal("expected error for truncated record")
+	}
+}
+
+func TestValidateCatchesBrokenChain(t *testing.T) {
+	good := []isa.Inst{
+		{PC: 0x1000, Class: isa.ALU},
+		{PC: 0x1004, Class: isa.CondBranch, Taken: true, Target: 0x2000},
+		{PC: 0x2000, Class: isa.ALU},
+	}
+	if err := Validate(good); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+	bad := []isa.Inst{
+		{PC: 0x1000, Class: isa.ALU},
+		{PC: 0x2000, Class: isa.ALU},
+	}
+	if err := Validate(bad); err == nil {
+		t.Fatal("broken chain accepted")
+	}
+	misaligned := []isa.Inst{{PC: 0x1001, Class: isa.ALU}}
+	if err := Validate(misaligned); err == nil {
+		t.Fatal("misaligned PC accepted")
+	}
+	notTakenJump := []isa.Inst{{PC: 0x1000, Class: isa.DirectJump, Taken: false}}
+	if err := Validate(notTakenJump); err == nil {
+		t.Fatal("not-taken unconditional accepted")
+	}
+}
+
+func TestValidateProperty(t *testing.T) {
+	// Any prefix of a generated stream must validate.
+	prog := mustProgram(t, QuickProfiles()[2])
+	insts := Collect(NewWalker(prog), 30000)
+	if err := quick.Check(func(a, b uint16) bool {
+		lo, hi := int(a)%len(insts), int(b)%len(insts)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return Validate(insts[lo:hi]) == nil
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	if _, ok := ProfileByName("srv203"); !ok {
+		t.Fatal("srv203 must exist")
+	}
+	if _, ok := ProfileByName("nonexistent"); ok {
+		t.Fatal("nonexistent profile found")
+	}
+}
+
+func TestQuickProfiles(t *testing.T) {
+	qs := QuickProfiles()
+	if len(qs) != 4 {
+		t.Fatalf("QuickProfiles returned %d, want 4", len(qs))
+	}
+}
+
+func BenchmarkWalker(b *testing.B) {
+	prog, err := BuildProgram(QuickProfiles()[2])
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := NewWalker(prog)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Next()
+	}
+}
+
+// semanticallyEqual compares instructions ignoring the target of
+// not-taken branches (not serialized by the compact format; never
+// consumed by the simulator).
+func semanticallyEqual(a, b isa.Inst) bool {
+	if !a.Taken {
+		a.Target, b.Target = 0, 0
+	}
+	return a == b
+}
+
+func TestCompactRoundTrip(t *testing.T) {
+	for _, p := range QuickProfiles() {
+		prog := mustProgram(t, p)
+		insts := Collect(NewWalker(prog), 20000)
+		var buf bytes.Buffer
+		if err := WriteCompact(&buf, insts); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if len(got) != len(insts) {
+			t.Fatalf("%s: length %d != %d", p.Name, len(got), len(insts))
+		}
+		for i := range insts {
+			if !semanticallyEqual(got[i], insts[i]) {
+				t.Fatalf("%s: record %d: %+v vs %+v", p.Name, i, got[i], insts[i])
+			}
+		}
+	}
+}
+
+func TestCompactSmallerThanV1(t *testing.T) {
+	prog := mustProgram(t, QuickProfiles()[2])
+	insts := Collect(NewWalker(prog), 50000)
+	var v1, v2 bytes.Buffer
+	if err := Write(&v1, insts); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCompact(&v2, insts); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(v2.Len()) / float64(v1.Len())
+	if ratio > 0.4 {
+		t.Fatalf("compact format only %.2fx of v1 (%d vs %d bytes)", ratio, v2.Len(), v1.Len())
+	}
+	t.Logf("compact: %.1f%% of v1 (%.1f bytes/inst)", ratio*100, float64(v2.Len())/float64(len(insts)))
+}
+
+func TestCompactRejectsCorruption(t *testing.T) {
+	prog := mustProgram(t, QuickProfiles()[0])
+	insts := Collect(NewWalker(prog), 100)
+	var buf bytes.Buffer
+	if err := WriteCompact(&buf, insts); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := Read(bytes.NewReader(b[:len(b)-2])); err == nil {
+		t.Fatal("truncated compact trace accepted")
+	}
+	// Unsupported version.
+	bad := append([]byte(nil), b...)
+	bad[4] = 99
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestBothFormatsReadable(t *testing.T) {
+	prog := mustProgram(t, QuickProfiles()[0])
+	insts := Collect(NewWalker(prog), 500)
+	var v1, v2 bytes.Buffer
+	_ = Write(&v1, insts)
+	_ = WriteCompact(&v2, insts)
+	a, err := Read(&v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Read(&v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !semanticallyEqual(a[i], b[i]) {
+			t.Fatalf("formats disagree at %d", i)
+		}
+	}
+}

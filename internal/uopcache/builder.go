@@ -1,0 +1,65 @@
+package uopcache
+
+import "ucp/internal/isa"
+
+// Builder accumulates a decoded µ-op stream into µ-op cache entries,
+// applying the termination rules of §II/§III-A. It is used by both the
+// demand-side build mode and UCP's alternate decode fill path.
+type Builder struct {
+	cache      *UopCache
+	prefetched bool
+
+	open     bool
+	startPC  uint64
+	nextPC   uint64
+	ops      uint8
+	branches uint8
+}
+
+// NewBuilder returns a builder inserting into cache; prefetched marks
+// the produced entries as UCP fills.
+func NewBuilder(cache *UopCache, prefetched bool) *Builder {
+	return &Builder{cache: cache, prefetched: prefetched}
+}
+
+// Add appends one decoded instruction. predTaken is the direction the
+// frontend predicts/observes for branches (false for non-branches): a
+// predicted-taken branch terminates the entry.
+func (b *Builder) Add(pc uint64, class isa.Class, predTaken bool) {
+	if b.open {
+		sameRegion := RegionOf(pc) == RegionOf(b.startPC)
+		sequential := pc == b.nextPC
+		if !sameRegion || !sequential || b.ops >= uint8(b.cache.cfg.OpsPerEntry) {
+			b.Flush(false)
+		} else if class.IsBranch() && int(b.branches) >= b.cache.cfg.MaxBranches {
+			// A third branch target does not fit: close this entry and
+			// start another one covering the same region (§III-A).
+			b.Flush(false)
+		}
+	}
+	if !b.open {
+		b.open = true
+		b.startPC = pc
+		b.ops, b.branches = 0, 0
+	}
+	b.ops++
+	b.nextPC = pc + isa.InstBytes
+	if class.IsBranch() {
+		b.branches++
+	}
+	if class.IsBranch() && predTaken {
+		b.Flush(true)
+	} else if b.ops >= uint8(b.cache.cfg.OpsPerEntry) {
+		b.Flush(false)
+	}
+}
+
+// Flush closes the open entry (if any) and inserts it.
+func (b *Builder) Flush(endsTaken bool) {
+	if !b.open || b.ops == 0 {
+		b.open = false
+		return
+	}
+	b.cache.Insert(b.startPC, b.ops, b.branches, endsTaken, b.prefetched)
+	b.open = false
+}

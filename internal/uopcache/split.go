@@ -1,0 +1,68 @@
+package uopcache
+
+import "ucp/internal/isa"
+
+// InstMeta is the decoded-instruction view the entry rules operate on.
+type InstMeta struct {
+	PC        uint64
+	Class     isa.Class
+	PredTaken bool
+}
+
+// EntrySpec describes one µ-op cache entry a consecutive instruction run
+// maps to. Split and the Builder implement the same termination rules;
+// Split is used where the caller needs the entry boundaries without
+// inserting (demand lookups, UCP's alternate-path fill planning).
+type EntrySpec struct {
+	StartPC   uint64
+	Ops       uint8
+	Branches  uint8
+	EndsTaken bool
+}
+
+// Split partitions a consecutive run of instructions into entry specs
+// under cfg's termination rules. The run must follow fetch order:
+// sequential PCs except immediately after a predicted-taken branch
+// (which starts a new entry at the target).
+func Split(insts []InstMeta, cfg Config) []EntrySpec {
+	var out []EntrySpec
+	var cur EntrySpec
+	open := false
+	var nextPC uint64
+	flush := func(endsTaken bool) {
+		if open && cur.Ops > 0 {
+			cur.EndsTaken = endsTaken
+			out = append(out, cur)
+		}
+		open = false
+	}
+	for i := range insts {
+		in := &insts[i]
+		if open {
+			sameRegion := RegionOf(in.PC) == RegionOf(cur.StartPC)
+			sequential := in.PC == nextPC
+			switch {
+			case !sameRegion || !sequential || cur.Ops >= uint8(cfg.OpsPerEntry):
+				flush(false)
+			case in.Class.IsBranch() && int(cur.Branches) >= cfg.MaxBranches:
+				flush(false)
+			}
+		}
+		if !open {
+			open = true
+			cur = EntrySpec{StartPC: in.PC}
+		}
+		cur.Ops++
+		nextPC = in.PC + isa.InstBytes
+		if in.Class.IsBranch() {
+			cur.Branches++
+		}
+		if in.Class.IsBranch() && in.PredTaken {
+			flush(true)
+		} else if cur.Ops >= uint8(cfg.OpsPerEntry) {
+			flush(false)
+		}
+	}
+	flush(false)
+	return out
+}

@@ -1,0 +1,81 @@
+package ucp_test
+
+import (
+	"testing"
+
+	"ucp"
+)
+
+func short(cfg ucp.Config) ucp.Config {
+	cfg.WarmupInsts, cfg.MeasureInsts = 120_000, 120_000
+	return cfg
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	prof, ok := ucp.ProfileByName("int01")
+	if !ok {
+		t.Fatal("int01 missing")
+	}
+	res, err := ucp.RunProfile(short(ucp.Baseline()), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 || res.Insts < 100_000 {
+		t.Fatalf("bad result: %+v", res)
+	}
+}
+
+func TestPublicAPIUCP(t *testing.T) {
+	prof, _ := ucp.ProfileByName("srv201")
+	res, err := ucp.RunProfile(short(ucp.WithUCP(ucp.DefaultUCP())), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UCP.Triggers == 0 {
+		t.Fatal("UCP did not trigger through the public API")
+	}
+}
+
+func TestPublicAPICustomSource(t *testing.T) {
+	prof, _ := ucp.ProfileByName("crypto01")
+	prog, err := ucp.BuildProgram(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ucp.Limit(ucp.NewWalker(prog), 300_000)
+	res, err := ucp.Run(short(ucp.Baseline()), src, prog, "custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != "custom" || res.IPC <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+}
+
+func TestPublicAPIProfileListing(t *testing.T) {
+	all := ucp.DefaultProfiles()
+	if len(all) < 15 {
+		t.Fatalf("only %d default profiles", len(all))
+	}
+	quick := ucp.QuickProfiles()
+	if len(quick) >= len(all) {
+		t.Fatal("quick set not smaller than default set")
+	}
+	if _, ok := ucp.ProfileByName("definitely-not-a-profile"); ok {
+		t.Fatal("phantom profile")
+	}
+}
+
+func TestUCPConfigKnobs(t *testing.T) {
+	u := ucp.DefaultUCP()
+	if u.StopThreshold != 500 {
+		t.Fatalf("default stop threshold %d, want 500 (§IV-E)", u.StopThreshold)
+	}
+	if !u.UseAltInd {
+		t.Fatal("default UCP must include Alt-Ind (12.95KB flavor)")
+	}
+	n := ucp.NoIndUCP()
+	if n.UseAltInd {
+		t.Fatal("NoIndUCP must drop Alt-Ind (8.95KB flavor)")
+	}
+}
