@@ -1,0 +1,48 @@
+#!/bin/sh
+# check.sh — the tier-1+ verification gate (see ROADMAP.md).
+#
+# Runs, in order:
+#   1. gofmt -l            (no unformatted files)
+#   2. go vet ./...        (stdlib vet)
+#   3. go build ./...      (everything compiles)
+#   4. ucplint ./...       (custom determinism / hardware-invariant lints)
+#   5. ucplint -determinism (two seeded runs must byte-match)
+#   6. go test -race ./... (full suite under the race detector)
+#   7. fuzz smoke          (each internal/trace fuzz target, 5s)
+#
+# Any failure aborts immediately with a nonzero exit.
+set -eu
+
+cd "$(dirname "$0")"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "gofmt"
+UNFMT=$(gofmt -l .)
+if [ -n "$UNFMT" ]; then
+	echo "unformatted files:" >&2
+	echo "$UNFMT" >&2
+	exit 1
+fi
+
+step "go vet"
+go vet ./...
+
+step "go build"
+go build ./...
+
+step "ucplint"
+go run ./cmd/ucplint ./...
+
+step "ucplint -determinism"
+go run ./cmd/ucplint -determinism -determinism-insts 60000
+
+step "go test -race"
+go test -race ./...
+
+# `go test -fuzz` accepts a single target at a time, so smoke each one.
+step "fuzz smoke (internal/trace)"
+go test -fuzz=FuzzReadAny -fuzztime=5s -run='^$' ./internal/trace
+go test -fuzz=FuzzValidate -fuzztime=5s -run='^$' ./internal/trace
+
+printf '\ncheck.sh: all gates passed\n'

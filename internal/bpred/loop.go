@@ -8,7 +8,7 @@ package bpred
 type LoopPredictor struct {
 	entries []loopEntry
 	idxBits int
-	// withLoop is the adaptive "trust the loop predictor" counter.
+	// withLoop is the adaptive "trust the loop predictor" counter. nbits:4
 	withLoop int8
 }
 
@@ -16,9 +16,9 @@ type loopEntry struct {
 	tag      uint16
 	pastIter uint16 // learned same-direction run length
 	currIter uint16
-	conf     uint8 // [0,3]; provide only at 3
-	age      uint8
-	dir      bool // direction during the run ("body" direction)
+	conf     uint8 // [0,3]; provide only at 3. nbits:2
+	age      uint8 // replacement age. nbits:8
+	dir      bool  // direction during the run ("body" direction)
 	valid    bool
 }
 

@@ -22,7 +22,7 @@ type SC struct {
 
 	// Adaptive use-threshold (O-GEHL style).
 	theta int32
-	tc    int8
+	tc    int8  // threshold-adaptation counter in [-8,7]. nbits:4
 	scale int32 // weight of the TAGE direction inside the sum
 }
 

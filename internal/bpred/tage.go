@@ -1,6 +1,9 @@
 package bpred
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // TAGE: a TAgged GEometric history length predictor (Seznec & Michaud),
 // the main component of TAGE-SC-L. The implementation keeps the pieces
@@ -59,7 +62,7 @@ type Prediction struct {
 	// [0,2^b), the centered value is raw - 2^(b-1), so a 3-bit counter
 	// spans [-4,3] and the 2-bit bimodal spans [-2,1] (Fig. 6a x-axis).
 	// Saturated means raw==0 or raw==2^b-1.
-	ProviderCtr       int8
+	ProviderCtr       int8 // nbits:3 (tagged-table counters; bimodal uses [-2,1])
 	ProviderSat       bool
 	BimodalRecentMiss bool // ≥1 miss in the bimodal's last 8 provisions
 
@@ -89,6 +92,8 @@ func (p *Prediction) HitBankNum() int { return p.hitBank }
 func (p *Prediction) AltBankNum() int { return p.altBank }
 
 // TageConfig sizes a TAGE instance.
+//
+//ucplint:config
 type TageConfig struct {
 	BimodalBits int // log2 entries of the bimodal table
 	Tables      int // number of tagged tables
@@ -99,10 +104,38 @@ type TageConfig struct {
 	CtrBits     int // prediction counter width (3 in the literature)
 }
 
+// Validate rejects TAGE geometries outside the modeled hardware: the
+// Prediction bookkeeping arrays hold maxTables banks, tags are uint16,
+// counters are uint8, and the centered provider counter must fit int8.
+func (c TageConfig) Validate() error {
+	if c.BimodalBits <= 0 || c.BimodalBits > 26 {
+		return fmt.Errorf("bpred: BimodalBits must be in [1,26], got %d", c.BimodalBits)
+	}
+	if c.Tables <= 0 || c.Tables > maxTables {
+		return fmt.Errorf("bpred: Tables must be in [1,%d], got %d", maxTables, c.Tables)
+	}
+	if c.MinHist <= 0 {
+		return fmt.Errorf("bpred: MinHist must be positive, got %d", c.MinHist)
+	}
+	if c.MaxHist < c.MinHist {
+		return fmt.Errorf("bpred: MaxHist %d below MinHist %d", c.MaxHist, c.MinHist)
+	}
+	if c.IdxBits <= 0 || c.IdxBits > 26 {
+		return fmt.Errorf("bpred: IdxBits must be in [1,26], got %d", c.IdxBits)
+	}
+	if c.TagBase <= 0 || c.TagBase > 15 {
+		return fmt.Errorf("bpred: TagBase must be in [1,15], got %d", c.TagBase)
+	}
+	if c.CtrBits <= 0 || c.CtrBits > 8 {
+		return fmt.Errorf("bpred: CtrBits must be in [1,8], got %d", c.CtrBits)
+	}
+	return nil
+}
+
 type tageEntry struct {
-	ctr uint8 // [0, 2^CtrBits)
+	ctr uint8 // [0, 2^CtrBits); nbits:3 in every shipped config
 	tag uint16
-	u   uint8 // usefulness [0,3]
+	u   uint8 // usefulness [0,3]. nbits:2
 }
 
 // TAGE is the tagged-geometric predictor core.
@@ -113,8 +146,8 @@ type TAGE struct {
 	tables   [][]tageEntry
 	tagBits  []int
 	lens     []int
-	useAltOn int8  // USE_ALT_ON_NA in [-8,7]
-	bimHist  uint8 // correctness of last 8 bimodal-provided predictions (1=miss)
+	useAltOn int8  // USE_ALT_ON_NA in [-8,7]. nbits:4
+	bimHist  uint8 // correctness of last 8 bimodal-provided predictions (1=miss). nbits:8
 	tick     int
 	lfsr     uint32 // allocation randomness (deterministic)
 }

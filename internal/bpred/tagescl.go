@@ -1,5 +1,7 @@
 package bpred
 
+import "fmt"
+
 // TAGE-SC-L composite: TAGE provides the base prediction, the loop
 // predictor overrides for confidently-captured regular loops, and the
 // statistical corrector may revert the result. This mirrors the 64KB
@@ -7,6 +9,8 @@ package bpred
 // 8KB version used as UCP's alternate-path predictor (Alt-BP, §IV-C).
 
 // Config sizes a TAGE-SC-L instance.
+//
+//ucplint:config
 type Config struct {
 	Tage        TageConfig
 	LoopIdxBits int
@@ -48,6 +52,22 @@ func Config128KB() Config {
 		LoopIdxBits: 7,
 		SCIdxBits:   12,
 	}
+}
+
+// Validate rejects TAGE-SC-L geometries the constructors would build
+// incorrectly (zero-width tables index nothing; oversized index widths
+// explode the modeled budget).
+func (c Config) Validate() error {
+	if err := c.Tage.Validate(); err != nil {
+		return err
+	}
+	if c.LoopIdxBits <= 0 || c.LoopIdxBits > 20 {
+		return fmt.Errorf("bpred: LoopIdxBits must be in [1,20], got %d", c.LoopIdxBits)
+	}
+	if c.SCIdxBits <= 0 || c.SCIdxBits > 24 {
+		return fmt.Errorf("bpred: SCIdxBits must be in [1,24], got %d", c.SCIdxBits)
+	}
+	return nil
 }
 
 // TageSCL is the composed predictor.

@@ -33,7 +33,7 @@ type blockBranch struct {
 	valid  bool
 	offset uint8 // (pc - blockBase) / 4
 	target uint64
-	kind   BranchKind
+	kind   BranchKind // nbits:2
 }
 
 type blockEntry struct {

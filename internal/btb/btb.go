@@ -7,7 +7,11 @@
 // lookup/insert interface.
 package btb
 
-import "ucp/internal/isa"
+import (
+	"fmt"
+
+	"ucp/internal/isa"
+)
 
 // BranchKind compresses the branch classes a BTB entry distinguishes.
 type BranchKind uint8
@@ -55,11 +59,34 @@ type TargetBuffer interface {
 }
 
 // Config sizes a BTB.
+//
+//ucplint:config
 type Config struct {
 	Entries int // total entries (power of two)
 	Ways    int
 	Banks   int // power of two
 }
+
+// Validate rejects BTB geometries the indexing cannot address: setOf
+// and BankOf mask with sets-1 and Banks-1, so both must be powers of
+// two.
+func (c Config) Validate() error {
+	if c.Entries <= 0 || !isPow2(c.Entries) {
+		return fmt.Errorf("btb: Entries must be a positive power of two, got %d", c.Entries)
+	}
+	if c.Ways <= 0 || !isPow2(c.Ways) {
+		return fmt.Errorf("btb: Ways must be a positive power of two, got %d", c.Ways)
+	}
+	if c.Ways > c.Entries {
+		return fmt.Errorf("btb: Ways %d exceeds Entries %d", c.Ways, c.Entries)
+	}
+	if c.Banks <= 0 || !isPow2(c.Banks) {
+		return fmt.Errorf("btb: Banks must be a positive power of two, got %d", c.Banks)
+	}
+	return nil
+}
+
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
 
 // DefaultConfig is the paper's baseline: 64K entries, 16 banks.
 func DefaultConfig() Config { return Config{Entries: 64 * 1024, Ways: 8, Banks: 16} }
@@ -71,7 +98,7 @@ type entry struct {
 	valid  bool
 	tag    uint32
 	target uint64
-	kind   BranchKind
+	kind   BranchKind // one of the four branch classes. nbits:2
 	lru    uint32
 }
 

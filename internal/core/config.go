@@ -9,11 +9,17 @@
 package core
 
 import (
+	"fmt"
+
 	"ucp/internal/bpred"
 	"ucp/internal/ittage"
 )
 
 // Config selects a UCP variant and sizes its structures (§IV-F).
+// Validate rejects geometries the modeled hardware could not build;
+// ucplint's configbounds rule proves it covers every numeric field.
+//
+//ucplint:config
 type Config struct {
 	// Estimator selects the H2P classifier: the paper's UCP-Conf or the
 	// TAGE-Conf baseline (Fig. 12b).
@@ -85,6 +91,48 @@ func NoIndConfig() Config {
 	c := DefaultConfig()
 	c.UseAltInd = false
 	return c
+}
+
+// Validate rejects impossible UCP geometries: zero or negative queue
+// and decoder widths, thresholds outside the stop heuristic's modeled
+// range, and no-branch limits wider than the 6-bit hardware counter of
+// §IV-E. Sub-predictor configurations are validated recursively.
+func (c Config) Validate() error {
+	if c.Estimator != bpred.EstimatorUCPConf && c.Estimator != bpred.EstimatorTageConf {
+		return fmt.Errorf("core: unknown estimator %d", c.Estimator)
+	}
+	if err := c.AltBP.Validate(); err != nil {
+		return fmt.Errorf("core: AltBP: %w", err)
+	}
+	if err := c.AltInd.Validate(); err != nil {
+		return fmt.Errorf("core: AltInd: %w", err)
+	}
+	if c.AltRASEntries <= 0 {
+		return fmt.Errorf("core: AltRASEntries must be positive, got %d", c.AltRASEntries)
+	}
+	if c.AltFTQEntries < 4 {
+		// The walker reserves room for one 4-spec prediction window.
+		return fmt.Errorf("core: AltFTQEntries must be at least 4, got %d", c.AltFTQEntries)
+	}
+	if c.UopMSHRs <= 0 {
+		return fmt.Errorf("core: UopMSHRs must be positive, got %d", c.UopMSHRs)
+	}
+	if c.AltDecodeQueue <= 0 {
+		return fmt.Errorf("core: AltDecodeQueue must be positive, got %d", c.AltDecodeQueue)
+	}
+	if c.AltDecodeWidth <= 0 {
+		return fmt.Errorf("core: AltDecodeWidth must be positive, got %d", c.AltDecodeWidth)
+	}
+	if c.StopThreshold <= 0 || c.StopThreshold > 1_000_000 {
+		return fmt.Errorf("core: StopThreshold must be in [1,1000000], got %d", c.StopThreshold)
+	}
+	if c.MaxNoBranchInsts <= 0 || c.MaxNoBranchInsts > 63 {
+		return fmt.Errorf("core: MaxNoBranchInsts must fit the 6-bit counter [1,63], got %d", c.MaxNoBranchInsts)
+	}
+	if c.WalkWidth <= 0 || c.WalkWidth > 64 {
+		return fmt.Errorf("core: WalkWidth must be in [1,64], got %d", c.WalkWidth)
+	}
+	return nil
 }
 
 // Stats aggregates UCP engine counters.

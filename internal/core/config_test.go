@@ -1,0 +1,69 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ucp/internal/bpred"
+)
+
+func TestValidateAcceptsShippedConfigs(t *testing.T) {
+	for _, cfg := range []Config{DefaultConfig(), NoIndConfig()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("shipped config rejected: %v", err)
+		}
+	}
+}
+
+// TestValidateRejectsInvalidConfigs drives Validate through every
+// numeric bound: zero/negative widths, counters wider than their
+// declared bit budgets, thresholds out of range, and broken
+// sub-predictor geometries.
+func TestValidateRejectsInvalidConfigs(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantSub string
+	}{
+		{"unknown estimator", func(c *Config) { c.Estimator = 99 }, "estimator"},
+		{"zero alt-RAS", func(c *Config) { c.AltRASEntries = 0 }, "AltRASEntries"},
+		{"negative alt-RAS", func(c *Config) { c.AltRASEntries = -4 }, "AltRASEntries"},
+		{"tiny alt-FTQ", func(c *Config) { c.AltFTQEntries = 2 }, "AltFTQEntries"},
+		{"zero MSHRs", func(c *Config) { c.UopMSHRs = 0 }, "UopMSHRs"},
+		{"negative decode queue", func(c *Config) { c.AltDecodeQueue = -1 }, "AltDecodeQueue"},
+		{"zero decode width", func(c *Config) { c.AltDecodeWidth = 0 }, "AltDecodeWidth"},
+		{"zero stop threshold", func(c *Config) { c.StopThreshold = 0 }, "StopThreshold"},
+		{"huge stop threshold", func(c *Config) { c.StopThreshold = 2_000_000 }, "StopThreshold"},
+		{"no-branch counter overflow", func(c *Config) { c.MaxNoBranchInsts = 64 }, "6-bit"},
+		{"zero no-branch limit", func(c *Config) { c.MaxNoBranchInsts = 0 }, "6-bit"},
+		{"zero walk width", func(c *Config) { c.WalkWidth = 0 }, "WalkWidth"},
+		{"huge walk width", func(c *Config) { c.WalkWidth = 128 }, "WalkWidth"},
+		{"broken Alt-BP tables", func(c *Config) { c.AltBP.Tage.Tables = 99 }, "Tables"},
+		{"broken Alt-BP counter width", func(c *Config) { c.AltBP.Tage.CtrBits = 9 }, "CtrBits"},
+		{"broken Alt-BP history order", func(c *Config) { c.AltBP.Tage.MaxHist = 2; c.AltBP.Tage.MinHist = 8 }, "MaxHist"},
+		{"zero Alt-BP loop table", func(c *Config) { c.AltBP.LoopIdxBits = 0 }, "LoopIdxBits"},
+		{"broken Alt-Ind tag width", func(c *Config) { c.AltInd.TagBits = 20 }, "TagBits"},
+		{"zero Alt-Ind base", func(c *Config) { c.AltInd.BaseBits = 0 }, "BaseBits"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted an invalid config")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestValidateEstimators(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Estimator = bpred.EstimatorTageConf
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("TAGE-Conf estimator rejected: %v", err)
+	}
+}

@@ -44,12 +44,16 @@ type Engine struct {
 	altRAS     *ras.Stack
 
 	// Walk state.
-	active      bool
-	altPC       uint64
-	stopCtr     int
-	threshold   int
-	noBranchCtr int
-	conflictCtr int
+	active    bool
+	altPC     uint64
+	stopCtr   int
+	threshold int
+	// noBranchCtr is the 6-bit no-branch instruction counter of §IV-E
+	// (bounded by cfg.MaxNoBranchInsts, itself capped at 63). nbits:6
+	noBranchCtr uint8
+	// conflictCtr is the 3-bit BTB-bank starvation counter of §IV-C.
+	// nbits:3
+	conflictCtr uint8
 	pathLines   map[uint64]bool
 
 	// Alt-FTQ of entry specs awaiting µ-op tag check.
@@ -218,7 +222,7 @@ func (e *Engine) walk(now uint64) {
 			metas = append(metas, uopcache.InstMeta{PC: pc, Class: class})
 			pc += isa.InstBytes
 			e.noBranchCtr++
-			if e.noBranchCtr >= e.cfg.MaxNoBranchInsts {
+			if int(e.noBranchCtr) >= e.cfg.MaxNoBranchInsts {
 				e.flushWindow(metas, now)
 				e.stop(&e.stats.StopNoBranch)
 				return

@@ -249,9 +249,19 @@ func New(cfg Config, src trace.Source, pred *bpred.TageSCL, b btb.TargetBuffer,
 		ftq:        make([]window, cfg.FTQWindows),
 		uopq:       make([]DeliveredUop, cfg.UopQueue),
 		mode:       1, // cold caches start on the build path
-		StreamLens: stats.NewHistogram("µ-op cache stream length (µ-ops)"),
-		RefillLat:  stats.NewHistogram("mispredict-to-first-µ-op refill latency (cycles)"),
+		StreamLens: newStreamLens(),
+		RefillLat:  newRefillLat(),
 	}
+}
+
+// Histogram constructors are shared between New and ResetHistograms so
+// each stat name has exactly one registration site (ucplint statname).
+func newStreamLens() *stats.Histogram {
+	return stats.NewHistogram("µ-op cache stream length (µ-ops)")
+}
+
+func newRefillLat() *stats.Histogram {
+	return stats.NewHistogram("mispredict-to-first-µ-op refill latency (cycles)")
 }
 
 // SetHook attaches the UCP engine.
@@ -331,8 +341,8 @@ func (f *Frontend) ResumeAt(cycle uint64) {
 // ResetHistograms clears the distribution instrumentation (called at
 // the warmup boundary so distributions cover the measured window only).
 func (f *Frontend) ResetHistograms() {
-	f.StreamLens = stats.NewHistogram("µ-op cache stream length (µ-ops)")
-	f.RefillLat = stats.NewHistogram("mispredict-to-first-µ-op refill latency (cycles)")
+	f.StreamLens = newStreamLens()
+	f.RefillLat = newRefillLat()
 }
 
 // PopUop hands the next ready µ-op to dispatch, if any.

@@ -8,6 +8,8 @@
 // demand-path history and walk an alternate path without perturbing it.
 package ittage
 
+import "fmt"
+
 // Hist is the predictor's history context: a 64-bit direction/target
 // history and a path register. It is copied by value for alternate-path
 // walks.
@@ -29,6 +31,8 @@ func (h *Hist) Push(pc, target uint64, taken bool) {
 }
 
 // Config sizes an ITTAGE instance.
+//
+//ucplint:config
 type Config struct {
 	BaseBits int // log2 entries of the tagless base target cache
 	Tables   int
@@ -36,6 +40,30 @@ type Config struct {
 	MaxHist  int // capped at 32 (two bits of context per transfer)
 	IdxBits  int // log2 entries per tagged table
 	TagBits  int
+}
+
+// Validate rejects ITTAGE geometries outside the modeled hardware: the
+// Lookup bookkeeping arrays hold 16 banks and tags are uint16.
+func (c Config) Validate() error {
+	if c.BaseBits <= 0 || c.BaseBits > 24 {
+		return fmt.Errorf("ittage: BaseBits must be in [1,24], got %d", c.BaseBits)
+	}
+	if c.Tables <= 0 || c.Tables > 16 {
+		return fmt.Errorf("ittage: Tables must be in [1,16], got %d", c.Tables)
+	}
+	if c.MinHist <= 0 {
+		return fmt.Errorf("ittage: MinHist must be positive, got %d", c.MinHist)
+	}
+	if c.MaxHist < c.MinHist {
+		return fmt.Errorf("ittage: MaxHist %d below MinHist %d", c.MaxHist, c.MinHist)
+	}
+	if c.IdxBits <= 0 || c.IdxBits > 24 {
+		return fmt.Errorf("ittage: IdxBits must be in [1,24], got %d", c.IdxBits)
+	}
+	if c.TagBits <= 0 || c.TagBits > 16 {
+		return fmt.Errorf("ittage: TagBits must be in [1,16], got %d", c.TagBits)
+	}
+	return nil
 }
 
 // Config64KB approximates the paper's 64KB baseline ITTAGE.
@@ -52,8 +80,8 @@ type entry struct {
 	valid  bool
 	tag    uint16
 	target uint64
-	ctr    uint8 // confidence [0,3]
-	u      uint8
+	ctr    uint8 // confidence [0,3]. nbits:2
+	u      uint8 // usefulness [0,3]. nbits:2
 }
 
 // Predictor is an ITTAGE indirect target predictor.

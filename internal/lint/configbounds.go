@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// newConfigBoundsAnalyzer proves that configuration structs are
+// validated. A struct opts in with a marker in its doc comment:
+//
+//	//ucplint:config
+//	type Config struct { … }
+//
+// The analyzer then requires a Validate() error method on the type (or
+// its pointer) in the same package, and requires that method's body to
+// reference every numeric field of the struct — a field a Validate
+// method never looks at is a field nobody bounds-checks, which is how
+// impossible hardware geometries (zero-width tables, non-power-of-two
+// associativities) sneak into published numbers.
+func newConfigBoundsAnalyzer() *Analyzer {
+	const rule = "configbounds"
+	return &Analyzer{
+		Name: rule,
+		Doc:  "ucplint:config structs need a Validate() covering every numeric field",
+		CheckPackage: func(p *Package, r *Reporter) {
+			for _, spec := range markedConfigSpecs(p) {
+				checkConfigSpec(p, spec, r)
+			}
+		},
+	}
+}
+
+// markedConfigSpecs returns the type specs carrying a ucplint:config
+// marker in their own or their GenDecl's doc comment.
+func markedConfigSpecs(p *Package) []*ast.TypeSpec {
+	var out []*ast.TypeSpec
+	hasMarker := func(cg *ast.CommentGroup) bool {
+		if cg == nil {
+			return false
+		}
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "ucplint:config") {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, s := range gd.Specs {
+				ts, ok := s.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+					continue
+				}
+				if hasMarker(ts.Doc) || (len(gd.Specs) == 1 && hasMarker(gd.Doc)) {
+					out = append(out, ts)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func checkConfigSpec(p *Package, ts *ast.TypeSpec, r *Reporter) {
+	const rule = "configbounds"
+	named, ok := p.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	st, ok := named.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	validate := findValidateMethod(p, ts.Name.Name)
+	if validate == nil {
+		r.Report(p, ts.Pos(), rule,
+			"config struct %s has no Validate() error method", ts.Name.Name)
+		return
+	}
+	// Which numeric fields does the Validate body reference?
+	covered := make(map[types.Object]bool)
+	ast.Inspect(validate.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if obj := p.Info.Uses[sel.Sel]; obj != nil {
+			covered[obj] = true
+		}
+		return true
+	})
+	structAST, _ := ts.Type.(*ast.StructType)
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		basic, ok := field.Type().Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsNumeric == 0 {
+			continue
+		}
+		if covered[field] {
+			continue
+		}
+		pos := ts.Pos()
+		if fieldAST := fieldDeclOf(structAST, field.Name()); fieldAST != nil {
+			pos = fieldAST.Pos()
+		}
+		r.Report(p, pos, rule,
+			"%s.Validate() does not check numeric field %s", ts.Name.Name, field.Name())
+	}
+}
+
+// findValidateMethod locates func (x T) Validate() error or the pointer
+// variant in the package.
+func findValidateMethod(p *Package, typeName string) *ast.FuncDecl {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Validate" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if len(fd.Recv.List) != 1 {
+				continue
+			}
+			t := fd.Recv.List[0].Type
+			if star, ok := t.(*ast.StarExpr); ok {
+				t = star.X
+			}
+			id, ok := t.(*ast.Ident)
+			if !ok || id.Name != typeName {
+				continue
+			}
+			// Require the () error shape.
+			ft := fd.Type
+			if ft.Params.NumFields() != 0 || ft.Results.NumFields() != 1 {
+				continue
+			}
+			return fd
+		}
+	}
+	return nil
+}
+
+// fieldDeclOf finds the AST field declaring name inside a struct type.
+func fieldDeclOf(st *ast.StructType, name string) *ast.Field {
+	if st == nil {
+		return nil
+	}
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.Name == name {
+				return f
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+)
+
+// newCtrWidthAnalyzer enforces declared saturating-counter widths.
+// Hardware counters modeled by the simulator are annotated at their
+// field declaration with a marker comment:
+//
+//	ctr uint8 // confidence counter. nbits:2
+//
+// meaning the field models a 2-bit counter: [0,3] for unsigned field
+// types, [-2,1] for signed ones (centered counters). The analyzer then
+// proves every constant comparison with and assignment to the field —
+// including composite-literal initialization — stays inside that range,
+// so a config tweak or refactor cannot silently widen a structure past
+// its declared hardware budget.
+func newCtrWidthAnalyzer() *Analyzer {
+	const rule = "ctrwidth"
+	return &Analyzer{
+		Name: rule,
+		Doc:  "constant uses of nbits:-annotated counter fields must stay in range",
+		CheckPackage: func(p *Package, r *Reporter) {
+			fields := collectNbitsFields(p, r)
+			if len(fields) == 0 {
+				return
+			}
+			for _, f := range p.Files {
+				checkCtrUses(p, f, fields, r)
+			}
+		},
+	}
+}
+
+// bitRange is the value range a declared counter width allows.
+type bitRange struct {
+	bits     int
+	min, max int64
+}
+
+var nbitsRe = regexp.MustCompile(`nbits:\s*(\d+)`)
+
+// nbitsMarker extracts an nbits: marker from a field's doc or line
+// comment.
+func nbitsMarker(field *ast.Field) (int, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := nbitsRe.FindStringSubmatch(cg.Text()); m != nil {
+			n, err := strconv.Atoi(m[1])
+			if err == nil && n > 0 {
+				return n, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// collectNbitsFields finds every struct field in the package annotated
+// with an nbits: marker and computes its allowed range from the marker
+// width and the field type's signedness.
+func collectNbitsFields(p *Package, r *Reporter) map[types.Object]bitRange {
+	const rule = "ctrwidth"
+	fields := make(map[types.Object]bitRange)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				bits, ok := nbitsMarker(field)
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					obj, ok := p.Info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					basic, ok := obj.Type().Underlying().(*types.Basic)
+					if !ok || basic.Info()&types.IsInteger == 0 {
+						r.Report(p, name.Pos(), rule,
+							"nbits: marker on %s, which is not an integer field", name.Name)
+						continue
+					}
+					unsigned := basic.Info()&types.IsUnsigned != 0
+					if w := typeBitWidth(basic); w > 0 && bits > w {
+						r.Report(p, name.Pos(), rule,
+							"field %s declares nbits:%d, wider than its %s storage", name.Name, bits, basic.Name())
+						continue
+					}
+					br := bitRange{bits: bits}
+					if unsigned {
+						br.min, br.max = 0, int64(1)<<uint(bits)-1
+					} else {
+						br.min = -(int64(1) << uint(bits-1))
+						br.max = int64(1)<<uint(bits-1) - 1
+					}
+					fields[obj] = br
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+// typeBitWidth returns the storage width of a basic integer type
+// (0 for implementation-sized int/uint/uintptr, which we don't bound).
+func typeBitWidth(b *types.Basic) int {
+	switch b.Kind() {
+	case types.Int8, types.Uint8:
+		return 8
+	case types.Int16, types.Uint16:
+		return 16
+	case types.Int32, types.Uint32:
+		return 32
+	case types.Int64, types.Uint64:
+		return 64
+	}
+	return 0
+}
+
+// constIntValue returns the expression's compile-time integer value.
+func constIntValue(p *Package, e ast.Expr) (int64, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// annotatedField resolves e to an nbits-annotated field object, if it
+// is a selector (or composite-literal key) referring to one.
+func annotatedField(p *Package, fields map[types.Object]bitRange, e ast.Expr) (types.Object, bitRange, bool) {
+	obj := refObject(p, e)
+	if obj == nil {
+		return nil, bitRange{}, false
+	}
+	br, ok := fields[obj]
+	return obj, br, ok
+}
+
+func checkCtrUses(p *Package, f *ast.File, fields map[types.Object]bitRange, r *Reporter) {
+	const rule = "ctrwidth"
+	report := func(pos token.Pos, verb string, obj types.Object, br bitRange, v int64) {
+		r.Report(p, pos, rule,
+			"%s %d is outside the declared %d-bit range [%d,%d] of field %s",
+			verb, v, br.bits, br.min, br.max, obj.Name())
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			default:
+				return true
+			}
+			for _, pair := range [2][2]ast.Expr{{n.X, n.Y}, {n.Y, n.X}} {
+				if obj, br, ok := annotatedField(p, fields, pair[0]); ok {
+					if v, ok := constIntValue(p, pair[1]); ok && (v < br.min || v > br.max) {
+						report(n.Pos(), "comparison with", obj, br, v)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.ASSIGN {
+				return true
+			}
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if obj, br, ok := annotatedField(p, fields, lhs); ok {
+					if v, ok := constIntValue(p, n.Rhs[i]); ok && (v < br.min || v > br.max) {
+						report(n.Pos(), "assignment of", obj, br, v)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj, br, ok := annotatedField(p, fields, key); ok {
+					if v, ok := constIntValue(p, kv.Value); ok && (v < br.min || v > br.max) {
+						report(kv.Pos(), "initialization with", obj, br, v)
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,206 @@
+// Package lint implements ucplint, the repository's custom static
+// analysis pass. The simulator's results are only meaningful if every
+// run is bit-for-bit reproducible and every modeled structure respects
+// its declared hardware budget, so this package mechanically enforces
+// the invariants reviewers would otherwise have to police by hand:
+// no wall-clock or global-randomness sources, no map-iteration-ordered
+// output, saturating counters staying inside their declared bit widths,
+// globally unique statistics names, and config structs whose Validate
+// methods cover every numeric field.
+//
+// The implementation is deliberately stdlib-only (go/ast, go/parser,
+// go/token, go/types): the repository must keep building with nothing
+// but the Go toolchain.
+//
+// Individual findings can be suppressed with a comment on the flagged
+// line or the line directly above it:
+//
+//	//ucplint:ignore <rule> [<rule>...]   suppress the named rules
+//	//ucplint:ignore                      suppress every rule
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package under analysis.
+type Package struct {
+	// Path is the import path ("ucp/internal/core", or a synthetic
+	// "fixture/..." path for testdata packages).
+	Path string
+	// Dir is the directory the files were read from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// ignores maps filename -> line -> rules suppressed on that line
+	// ("*" suppresses everything).
+	ignores map[string]map[int][]string
+}
+
+// buildIgnores scans the package's comments for //ucplint:ignore
+// directives. A directive suppresses findings reported on its own line
+// and on the line immediately below it (so it can trail a statement or
+// sit above one).
+func (p *Package) buildIgnores() {
+	p.ignores = make(map[string]map[int][]string)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "ucplint:ignore") {
+					continue
+				}
+				rules := strings.Fields(strings.TrimPrefix(text, "ucplint:ignore"))
+				if len(rules) == 0 {
+					rules = []string{"*"}
+				}
+				pos := p.Fset.Position(c.Pos())
+				m := p.ignores[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					p.ignores[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], rules...)
+			}
+		}
+	}
+}
+
+// suppressed reports whether a finding for rule at pos is covered by an
+// ignore directive.
+func (p *Package) suppressed(pos token.Position, rule string) bool {
+	m := p.ignores[pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, r := range m[line] {
+			if r == "*" || r == rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Finding is one rule violation.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Rule, f.Msg)
+}
+
+// Reporter collects findings, applying per-line suppression.
+type Reporter struct {
+	findings []Finding
+}
+
+// Report records a finding unless an ignore directive covers it.
+func (r *Reporter) Report(p *Package, pos token.Pos, rule, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position, rule) {
+		return
+	}
+	r.findings = append(r.findings, Finding{
+		Pos:  position,
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Findings returns the collected findings sorted by position.
+func (r *Reporter) Findings() []Finding {
+	sort.Slice(r.findings, func(i, j int) bool {
+		a, b := r.findings[i].Pos, r.findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return r.findings[i].Rule < r.findings[j].Rule
+	})
+	return r.findings
+}
+
+// Analyzer is one ucplint rule. Some analyzers carry cross-package
+// state (e.g. repo-wide stat-name uniqueness), so a fresh set from
+// NewAnalyzers must be used for each run.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// CheckPackage inspects one package. Packages are presented in
+	// sorted import-path order, so cross-package state is deterministic.
+	CheckPackage func(p *Package, r *Reporter)
+}
+
+// NewAnalyzers returns a fresh instance of every ucplint rule.
+func NewAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		newWallclockAnalyzer(),
+		newMapEmitAnalyzer(),
+		newCtrWidthAnalyzer(),
+		newStatNameAnalyzer(),
+		newConfigBoundsAnalyzer(),
+	}
+}
+
+// Run applies the analyzers to every package and returns the sorted
+// findings. Packages are sorted by import path first so analyzers with
+// cross-package state behave deterministically.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	sorted := make([]*Package, len(pkgs))
+	copy(sorted, pkgs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	r := &Reporter{}
+	for _, p := range sorted {
+		for _, a := range analyzers {
+			a.CheckPackage(p, r)
+		}
+	}
+	return r.Findings()
+}
+
+// pkgPathOf returns the import path of the package an object belongs
+// to, or "" for builtins and universe-scope objects.
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// walkWithStack traverses the AST keeping a stack of ancestor nodes;
+// fn receives the node and its ancestors (outermost first). Returning
+// false prunes the subtree.
+func walkWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(n, stack)
+		stack = append(stack, n)
+		if !keep {
+			// Still push/pop symmetrically: Inspect will not descend,
+			// so pop now and skip.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// newMapEmitAnalyzer flags `for … range` loops over maps whose bodies
+// emit output (fmt printing, strings.Builder writes) or accumulate into
+// a slice that outlives the loop without a subsequent sort. Go's map
+// iteration order is deliberately randomized, so any report or stat
+// emission driven directly by it differs between runs.
+func newMapEmitAnalyzer() *Analyzer {
+	const rule = "mapemit"
+	return &Analyzer{
+		Name: rule,
+		Doc:  "flag map iteration that emits output or accumulates unsorted results",
+		CheckPackage: func(p *Package, r *Reporter) {
+			for _, f := range p.Files {
+				walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+					rs, ok := n.(*ast.RangeStmt)
+					if !ok {
+						return true
+					}
+					tv, ok := p.Info.Types[rs.X]
+					if !ok {
+						return true
+					}
+					if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+						return true
+					}
+					fn := enclosingFunc(stack)
+					if reason := mapEmitReason(p, rs, fn); reason != "" {
+						r.Report(p, rs.Pos(), rule,
+							"map iteration order is nondeterministic but the body %s; sort the keys first", reason)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// enclosingFunc returns the innermost function literal or declaration
+// in the ancestor stack (nil at package scope).
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// mapEmitReason inspects a map-range body and describes the first
+// order-sensitive emission it performs ("" when the body is clean).
+func mapEmitReason(p *Package, rs *ast.RangeStmt, fn ast.Node) string {
+	reason := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := fmtPrintCall(p, n); ok {
+				reason = "calls fmt." + name
+				return false
+			}
+			if name, ok := builderWriteCall(p, n); ok {
+				reason = "writes via strings.Builder." + name
+				return false
+			}
+			if obj, ok := escapingAppend(p, n, rs); ok {
+				if fn != nil && sortedInFunc(p, fn, obj) {
+					return true // accumulated slice is sorted afterwards
+				}
+				reason = "appends to " + obj.Name() + ", which escapes the loop unsorted"
+				return false
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// fmtPrintCall reports whether call is a printing function of package
+// fmt (Print, Fprintf, Sprintln, Appendf, …).
+func fmtPrintCall(p *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	if pkgPathOf(obj) != "fmt" {
+		return "", false
+	}
+	name := sel.Sel.Name
+	lower := strings.ToLower(name)
+	if strings.Contains(lower, "print") || strings.HasPrefix(lower, "append") {
+		return name, true
+	}
+	return "", false
+}
+
+// builderWriteCall reports whether call is a Write* method on a
+// strings.Builder (or *strings.Builder) receiver.
+func builderWriteCall(p *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !strings.HasPrefix(sel.Sel.Name, "Write") {
+		return "", false
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok {
+		return "", false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Builder" || pkgPathOf(named.Obj()) != "strings" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// escapingAppend reports whether call is append(target, …) where target
+// is declared outside the range statement, i.e. the accumulated slice
+// escapes the loop carrying map-iteration order.
+func escapingAppend(p *Package, call *ast.CallExpr, rs *ast.RangeStmt) (types.Object, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return nil, false
+	}
+	if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil, false
+	}
+	obj := refObject(p, call.Args[0])
+	if obj == nil {
+		return nil, false
+	}
+	if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+		return nil, false // loop-local accumulator
+	}
+	return obj, true
+}
+
+// refObject resolves an identifier or field selector to its object.
+func refObject(p *Package, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return p.Info.Uses[e]
+	case *ast.SelectorExpr:
+		return p.Info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// sortedInFunc reports whether fn contains a call into package sort (or
+// a slices.Sort* call) taking obj as an argument — the canonical
+// "collect then sort" determinism fix.
+func sortedInFunc(p *Package, fn ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		callee := p.Info.Uses[sel.Sel]
+		path := pkgPathOf(callee)
+		isSort := path == "sort" ||
+			(path == "slices" && strings.HasPrefix(sel.Sel.Name, "Sort"))
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			if refObject(p, arg) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// newStatNameAnalyzer enforces stat-registration hygiene: every
+// stats.NewHistogram / stats.NewCounter call must pass a compile-time
+// constant string name, and that name must be unique across the whole
+// repository. Duplicate or dynamic names make aggregated reports
+// ambiguous and un-diffable between runs. The uniqueness map spans
+// packages, so the analyzer instance must be fresh per Run.
+func newStatNameAnalyzer() *Analyzer {
+	const rule = "statname"
+	constructors := map[string]bool{
+		"NewHistogram": true,
+		"NewCounter":   true,
+	}
+	seen := make(map[string]string) // name -> first position
+	return &Analyzer{
+		Name: rule,
+		Doc:  "stats constructors take unique constant string names",
+		CheckPackage: func(p *Package, r *Reporter) {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok || !constructors[sel.Sel.Name] {
+						return true
+					}
+					fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+					if !ok || !strings.HasSuffix(pkgPathOf(fn), "internal/stats") {
+						return true
+					}
+					if len(call.Args) == 0 {
+						return true
+					}
+					tv, ok := p.Info.Types[call.Args[0]]
+					if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+						r.Report(p, call.Args[0].Pos(), rule,
+							"stats.%s name must be a constant string literal so uniqueness is checkable", sel.Sel.Name)
+						return true
+					}
+					name := constant.StringVal(tv.Value)
+					if first, dup := seen[name]; dup {
+						r.Report(p, call.Args[0].Pos(), rule,
+							"duplicate stat name %q (first registered at %s)", name, first)
+						return true
+					}
+					seen[name] = p.Fset.Position(call.Args[0].Pos()).String()
+					return true
+				})
+			}
+		},
+	}
+}

@@ -1,0 +1,55 @@
+// Package fixture exercises the configbounds analyzer: structs marked
+// ucplint:config need a Validate() error method covering every numeric
+// field.
+package fixture
+
+import "errors"
+
+// Complete is fully validated.
+//
+//ucplint:config
+type Complete struct {
+	Width int
+	Ways  int
+	Name  string // non-numeric: exempt
+	Fast  bool   // non-numeric: exempt
+}
+
+// Validate bounds every numeric field of Complete.
+func (c Complete) Validate() error {
+	if c.Width <= 0 {
+		return errors.New("width")
+	}
+	if c.Ways <= 0 || c.Ways&(c.Ways-1) != 0 {
+		return errors.New("ways")
+	}
+	return nil
+}
+
+// Partial forgets one of its numeric fields.
+//
+//ucplint:config
+type Partial struct {
+	Width int
+	Ratio float64 // want "does not check numeric field Ratio"
+}
+
+// Validate covers Width only.
+func (p *Partial) Validate() error {
+	if p.Width <= 0 {
+		return errors.New("width")
+	}
+	return nil
+}
+
+// Missing has no Validate method at all.
+//
+//ucplint:config
+type Missing struct { // want "no Validate"
+	Width int
+}
+
+// Unmarked structs are not configuration and need nothing.
+type Unmarked struct {
+	Whatever int
+}

@@ -1,0 +1,39 @@
+// Package fixture exercises the ctrwidth analyzer: constant uses of
+// nbits:-annotated counter fields must stay inside the declared range.
+package fixture
+
+type counters struct {
+	u    uint8 // usefulness. nbits:2
+	ctr  uint8 // confidence. nbits:3
+	bias int8  // centered counter. nbits:4
+	wide uint8 // nbits:9 // want "wider than its uint8 storage"
+}
+
+// Bad violates each declared width.
+func Bad(c *counters) {
+	if c.u < 5 { // want "comparison with 5 is outside"
+		c.u = 4 // want "assignment of 4 is outside"
+	}
+	if c.bias > 8 { // want "comparison with 8 is outside"
+		c.bias = -9 // want "assignment of -9 is outside"
+	}
+	_ = counters{ctr: 9} // want "initialization with 9 is outside"
+}
+
+// Good stays within every range, including saturation idioms.
+func Good(c *counters) {
+	if c.u < 3 {
+		c.u++
+	}
+	if c.bias > -8 {
+		c.bias--
+	}
+	c.ctr = 7
+	c.bias = -8
+	_ = counters{ctr: 1, u: 3, bias: 7}
+}
+
+// Suppressed shows the escape hatch for a deliberate out-of-range use.
+func Suppressed(c *counters) {
+	c.u = 200 //ucplint:ignore ctrwidth
+}

@@ -1,0 +1,70 @@
+// Package fixture exercises the mapemit analyzer: map iteration whose
+// body emits output or accumulates unsorted results is flagged.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BadPrint emits directly from map order.
+func BadPrint(m map[string]int) {
+	for k, v := range m { // want "calls fmt.Println"
+		fmt.Println(k, v)
+	}
+}
+
+// BadBuilder renders a report in map order.
+func BadBuilder(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m { // want "writes via strings.Builder.WriteString"
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+// BadAppend accumulates keys that escape unsorted.
+func BadAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "appends to out"
+		out = append(out, k)
+	}
+	return out
+}
+
+// GoodSorted is the canonical fix: collect, sort, then emit.
+func GoodSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// GoodAggregate folds over the map; order cannot matter.
+func GoodAggregate(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// GoodSlice ranges over a slice, which is ordered.
+func GoodSlice(xs []string) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}
+
+// Suppressed documents a sanctioned exception.
+func Suppressed(m map[string]int) {
+	//ucplint:ignore mapemit
+	for k := range m {
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,28 @@
+// Package fixture exercises the statname analyzer: stats constructors
+// need unique, constant string names.
+package fixture
+
+import "ucp/internal/stats"
+
+// Build registers histograms with every kind of name mistake.
+func Build(dynamic string) []*stats.Histogram {
+	return []*stats.Histogram{
+		stats.NewHistogram("refill latency"),
+		stats.NewHistogram("stream length"),
+		stats.NewHistogram("refill latency"), // want "duplicate stat name"
+		stats.NewHistogram(dynamic),          // want "must be a constant string"
+	}
+}
+
+// constName is fine: constants are still compile-time strings.
+const constName = "queue depth"
+
+// BuildConst registers via a named constant.
+func BuildConst() *stats.Histogram {
+	return stats.NewHistogram(constName)
+}
+
+// Suppressed re-registers deliberately (e.g. a reset path).
+func Suppressed() *stats.Histogram {
+	return stats.NewHistogram("stream length") //ucplint:ignore statname
+}

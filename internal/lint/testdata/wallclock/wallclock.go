@@ -1,0 +1,24 @@
+// Package fixture exercises the wallclock analyzer: wall-clock reads
+// and math/rand are forbidden outside internal/rng.
+package fixture
+
+import (
+	"math/rand" // want "import of math/rand is forbidden"
+	"time"
+)
+
+// Bad reads the wall clock three different ways and consumes global
+// randomness.
+func Bad() time.Duration {
+	start := time.Now() // want "time.Now reads the wall clock"
+	_ = rand.Intn(4)
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// Suppressed shows the escape hatch: an explicit ignore on the line.
+func Suppressed() time.Time {
+	return time.Now() //ucplint:ignore wallclock
+}
+
+// Fine uses time for constants only, which is allowed.
+const tick = 2 * time.Millisecond

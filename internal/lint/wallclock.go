@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// newWallclockAnalyzer forbids wall-clock time and global randomness.
+// Simulated time must be derived from cycle counts and all randomness
+// must flow through internal/rng's seeded generators, or two runs of
+// the same experiment stop being comparable.
+func newWallclockAnalyzer() *Analyzer {
+	const rule = "wallclock"
+	forbiddenImports := map[string]bool{
+		"math/rand":    true,
+		"math/rand/v2": true,
+	}
+	forbiddenTimeFuncs := map[string]bool{
+		"Now":   true,
+		"Since": true,
+		"Until": true,
+	}
+	return &Analyzer{
+		Name: rule,
+		Doc:  "forbid time.Now/time.Since and math/rand outside internal/rng",
+		CheckPackage: func(p *Package, r *Reporter) {
+			// internal/rng is the one sanctioned randomness provider.
+			if strings.HasSuffix(p.Path, "internal/rng") {
+				return
+			}
+			for _, f := range p.Files {
+				for _, imp := range f.Imports {
+					path, err := strconv.Unquote(imp.Path.Value)
+					if err != nil {
+						continue
+					}
+					if forbiddenImports[path] {
+						r.Report(p, imp.Pos(), rule,
+							"import of %s is forbidden: route randomness through internal/rng so runs stay seed-reproducible", path)
+					}
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					id, ok := sel.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					pkgName, ok := p.Info.Uses[id].(*types.PkgName)
+					if !ok || pkgName.Imported().Path() != "time" {
+						return true
+					}
+					if forbiddenTimeFuncs[sel.Sel.Name] {
+						r.Report(p, sel.Pos(), rule,
+							"time.%s reads the wall clock: simulator time must come from cycle counts", sel.Sel.Name)
+					}
+					return true
+				})
+			}
+		},
+	}
+}

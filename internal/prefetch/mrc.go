@@ -1,5 +1,7 @@
 package prefetch
 
+import "fmt"
+
 // MRC is the Misprediction Recovery Cache baseline (Nanda et al.,
 // §VI-F): a fully-associative cache of decoded-µ-op streams tagged by
 // the corrected branch target. On a misprediction, a tag hit streams up
@@ -19,9 +21,22 @@ type MRC struct {
 
 // MRCConfig sizes the MRC. The paper evaluates 64 µ-ops per entry at
 // 16.5, 33, 66, and 132KB total.
+//
+//ucplint:config
 type MRCConfig struct {
 	Entries     int
 	OpsPerEntry int
+}
+
+// Validate rejects empty or absurd MRC geometries.
+func (c MRCConfig) Validate() error {
+	if c.Entries <= 0 {
+		return fmt.Errorf("prefetch: MRC Entries must be positive, got %d", c.Entries)
+	}
+	if c.OpsPerEntry <= 0 || c.OpsPerEntry > 1024 {
+		return fmt.Errorf("prefetch: MRC OpsPerEntry must be in [1,1024], got %d", c.OpsPerEntry)
+	}
+	return nil
 }
 
 // MRCConfigKB returns a configuration of roughly the given storage

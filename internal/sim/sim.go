@@ -6,6 +6,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"ucp/internal/backend"
 	"ucp/internal/bpred"
@@ -21,7 +22,11 @@ import (
 	"ucp/internal/uopcache"
 )
 
-// Config describes one simulated machine configuration.
+// Config describes one simulated machine configuration. Run validates
+// it (and, transitively, every sub-structure's geometry) before
+// assembling a machine.
+//
+//ucplint:config
 type Config struct {
 	// Name labels the variant in experiment output.
 	Name string
@@ -89,6 +94,51 @@ func WithUCP(ucp core.Config) Config {
 	c.UCP = &ucp
 	c.BTB = btb.UCPConfig()
 	return c
+}
+
+// validL1IPrefetchers are the standalone prefetcher baseline names.
+var validL1IPrefetchers = map[string]bool{
+	"": true, "fnlmma": true, "fnlmma++": true, "djolt": true, "ep": true, "ep++": true,
+}
+
+// Validate rejects machine configurations whose structures could not be
+// built in hardware, delegating to each sub-config's own Validate.
+func (c Config) Validate() error {
+	if err := c.Pred.Validate(); err != nil {
+		return err
+	}
+	if err := c.BTB.Validate(); err != nil {
+		return err
+	}
+	if err := c.Ind.Validate(); err != nil {
+		return err
+	}
+	if err := c.Uop.Validate(); err != nil {
+		return err
+	}
+	if c.RASEntries <= 0 {
+		return fmt.Errorf("sim: RASEntries must be positive, got %d", c.RASEntries)
+	}
+	if c.UCP != nil {
+		if err := c.UCP.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.MRC != nil {
+		if err := c.MRC.Validate(); err != nil {
+			return err
+		}
+	}
+	if !validL1IPrefetchers[c.L1IPrefetcher] {
+		return fmt.Errorf("sim: unknown L1I prefetcher %q", c.L1IPrefetcher)
+	}
+	if c.MeasureInsts == 0 {
+		return fmt.Errorf("sim: MeasureInsts must be positive")
+	}
+	if c.WarmupInsts > 1<<40 {
+		return fmt.Errorf("sim: WarmupInsts %d is implausibly large", c.WarmupInsts)
+	}
+	return nil
 }
 
 // Result carries the measured metrics of one run.
@@ -254,6 +304,9 @@ func (m *Machine) snap() snapshot {
 
 // Run executes the configured warmup + measurement phases over src.
 func Run(cfg Config, src trace.Source, code core.CodeInfo, traceName string) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
 	m := NewMachine(cfg, src, code)
 	target := cfg.WarmupInsts
 	var start snapshot
@@ -325,4 +378,28 @@ func buildResult(cfg Config, traceName string, m *Machine, a, b snapshot) Result
 		r.UCPStorageKB = m.ucp.StorageKB()
 	}
 	return r
+}
+
+// DeterminismDigest renders every measured quantity of the run —
+// scalars, all counter blocks, and both full distributions — into one
+// string. Two runs of the same configuration from the same seed must
+// produce byte-identical digests; ucplint's -determinism harness and
+// the harness determinism test compare them.
+func (r Result) DeterminismDigest() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "name=%s trace=%s\n", r.Name, r.Trace)
+	fmt.Fprintf(&sb, "insts=%d cycles=%d ipc=%.9f\n", r.Insts, r.Cycles, r.IPC)
+	fmt.Fprintf(&sb, "uophit=%.9f switchpki=%.9f condmpki=%.9f pfacc=%.9f\n",
+		r.UopHitRate, r.SwitchPKI, r.CondMPKI, r.PrefetchAccuracy)
+	fmt.Fprintf(&sb, "fe=%+v\n", r.FE)
+	fmt.Fprintf(&sb, "uop=%+v\n", r.Uop)
+	fmt.Fprintf(&sb, "ucp=%+v storagekb=%.4f\n", r.UCP, r.UCPStorageKB)
+	fmt.Fprintf(&sb, "l1i=%+v\n", r.L1I)
+	if r.StreamLens != nil {
+		sb.WriteString(r.StreamLens.Render())
+	}
+	if r.RefillLat != nil {
+		sb.WriteString(r.RefillLat.Render())
+	}
+	return sb.String()
 }

@@ -12,8 +12,8 @@ type Builder struct {
 	open     bool
 	startPC  uint64
 	nextPC   uint64
-	ops      uint8
-	branches uint8
+	ops      uint8 // µ-ops accumulated so far. nbits:4
+	branches uint8 // branch targets accumulated so far. nbits:2
 }
 
 // NewBuilder returns a builder inserting into cache; prefetched marks

@@ -10,9 +10,15 @@
 // (§IV-D).
 package uopcache
 
-import "ucp/internal/isa"
+import (
+	"fmt"
+
+	"ucp/internal/isa"
+)
 
 // Config sizes the µ-op cache.
+//
+//ucplint:config
 type Config struct {
 	// Ops is the total µ-op capacity (4096 = "4Kops" baseline).
 	Ops int
@@ -40,6 +46,28 @@ func ConfigOps(ops int) Config {
 	return c
 }
 
+// Validate rejects µ-op cache geometries the entry encoding cannot
+// hold: Entry.Ops is a 4-bit count and Entry.Branches a 2-bit count
+// (see the nbits: markers on Entry).
+func (c Config) Validate() error {
+	if c.Ops <= 0 {
+		return fmt.Errorf("uopcache: Ops must be positive, got %d", c.Ops)
+	}
+	if c.OpsPerEntry <= 0 || c.OpsPerEntry > 15 {
+		return fmt.Errorf("uopcache: OpsPerEntry must be in [1,15] (4-bit op count), got %d", c.OpsPerEntry)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("uopcache: Ways must be positive, got %d", c.Ways)
+	}
+	if c.MaxBranches <= 0 || c.MaxBranches > 3 {
+		return fmt.Errorf("uopcache: MaxBranches must be in [1,3] (2-bit branch count), got %d", c.MaxBranches)
+	}
+	if c.Banks <= 0 {
+		return fmt.Errorf("uopcache: Banks must be positive, got %d", c.Banks)
+	}
+	return nil
+}
+
 // Sets returns the number of sets implied by the geometry.
 func (c Config) Sets() int {
 	s := c.Ops / (c.OpsPerEntry * c.Ways)
@@ -55,9 +83,10 @@ type Entry struct {
 	valid bool
 	tag   uint64 // region tag ⧺ start offset
 	lru   uint64
-	// Ops is the number of µ-ops held.
+	// Ops is the number of µ-ops held ([0,8] in the baseline geometry).
+	// nbits:4
 	Ops uint8
-	// Branches is the number of branch targets recorded.
+	// Branches is the number of branch targets recorded. nbits:2
 	Branches uint8
 	// EndsTaken marks an entry terminated by a predicted-taken branch.
 	EndsTaken bool
