@@ -9,6 +9,10 @@
 #   5. ucplint -determinism (two seeded runs must byte-match)
 #   6. go test -race ./... (full suite under the race detector)
 #   7. fuzz smoke          (each internal/trace fuzz target, 5s)
+#   8. runq determinism    (quick sweep at -jobs 1 vs -jobs 8 vs a warm
+#                           cache must be byte-identical; wall-clock
+#                           ratios are recorded in BENCH_runq.json but
+#                           never gated — timing is machine noise)
 #
 # Any failure aborts immediately with a nonzero exit.
 set -eu
@@ -44,5 +48,44 @@ go test -race ./...
 step "fuzz smoke (internal/trace)"
 go test -fuzz=FuzzReadAny -fuzztime=5s -run='^$' ./internal/trace
 go test -fuzz=FuzzValidate -fuzztime=5s -run='^$' ./internal/trace
+
+step "runq parallel determinism"
+# The report must be byte-identical whether runs execute serially, on 8
+# workers, or replay from a warm on-disk cache. Timings go to
+# BENCH_runq.json as a record; cmp is the only gate.
+RUNQ_TMP=$(mktemp -d)
+trap 'rm -rf "$RUNQ_TMP"' EXIT
+go build -o "$RUNQ_TMP/experiments" ./cmd/experiments
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+T0=$(now_ms)
+"$RUNQ_TMP/experiments" -all -quick -warmup 60000 -measure 60000 \
+	-jobs 1 -progress=false -o "$RUNQ_TMP/serial.md"
+T1=$(now_ms)
+"$RUNQ_TMP/experiments" -all -quick -warmup 60000 -measure 60000 \
+	-jobs 8 -progress=false -cache-dir "$RUNQ_TMP/cache" -o "$RUNQ_TMP/parallel.md"
+T2=$(now_ms)
+"$RUNQ_TMP/experiments" -all -quick -warmup 60000 -measure 60000 \
+	-jobs 8 -progress=false -cache-dir "$RUNQ_TMP/cache" -o "$RUNQ_TMP/warm.md"
+T3=$(now_ms)
+
+cmp "$RUNQ_TMP/serial.md" "$RUNQ_TMP/parallel.md" || {
+	echo "runq: -jobs 8 report differs from -jobs 1" >&2; exit 1; }
+cmp "$RUNQ_TMP/serial.md" "$RUNQ_TMP/warm.md" || {
+	echo "runq: cache-warm report differs from cold" >&2; exit 1; }
+
+SERIAL_MS=$((T1 - T0)); PARALLEL_MS=$((T2 - T1)); WARM_MS=$((T3 - T2))
+awk -v s="$SERIAL_MS" -v p="$PARALLEL_MS" -v w="$WARM_MS" -v j="$(nproc)" 'BEGIN {
+	printf "{\n"
+	printf "  \"bench\": \"runq quick sweep (-all -quick, 60k+60k insts)\",\n"
+	printf "  \"cores\": %d,\n", j
+	printf "  \"serial_ms\": %d,\n", s
+	printf "  \"parallel8_ms\": %d,\n", p
+	printf "  \"warm_cache_ms\": %d,\n", w
+	printf "  \"parallel_speedup\": %.2f,\n", (p > 0 ? s / p : 0)
+	printf "  \"warm_fraction_of_cold\": %.3f\n", (s > 0 ? w / s : 0)
+	printf "}\n"
+}' > BENCH_runq.json
+echo "runq: serial=${SERIAL_MS}ms parallel8=${PARALLEL_MS}ms warm=${WARM_MS}ms (BENCH_runq.json)"
 
 printf '\ncheck.sh: all gates passed\n'

@@ -3,10 +3,15 @@
 // configurations over the synthetic trace set and prints the same
 // rows/series the paper reports.
 //
+// Runs execute on an internal/runq worker pool (-jobs) and can be
+// memoized across invocations through a content-addressed on-disk cache
+// (-cache-dir). Reports are byte-identical at every worker count.
+//
 // Examples:
 //
 //	experiments -fig 11                 # one figure
 //	experiments -all -o results.md      # the whole evaluation
+//	experiments -all -jobs 8 -cache-dir ~/.cache/ucp
 //	experiments -fig 15 -quick          # reduced trace set
 //	experiments -fig artifact -warmup 1000000 -measure 1000000
 package main
@@ -17,6 +22,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"ucp/internal/harness"
 	"ucp/internal/trace"
@@ -24,13 +30,16 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure to regenerate: 2,3,4,5,6,7,9,10,11,12,13,14,15,16,artifact (6 and 7 run together)")
-		all     = flag.Bool("all", false, "run the complete evaluation")
-		quick   = flag.Bool("quick", false, "use the reduced 4-trace set")
-		warmup  = flag.Uint64("warmup", 800_000, "warmup instructions per run")
-		measure = flag.Uint64("measure", 700_000, "measured instructions per run")
-		out     = flag.String("o", "", "write the report to a file (default stdout)")
-		verbose = flag.Bool("v", false, "log every completed run")
+		fig      = flag.String("fig", "", "figure to regenerate: 2,3,4,5,6,7,9,10,11,12,13,14,15,16,artifact (6 and 7 run together)")
+		all      = flag.Bool("all", false, "run the complete evaluation")
+		quick    = flag.Bool("quick", false, "use the reduced 4-trace set")
+		warmup   = flag.Uint64("warmup", 800_000, "warmup instructions per run")
+		measure  = flag.Uint64("measure", 700_000, "measured instructions per run")
+		out      = flag.String("o", "", "write the report to a file (default stdout)")
+		verbose  = flag.Bool("v", false, "log every completed run")
+		jobs     = flag.Int("jobs", 0, "concurrent simulations (default GOMAXPROCS); the report is byte-identical at any value")
+		cacheDir = flag.String("cache-dir", "", "content-addressed result cache directory (empty: no on-disk cache)")
+		progress = flag.Bool("progress", true, "print scheduler progress/ETA lines to stderr")
 	)
 	flag.Parse()
 
@@ -47,12 +56,23 @@ func main() {
 	opts := harness.DefaultOptions(w)
 	opts.Warmup, opts.Measure = *warmup, *measure
 	opts.Verbose = *verbose
+	opts.Jobs = *jobs
+	opts.CacheDir = *cacheDir
+	if *progress {
+		// Progress goes to stderr, never the report writer, so timing
+		// noise can't leak into the deterministic output.
+		start := time.Now() //ucplint:ignore wallclock
+		opts.Clock = func() time.Duration {
+			return time.Since(start) //ucplint:ignore wallclock
+		}
+		opts.Progress = os.Stderr
+	}
 	if *quick {
 		opts.Profiles = trace.QuickProfiles()
 	}
 	r := harness.NewRunner(opts)
 
-	figs := map[string]func(){
+	figs := map[string]func() error{
 		"2": r.Fig2, "3": r.Fig3, "4": r.Fig4, "5": r.Fig5,
 		"6": r.Fig6and7, "7": r.Fig6and7, "9": r.Fig9, "9x": r.Fig9JRS,
 		"10": r.Fig10, "11": r.Fig11, "12": r.Fig12, "13": r.Fig13,
@@ -64,8 +84,19 @@ func main() {
 		fmt.Fprintf(w, "Traces: %d synthetic profiles; %d warmup + %d measured instructions per run.\n",
 			len(opts.Profiles), opts.Warmup, opts.Measure)
 		order := []string{"2", "3", "4", "5", "6", "9", "9x", "10", "11", "12", "13", "14", "15", "16", "artifact", "dist"}
+		failed := 0
 		for _, k := range order {
-			figs[k]()
+			if err := figs[k](); err != nil {
+				// A broken configuration fails its own figure; the rest of
+				// the evaluation still runs. The marker is deterministic,
+				// so reports stay comparable byte-for-byte.
+				fmt.Fprintf(w, "\nFIGURE %s FAILED: %v\n", k, err)
+				failed++
+			}
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: %d figure(s) failed\n", failed)
+			os.Exit(1)
 		}
 		return
 	}
@@ -79,5 +110,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(1)
 	}
-	fn()
+	if err := fn(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
 }

@@ -3,10 +3,15 @@
 // metrics: IPC, µ-op cache hit rate, switch PKI, conditional MPKI, and
 // — when UCP is enabled — trigger/prefetch statistics.
 //
+// Multi-profile runs (and -compare) execute on an internal/runq worker
+// pool: -jobs bounds concurrency, -cache-dir memoizes results across
+// invocations, and output order is always the submission order.
+//
 // Examples:
 //
 //	ucpsim -trace srv203
 //	ucpsim -trace all -ucp -warmup 800000 -measure 700000
+//	ucpsim -trace all -ucp -jobs 8 -cache-dir ~/.cache/ucp
 //	ucpsim -trace int02 -ucp -ucp-noind -threshold 1000
 //	ucpsim -file trace.ucpt -prefetcher fnlmma
 //	ucpsim -trace srv205 -compare          # baseline vs UCP side by side
@@ -21,6 +26,7 @@ import (
 	"os"
 
 	"ucp"
+	"ucp/internal/runq"
 	"ucp/internal/sim"
 	"ucp/internal/trace"
 )
@@ -44,6 +50,8 @@ func main() {
 		compare    = flag.Bool("compare", false, "run baseline AND UCP, reporting the speedup")
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON instead of the table")
 		hist       = flag.Bool("hist", false, "print stream-length and refill-latency distributions")
+		jobs       = flag.Int("jobs", 0, "concurrent simulations (default GOMAXPROCS); output order is unaffected")
+		cacheDir   = flag.String("cache-dir", "", "content-addressed result cache directory (empty: no on-disk cache)")
 	)
 	flag.Parse()
 
@@ -86,46 +94,55 @@ func main() {
 		}
 		profiles = []ucp.Profile{p}
 	}
+	pool := runq.New(runq.Options{Workers: *jobs, CacheDir: *cacheDir})
 	if *compare {
-		runCompare(profiles, *warmup, *measure)
+		runCompare(pool, profiles, *warmup, *measure)
 		return
 	}
+	jobList := make([]runq.Job, len(profiles))
+	for i, p := range profiles {
+		jobList[i] = runq.Job{Config: cfg, Profile: p, Warmup: *warmup, Measure: *measure}
+	}
+	results := pool.RunAll(jobList)
 	if !*jsonOut {
 		header()
 	}
-	for _, p := range profiles {
-		res, err := ucp.RunProfile(cfg, p)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, err)
+	for i, jr := range results {
+		if jr.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", profiles[i].Name, jr.Err)
 			os.Exit(1)
 		}
-		emit(res, *jsonOut, *hist)
+		emit(jr.Result, *jsonOut, *hist)
 	}
 }
 
-// runCompare runs the baseline and UCP over each profile and reports
-// the per-trace speedup.
-func runCompare(profiles []ucp.Profile, warmup, measure uint64) {
+// runCompare runs the baseline and UCP over each profile on the pool
+// (interleaved base/UCP job pairs) and reports the per-trace speedup.
+func runCompare(pool *runq.Pool, profiles []ucp.Profile, warmup, measure uint64) {
+	base := ucp.Baseline()
+	withUCP := ucp.WithUCP(ucp.DefaultUCP())
+	jobList := make([]runq.Job, 0, 2*len(profiles))
+	for _, p := range profiles {
+		jobList = append(jobList,
+			runq.Job{Config: base, Profile: p, Warmup: warmup, Measure: measure},
+			runq.Job{Config: withUCP, Profile: p, Warmup: warmup, Measure: measure})
+	}
+	results := pool.RunAll(jobList)
 	fmt.Printf("%-10s %10s %10s %10s %9s %9s\n",
 		"trace", "base IPC", "UCP IPC", "speedup%", "HR base%", "HR UCP%")
-	for _, p := range profiles {
-		base := ucp.Baseline()
-		base.WarmupInsts, base.MeasureInsts = warmup, measure
-		withUCP := ucp.WithUCP(ucp.DefaultUCP())
-		withUCP.WarmupInsts, withUCP.MeasureInsts = warmup, measure
-		b, err := ucp.RunProfile(base, p)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, err)
+	for i, p := range profiles {
+		b, u := results[2*i], results[2*i+1]
+		if b.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, b.Err)
 			os.Exit(1)
 		}
-		u, err := ucp.RunProfile(withUCP, p)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, err)
+		if u.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", p.Name, u.Err)
 			os.Exit(1)
 		}
 		fmt.Printf("%-10s %10.4f %10.4f %+10.2f %9.2f %9.2f\n",
-			p.Name, b.IPC, u.IPC, 100*(u.IPC/b.IPC-1),
-			b.UopHitRate*100, u.UopHitRate*100)
+			p.Name, b.Result.IPC, u.Result.IPC, 100*(u.Result.IPC/b.Result.IPC-1),
+			b.Result.UopHitRate*100, u.Result.UopHitRate*100)
 	}
 }
 

@@ -8,12 +8,22 @@ import (
 	"ucp/internal/sim"
 )
 
+// Every figure method returns an error instead of panicking: a bad
+// configuration fails its own figure and the caller decides whether the
+// rest of the evaluation continues (cmd/experiments does).
+
 // Fig2 reproduces Fig. 2: IPC improvement of the 4Kops µ-op cache over
 // no µ-op cache, per trace, sorted. The paper reports gains for 80.7%
 // of traces and slowdowns for the rest.
-func (r *Runner) Fig2() {
-	base := r.Sweep(NoUop())
-	uop := r.Sweep(BaselineCfg())
+func (r *Runner) Fig2() error {
+	base, err := r.Sweep(NoUop())
+	if err != nil {
+		return err
+	}
+	uop, err := r.Sweep(BaselineCfg())
+	if err != nil {
+		return err
+	}
 	r.section("Fig. 2 — µ-op cache IPC impact vs no µ-op cache",
 		"Per-trace IPC improvement (%) of the 4Kops µ-op cache, sorted ascending.")
 	r.tableHeader("trace", "IPC improvement (%)")
@@ -27,12 +37,16 @@ func (r *Runner) Fig2() {
 	fmt.Fprintf(r.opts.Out, "\n- geomean improvement: %.2f%%\n", Geomean(base, uop))
 	fmt.Fprintf(r.opts.Out, "- traces benefiting: %.1f%% (paper: 80.7%%)\n",
 		100*float64(benefit)/float64(len(base)))
+	return nil
 }
 
 // Fig3 reproduces Fig. 3: per-instruction µ-op cache hit rate and mode
 // switches per kilo-instruction, per trace, sorted by hit rate.
-func (r *Runner) Fig3() {
-	rs := r.Sweep(BaselineCfg())
+func (r *Runner) Fig3() error {
+	rs, err := r.Sweep(BaselineCfg())
+	if err != nil {
+		return err
+	}
 	sorted := append([]sim.Result(nil), rs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].UopHitRate < sorted[j].UopHitRate })
 	r.section("Fig. 3 — µ-op cache hit rate and switch PKI",
@@ -45,30 +59,44 @@ func (r *Runner) Fig3() {
 		100*Amean(rs, func(x sim.Result) float64 { return x.UopHitRate }))
 	fmt.Fprintf(r.opts.Out, "- amean switch PKI: %.2f\n",
 		Amean(rs, func(x sim.Result) float64 { return x.SwitchPKI }))
+	return nil
 }
 
 // Fig4 reproduces Fig. 4: µ-op cache size sweep (speedup over the 4Kops
 // baseline and hit rate), plus the ideal µ-op cache.
-func (r *Runner) Fig4() {
-	base := r.Sweep(BaselineCfg())
+func (r *Runner) Fig4() error {
+	base, err := r.Sweep(BaselineCfg())
+	if err != nil {
+		return err
+	}
 	r.section("Fig. 4 — increasing the µ-op cache size",
 		"Speedup over the 4Kops baseline and amean hit rate per size; 'ideal' is the always-hit µ-op cache (paper: 10.8% avg).")
 	r.tableHeader("µ-op cache", "speedup vs 4Kops (%)", "hit rate (%)")
 	fmt.Fprintf(r.opts.Out, "4Kops | 0.00 | %.1f\n",
 		100*Amean(base, func(x sim.Result) float64 { return x.UopHitRate }))
 	for _, ops := range []int{8192, 16384, 32768, 65536} {
-		rs := r.Sweep(UopSize(ops))
+		rs, err := r.Sweep(UopSize(ops))
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(r.opts.Out, "%dKops | %.2f | %.1f\n", ops/1024,
 			Geomean(base, rs), 100*Amean(rs, func(x sim.Result) float64 { return x.UopHitRate }))
 	}
-	ideal := r.Sweep(IdealUop())
+	ideal, err := r.Sweep(IdealUop())
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(r.opts.Out, "ideal | %.2f | 100.0\n", Geomean(base, ideal))
+	return nil
 }
 
 // Fig5 reproduces Fig. 5: state-of-the-art L1I prefetchers under the
 // Base / L1I-Hits / IdealBRCond-8 / IdealBRCond-16 µ-op idealizations.
-func (r *Runner) Fig5() {
-	base := r.HeavySweep(Prefetcher("", "base"))
+func (r *Runner) Fig5() error {
+	base, err := r.HeavySweep(Prefetcher("", "base"))
+	if err != nil {
+		return err
+	}
 	r.section("Fig. 5 — L1I prefetchers versus alternate path",
 		"IPC improvement (%) over no-prefetcher baseline, and amean µ-op cache hit rate (%). Modes: Base, L1I-Hits, IdealBRCond-8/16. Reduced trace subset.")
 	r.tableHeader("prefetcher", "base", "l1ihits", "brcond8", "brcond16", "HR base", "HR l1ihits", "HR brcond8", "HR brcond16")
@@ -79,19 +107,26 @@ func (r *Runner) Fig5() {
 		}
 		var imps, hrs []string
 		for _, mode := range []string{"base", "l1ihits", "brcond8", "brcond16"} {
-			rs := r.HeavySweep(Prefetcher(pf, mode))
+			rs, err := r.HeavySweep(Prefetcher(pf, mode))
+			if err != nil {
+				return err
+			}
 			imps = append(imps, fmt.Sprintf("%.2f", Geomean(base, rs)))
 			hrs = append(hrs, fmt.Sprintf("%.1f", 100*Amean(rs, func(x sim.Result) float64 { return x.UopHitRate })))
 		}
 		fmt.Fprintf(r.opts.Out, "%s | %s | %s | %s | %s | %s | %s | %s | %s\n",
 			label, imps[0], imps[1], imps[2], imps[3], hrs[0], hrs[1], hrs[2], hrs[3])
 	}
+	return nil
 }
 
 // Fig9 reproduces Fig. 9: coverage and accuracy of the H2P classifiers
 // (TAGE-Conf vs UCP-Conf) measured in the full frontend.
-func (r *Runner) Fig9() {
-	rs := r.Sweep(BaselineCfg())
+func (r *Runner) Fig9() error {
+	rs, err := r.Sweep(BaselineCfg())
+	if err != nil {
+		return err
+	}
 	var tCov, tAcc, uCov, uAcc float64
 	for _, res := range rs {
 		tCov += res.FE.H2PTage.Coverage()
@@ -105,14 +140,24 @@ func (r *Runner) Fig9() {
 	r.tableHeader("estimator", "coverage (%)", "accuracy (%)")
 	fmt.Fprintf(r.opts.Out, "TAGE-Conf | %.1f | %.1f\n", 100*tCov/n, 100*tAcc/n)
 	fmt.Fprintf(r.opts.Out, "UCP-Conf | %.1f | %.1f\n", 100*uCov/n, 100*uAcc/n)
+	return nil
 }
 
 // Fig10 reproduces Fig. 10: IPC of the baseline µ-op cache and of UCP,
 // both relative to no µ-op cache, per trace sorted.
-func (r *Runner) Fig10() {
-	none := r.Sweep(NoUop())
-	base := r.Sweep(BaselineCfg())
-	ucp := r.Sweep(UCP())
+func (r *Runner) Fig10() error {
+	none, err := r.Sweep(NoUop())
+	if err != nil {
+		return err
+	}
+	base, err := r.Sweep(BaselineCfg())
+	if err != nil {
+		return err
+	}
+	ucp, err := r.Sweep(UCP())
+	if err != nil {
+		return err
+	}
 	r.section("Fig. 10 — UCP and baseline relative to no µ-op cache",
 		"Per-trace IPC improvement (%) over the no-µ-op-cache machine.")
 	r.tableHeader("trace", "4K-µops (%)", "UCP (%)")
@@ -138,13 +183,20 @@ func (r *Runner) Fig10() {
 	}
 	fmt.Fprintf(r.opts.Out, "\n- traces where the µ-op cache pays off under UCP: %.1f%% (paper: 90%%, from 80.7%%)\n",
 		100*float64(benefit)/float64(len(none)))
+	return nil
 }
 
 // Fig11 reproduces Fig. 11: UCP speedup over the baseline, per trace
 // sorted, alongside the conditional branch MPKI.
-func (r *Runner) Fig11() {
-	base := r.Sweep(BaselineCfg())
-	ucp := r.Sweep(UCP())
+func (r *Runner) Fig11() error {
+	base, err := r.Sweep(BaselineCfg())
+	if err != nil {
+		return err
+	}
+	ucp, err := r.Sweep(UCP())
+	if err != nil {
+		return err
+	}
 	type row struct {
 		trace string
 		imp   float64
@@ -165,15 +217,28 @@ func (r *Runner) Fig11() {
 	fmt.Fprintf(r.opts.Out, "\n- geomean %.2f%% (min %.2f%%, max %.2f%%); amean MPKI %.2f\n",
 		Geomean(base, ucp), min, max,
 		Amean(base, func(x sim.Result) float64 { return x.CondMPKI }))
+	return nil
 }
 
 // Fig12 reproduces Fig. 12: (a) UCP with and without the dedicated
 // indirect predictor; (b) UCP-Conf vs TAGE-Conf confidence estimation.
-func (r *Runner) Fig12() {
-	base := r.Sweep(BaselineCfg())
-	ucp := r.Sweep(UCP())
-	noind := r.Sweep(UCPNoInd())
-	tconf := r.Sweep(UCPTageConf())
+func (r *Runner) Fig12() error {
+	base, err := r.Sweep(BaselineCfg())
+	if err != nil {
+		return err
+	}
+	ucp, err := r.Sweep(UCP())
+	if err != nil {
+		return err
+	}
+	noind, err := r.Sweep(UCPNoInd())
+	if err != nil {
+		return err
+	}
+	tconf, err := r.Sweep(UCPTageConf())
+	if err != nil {
+		return err
+	}
 	r.section("Fig. 12 — UCP variants",
 		"Geomean IPC improvement (%) over baseline. Paper: UCP 2%, UCP-NoIND 1.9%, TAGE-Conf 1.8%.")
 	r.tableHeader("variant", "improvement (%)", "min (%)", "max (%)")
@@ -186,12 +251,19 @@ func (r *Runner) Fig12() {
 		min, max := MinMax(base, x.rs)
 		fmt.Fprintf(r.opts.Out, "%s | %.2f | %.2f | %.2f\n", x.name, Geomean(base, x.rs), min, max)
 	}
+	return nil
 }
 
 // Fig13 reproduces Fig. 13: the µ-op cache hit rate under UCP.
-func (r *Runner) Fig13() {
-	base := r.Sweep(BaselineCfg())
-	ucp := r.Sweep(UCP())
+func (r *Runner) Fig13() error {
+	base, err := r.Sweep(BaselineCfg())
+	if err != nil {
+		return err
+	}
+	ucp, err := r.Sweep(UCP())
+	if err != nil {
+		return err
+	}
 	sorted := append([]sim.Result(nil), ucp...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].UopHitRate < sorted[j].UopHitRate })
 	r.section("Fig. 13 — µ-op cache hit rate under UCP",
@@ -210,12 +282,16 @@ func (r *Runner) Fig13() {
 			}
 			return float64(x.UCP.LinesPrefetched) / float64(x.UCP.Triggers)
 		}))
+	return nil
 }
 
 // Fig14 reproduces Fig. 14: UCP prefetch accuracy at µ-op cache entry
 // granularity.
-func (r *Runner) Fig14() {
-	ucp := r.Sweep(UCP())
+func (r *Runner) Fig14() error {
+	ucp, err := r.Sweep(UCP())
+	if err != nil {
+		return err
+	}
 	sorted := append([]sim.Result(nil), ucp...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].PrefetchAccuracy < sorted[j].PrefetchAccuracy })
 	r.section("Fig. 14 — prefetch accuracy",
@@ -226,28 +302,42 @@ func (r *Runner) Fig14() {
 	}
 	fmt.Fprintf(r.opts.Out, "\n- amean accuracy: %.1f%%\n",
 		100*Amean(ucp, func(x sim.Result) float64 { return x.PrefetchAccuracy }))
+	return nil
 }
 
 // Fig15 reproduces Fig. 15: stop-threshold sensitivity for UCP
 // (prefetching to the µ-op cache) and UCP-L1I (prefetching to the L1I
 // only).
-func (r *Runner) Fig15() {
-	base := r.HeavySweep(BaselineCfg())
+func (r *Runner) Fig15() error {
+	base, err := r.HeavySweep(BaselineCfg())
+	if err != nil {
+		return err
+	}
 	r.section("Fig. 15 — stopping threshold sensitivity",
 		"Geomean IPC improvement (%) per saturation value (reduced trace subset). Paper: µ-op flavor plateaus ≥500, thrashes past ~1000; L1I flavor peaks at 1000.")
 	r.tableHeader("threshold", "UCP µ-op prefetch (%)", "UCP L1I prefetch (%)")
 	for _, th := range []int{16, 64, 256, 500, 1024, 4096} {
-		uop := r.HeavySweep(UCPThreshold(th, false))
-		l1i := r.HeavySweep(UCPThreshold(th, true))
+		uop, err := r.HeavySweep(UCPThreshold(th, false))
+		if err != nil {
+			return err
+		}
+		l1i, err := r.HeavySweep(UCPThreshold(th, true))
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(r.opts.Out, "%d | %.2f | %.2f\n", th, Geomean(base, uop), Geomean(base, l1i))
 	}
+	return nil
 }
 
 // Fig16 reproduces Fig. 16: IPC improvement versus invested storage for
 // UCP flavors, L1I prefetchers, larger µ-op caches, MRC sizes, and a
 // doubled branch predictor.
-func (r *Runner) Fig16() {
-	base := r.HeavySweep(BaselineCfg())
+func (r *Runner) Fig16() error {
+	base, err := r.HeavySweep(BaselineCfg())
+	if err != nil {
+		return err
+	}
 	r.section("Fig. 16 — cost/benefit (storage vs speedup)",
 		"Geomean IPC improvement (%) over baseline and added storage (KB). Paper: both UCP flavors sit on the Pareto front.")
 	r.tableHeader("design", "storage (KB)", "improvement (%)")
@@ -256,39 +346,74 @@ func (r *Runner) Fig16() {
 		storage float64
 		rs      []sim.Result
 	}
-	ucpRes := r.HeavySweep(UCP())
-	noindRes := r.HeavySweep(UCPNoInd())
+	ucpRes, err := r.HeavySweep(UCP())
+	if err != nil {
+		return err
+	}
+	noindRes, err := r.HeavySweep(UCPNoInd())
+	if err != nil {
+		return err
+	}
 	points := []point{
 		{"UCP-ITTAGE", ucpRes[0].UCPStorageKB, ucpRes},
 		{"UCP-NoIndirect", noindRes[0].UCPStorageKB, noindRes},
 	}
-	shared := r.HeavySweep(UCPSharedDecoders())
+	shared, err := r.HeavySweep(UCPSharedDecoders())
+	if err != nil {
+		return err
+	}
 	points = append(points, point{"UCP-SharedDecoders", shared[0].UCPStorageKB, shared})
-	l1i := r.HeavySweep(UCPThreshold(1000, true))
+	l1i, err := r.HeavySweep(UCPThreshold(1000, true))
+	if err != nil {
+		return err
+	}
 	points = append(points, point{"UCP-L1I(T=1000)", l1i[0].UCPStorageKB, l1i})
-	noconf := r.HeavySweep(UCPIdealBTB())
+	noconf, err := r.HeavySweep(UCPIdealBTB())
+	if err != nil {
+		return err
+	}
 	points = append(points, point{"UCP-NoBTBConflict", noconf[0].UCPStorageKB, noconf})
 	for _, pf := range []string{"fnlmma", "fnlmma++", "djolt", "ep", "ep++"} {
-		points = append(points, point{pf, prefetch.StorageKBOf(pf), r.HeavySweep(Prefetcher(pf, "base"))})
+		rs, err := r.HeavySweep(Prefetcher(pf, "base"))
+		if err != nil {
+			return err
+		}
+		points = append(points, point{pf, prefetch.StorageKBOf(pf), rs})
 	}
 	for _, ops := range []int{8192, 16384, 32768} {
 		cfg := UopSize(ops)
 		added := float64(ops-4096) * 36 / 8 / 1024
-		points = append(points, point{cfg.Name, added, r.HeavySweep(cfg)})
+		rs, err := r.HeavySweep(cfg)
+		if err != nil {
+			return err
+		}
+		points = append(points, point{cfg.Name, added, rs})
 	}
 	for _, kb := range []float64{16.5, 33, 66, 132} {
-		points = append(points, point{fmt.Sprintf("MRC-%.1fKB", kb), kb, r.HeavySweep(MRCCfg(kb))})
+		rs, err := r.HeavySweep(MRCCfg(kb))
+		if err != nil {
+			return err
+		}
+		points = append(points, point{fmt.Sprintf("MRC-%.1fKB", kb), kb, rs})
 	}
-	points = append(points, point{"TAGE-SC-Lx2", 64, r.HeavySweep(DoublePredictor())})
+	dbl, err := r.HeavySweep(DoublePredictor())
+	if err != nil {
+		return err
+	}
+	points = append(points, point{"TAGE-SC-Lx2", 64, dbl})
 	sort.Slice(points, func(i, j int) bool { return points[i].storage < points[j].storage })
 	for _, p := range points {
 		fmt.Fprintf(r.opts.Out, "%s | %.1f | %.2f\n", p.name, p.storage, Geomean(base, p.rs))
 	}
+	return nil
 }
 
 // ArtifactTable reproduces the artifact's summary table (threshold 500).
-func (r *Runner) ArtifactTable() {
-	base := r.HeavySweep(BaselineCfg())
+func (r *Runner) ArtifactTable() error {
+	base, err := r.HeavySweep(BaselineCfg())
+	if err != nil {
+		return err
+	}
 	r.section("Artifact table — UCP variant IPC improvement",
 		"Paper: UCP 2%, UCP-TillL1I 1.6%, UCP-SharedDecoders 1.8%, UCP-IdealBTBBanking 2.2%.")
 	r.tableHeader("variant", "IPC improvement (%)")
@@ -301,18 +426,28 @@ func (r *Runner) ArtifactTable() {
 		{"UCP-SharedDecoders", UCPSharedDecoders()},
 		{"UCP-IdealBTBBanking", UCPIdealBTB()},
 	} {
-		rs := r.HeavySweep(x.cfg)
+		rs, err := r.HeavySweep(x.cfg)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(r.opts.Out, "%s | %.2f\n", x.name, Geomean(base, rs))
 	}
+	return nil
 }
 
 // Distributions reports the stream-length and refill-latency
 // distributions behind the paper's §III-A argument and UCP's mechanism:
 // the µ-op cache pays off only with long consecutive-hit streams, and
 // UCP's benefit is a shorter mispredict-to-first-µ-op refill.
-func (r *Runner) Distributions() {
-	base := r.Sweep(BaselineCfg())
-	ucp := r.Sweep(UCP())
+func (r *Runner) Distributions() error {
+	base, err := r.Sweep(BaselineCfg())
+	if err != nil {
+		return err
+	}
+	ucp, err := r.Sweep(UCP())
+	if err != nil {
+		return err
+	}
 	r.section("Distributions — hit streams and refill latency",
 		"Consecutive µ-op cache hit stream lengths (µ-ops) and mispredict-resolve→first-µ-op latency (cycles), baseline vs UCP.")
 	r.tableHeader("trace", "stream mean", "stream p90≤", "refill mean base", "refill mean UCP", "refill p90≤ base", "refill p90≤ UCP")
@@ -330,4 +465,5 @@ func (r *Runner) Distributions() {
 	}
 	n := float64(len(base))
 	fmt.Fprintf(r.opts.Out, "\n- amean refill latency: baseline %.1f → UCP %.1f cycles\n", bSum/n, uSum/n)
+	return nil
 }

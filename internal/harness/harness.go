@@ -1,8 +1,10 @@
 // Package harness runs the paper's experiments: for every table and
 // figure in the evaluation (§III, §VI) it builds the relevant machine
 // configurations, sweeps them over the synthetic CVP-1-substitute trace
-// set, and prints the same rows/series the paper reports. Results are
-// cached per (config, trace) within a process so figures can share runs.
+// set, and prints the same rows/series the paper reports. Runs execute
+// on an internal/runq worker pool and are memoized by content digest —
+// in-process always, on disk when Options.CacheDir is set — so figures
+// share runs and repeated invocations replay instead of recompute.
 package harness
 
 import (
@@ -11,6 +13,7 @@ import (
 	"math"
 	"sort"
 
+	"ucp/internal/runq"
 	"ucp/internal/sim"
 	"ucp/internal/trace"
 )
@@ -25,6 +28,20 @@ type Options struct {
 	Out io.Writer
 	// Verbose prints one line per completed run.
 	Verbose bool
+	// Jobs bounds concurrent simulations (GOMAXPROCS when 0). Reports
+	// are byte-identical at every worker count: results always come
+	// back in submission order.
+	Jobs int
+	// CacheDir enables runq's content-addressed on-disk result cache.
+	CacheDir string
+	// Clock supplies elapsed time for progress/ETA lines (nil: none).
+	// Wire a real clock only from cmd/ — internal packages must stay
+	// wall-clock-free (ucplint wallclock rule).
+	Clock runq.Clock
+	// Progress receives scheduler progress lines (nil: silent). Must
+	// not alias Out: progress output is completion-ordered and timed,
+	// so it would break report determinism.
+	Progress io.Writer
 }
 
 // DefaultOptions returns a laptop-scale sweep: the full trace set at
@@ -38,11 +55,10 @@ func DefaultOptions(out io.Writer) Options {
 	}
 }
 
-// Runner executes and caches simulation runs.
+// Runner executes simulation runs on a runq pool and renders figures.
 type Runner struct {
-	opts  Options
-	progs map[string]*trace.Program
-	cache map[string]sim.Result
+	opts Options
+	pool *runq.Pool
 }
 
 // NewRunner builds a runner; programs are constructed lazily.
@@ -51,9 +67,13 @@ func NewRunner(opts Options) *Runner {
 		opts.Profiles = trace.DefaultProfiles()
 	}
 	return &Runner{
-		opts:  opts,
-		progs: make(map[string]*trace.Program),
-		cache: make(map[string]sim.Result),
+		opts: opts,
+		pool: runq.New(runq.Options{
+			Workers:  opts.Jobs,
+			CacheDir: opts.CacheDir,
+			Clock:    opts.Clock,
+			Progress: opts.Progress,
+		}),
 	}
 }
 
@@ -63,47 +83,50 @@ func (r *Runner) Out() io.Writer { return r.opts.Out }
 // Profiles returns the trace set.
 func (r *Runner) Profiles() []trace.Profile { return r.opts.Profiles }
 
-func (r *Runner) program(p trace.Profile) *trace.Program {
-	if prog, ok := r.progs[p.Name]; ok {
-		return prog
-	}
-	prog, err := trace.BuildProgram(p)
-	if err != nil {
-		panic(fmt.Sprintf("harness: building %s: %v", p.Name, err))
-	}
-	r.progs[p.Name] = prog
-	return prog
+// SchedulerStats exposes the pool's run/cache counters.
+func (r *Runner) SchedulerStats() runq.Stats { return r.pool.Stats() }
+
+// program returns the built program for p (shared with the pool's
+// simulation workers; predictor-profiling figures walk it directly).
+func (r *Runner) program(p trace.Profile) (*trace.Program, error) {
+	return r.pool.Program(p)
 }
 
-// Run executes cfg over one named trace (cached by cfg.Name+trace).
-func (r *Runner) Run(cfg sim.Config, prof trace.Profile) sim.Result {
-	key := cfg.Name + "/" + prof.Name
-	if res, ok := r.cache[key]; ok {
-		return res
-	}
-	prog := r.program(prof)
-	cfg.WarmupInsts = r.opts.Warmup
-	cfg.MeasureInsts = r.opts.Measure
-	src := trace.NewLimit(trace.NewWalker(prog), int(cfg.WarmupInsts+cfg.MeasureInsts)+200_000)
-	res, err := sim.Run(cfg, src, prog, prof.Name)
+// Run executes cfg over one named trace.
+func (r *Runner) Run(cfg sim.Config, prof trace.Profile) (sim.Result, error) {
+	rs, err := r.sweep(cfg, []trace.Profile{prof})
 	if err != nil {
-		panic(fmt.Sprintf("harness: %s on %s: %v", cfg.Name, prof.Name, err))
+		return sim.Result{}, err
 	}
-	r.cache[key] = res
-	if r.opts.Verbose {
-		fmt.Fprintf(r.opts.Out, "# run %-24s %-9s IPC=%.4f HR=%.3f\n",
-			cfg.Name, prof.Name, res.IPC, res.UopHitRate)
+	return rs[0], nil
+}
+
+// sweep schedules cfg over profs on the pool and collects results in
+// trace order. Any failed run aborts the sweep with its error — the
+// figure asking for it fails, the process (and the other figures) keep
+// going.
+func (r *Runner) sweep(cfg sim.Config, profs []trace.Profile) ([]sim.Result, error) {
+	jobs := make([]runq.Job, len(profs))
+	for i, p := range profs {
+		jobs[i] = runq.Job{Config: cfg, Profile: p, Warmup: r.opts.Warmup, Measure: r.opts.Measure}
 	}
-	return res
+	out := make([]sim.Result, len(jobs))
+	for i, jr := range r.pool.RunAll(jobs) {
+		if jr.Err != nil {
+			return nil, fmt.Errorf("harness: %w", jr.Err)
+		}
+		out[i] = jr.Result
+		if r.opts.Verbose && jr.Source != runq.SourceMemo {
+			fmt.Fprintf(r.opts.Out, "# run %-24s %-9s IPC=%.4f HR=%.3f\n",
+				cfg.Name, profs[i].Name, jr.Result.IPC, jr.Result.UopHitRate)
+		}
+	}
+	return out, nil
 }
 
 // Sweep runs cfg over the whole trace set.
-func (r *Runner) Sweep(cfg sim.Config) []sim.Result {
-	out := make([]sim.Result, 0, len(r.opts.Profiles))
-	for _, p := range r.opts.Profiles {
-		out = append(out, r.Run(cfg, p))
-	}
-	return out
+func (r *Runner) Sweep(cfg sim.Config) ([]sim.Result, error) {
+	return r.sweep(cfg, r.opts.Profiles)
 }
 
 // heavyProfiles is the reduced subset used by the configuration-heavy
@@ -133,17 +156,13 @@ func (r *Runner) heavyProfiles() []trace.Profile {
 
 // HeavySweep runs cfg over the reduced subset (cache-compatible with
 // full sweeps: results are keyed per trace).
-func (r *Runner) HeavySweep(cfg sim.Config) []sim.Result {
-	profs := r.heavyProfiles()
-	out := make([]sim.Result, 0, len(profs))
-	for _, p := range profs {
-		out = append(out, r.Run(cfg, p))
-	}
-	return out
+func (r *Runner) HeavySweep(cfg sim.Config) ([]sim.Result, error) {
+	return r.sweep(cfg, r.heavyProfiles())
 }
 
 // Geomean returns the geometric mean of per-trace speedups of exp over
-// base (aligned by index), as a percentage improvement.
+// base (aligned by index), as a percentage improvement. Empty or
+// mismatched slices yield 0.
 func Geomean(base, exp []sim.Result) float64 {
 	if len(base) != len(exp) || len(base) == 0 {
 		return 0
@@ -156,7 +175,11 @@ func Geomean(base, exp []sim.Result) float64 {
 }
 
 // MinMax returns the minimum and maximum per-trace improvement (%).
+// Empty or mismatched slices yield (0, 0).
 func MinMax(base, exp []sim.Result) (min, max float64) {
+	if len(base) != len(exp) || len(base) == 0 {
+		return 0, 0
+	}
 	min, max = math.Inf(1), math.Inf(-1)
 	for i := range base {
 		v := (exp[i].IPC/base[i].IPC - 1) * 100

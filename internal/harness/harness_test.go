@@ -22,13 +22,37 @@ func TestRunCaching(t *testing.T) {
 	var buf bytes.Buffer
 	r := tinyRunner(&buf)
 	p := r.Profiles()[0]
-	a := r.Run(BaselineCfg(), p)
-	b := r.Run(BaselineCfg(), p)
-	if a != b {
+	a, err := r.Run(BaselineCfg(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(BaselineCfg(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DeterminismDigest() != b.DeterminismDigest() {
 		t.Fatal("cached result differs")
 	}
-	if len(r.cache) != 1 {
-		t.Fatalf("cache has %d entries, want 1", len(r.cache))
+	st := r.SchedulerStats()
+	if st.Runs != 1 || st.MemoHits != 1 {
+		t.Fatalf("scheduler stats %+v, want 1 run + 1 memo hit", st)
+	}
+}
+
+func TestRunErrorPropagation(t *testing.T) {
+	// A config that fails validation must surface as an error from Run,
+	// not a panic, and must not poison later healthy runs.
+	var buf bytes.Buffer
+	r := tinyRunner(&buf)
+	bad := BaselineCfg()
+	bad.RASEntries = 0
+	if _, err := r.Run(bad, r.Profiles()[0]); err == nil {
+		t.Fatal("invalid config did not error")
+	} else if !strings.Contains(err.Error(), "RASEntries") {
+		t.Fatalf("error lost the cause: %v", err)
+	}
+	if _, err := r.Run(BaselineCfg(), r.Profiles()[0]); err != nil {
+		t.Fatalf("healthy run after a failure: %v", err)
 	}
 }
 
@@ -42,8 +66,28 @@ func TestGeomeanMath(t *testing.T) {
 	if min < 9.99 || max > 10.01 {
 		t.Fatalf("minmax %v %v", min, max)
 	}
+}
+
+func TestGeomeanEdgeCases(t *testing.T) {
+	base := []sim.Result{{IPC: 1}, {IPC: 2}}
 	if Geomean(nil, nil) != 0 {
 		t.Fatal("empty geomean must be 0")
+	}
+	if Geomean(base, base[:1]) != 0 {
+		t.Fatal("length-mismatched geomean must be 0")
+	}
+	if Geomean(nil, base) != 0 {
+		t.Fatal("nil-base geomean must be 0")
+	}
+}
+
+func TestMinMaxEdgeCases(t *testing.T) {
+	base := []sim.Result{{IPC: 1}, {IPC: 2}}
+	if min, max := MinMax(nil, nil); min != 0 || max != 0 {
+		t.Fatalf("empty MinMax = (%v, %v), want (0, 0)", min, max)
+	}
+	if min, max := MinMax(base, base[:1]); min != 0 || max != 0 {
+		t.Fatalf("mismatched MinMax = (%v, %v), want (0, 0)", min, max)
 	}
 }
 
@@ -51,6 +95,37 @@ func TestAmean(t *testing.T) {
 	rs := []sim.Result{{UopHitRate: 0.5}, {UopHitRate: 1.0}}
 	if a := Amean(rs, func(r sim.Result) float64 { return r.UopHitRate }); a != 0.75 {
 		t.Fatalf("amean %v", a)
+	}
+	if a := Amean(nil, func(r sim.Result) float64 { return r.IPC }); a != 0 {
+		t.Fatal("empty amean must be 0")
+	}
+}
+
+// TestFigureBytesAcrossWorkerCounts is the harness-level half of the
+// parallel-determinism contract: the same figures rendered through a
+// 1-worker and an 8-worker pool must be byte-identical.
+func TestFigureBytesAcrossWorkerCounts(t *testing.T) {
+	render := func(jobs int) string {
+		var buf bytes.Buffer
+		r := NewRunner(Options{
+			Profiles: trace.QuickProfiles(),
+			Warmup:   20_000,
+			Measure:  20_000,
+			Out:      &buf,
+			Jobs:     jobs,
+		})
+		if err := r.Fig3(); err != nil {
+			t.Fatalf("Fig3 with %d jobs: %v", jobs, err)
+		}
+		if err := r.Fig2(); err != nil {
+			t.Fatalf("Fig2 with %d jobs: %v", jobs, err)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatalf("figure bytes diverge between 1 and 8 workers:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", serial, parallel)
 	}
 }
 
@@ -89,7 +164,9 @@ func TestConfigAliases(t *testing.T) {
 func TestFig9Output(t *testing.T) {
 	var buf bytes.Buffer
 	r := tinyRunner(&buf)
-	r.Fig9()
+	if err := r.Fig9(); err != nil {
+		t.Fatal(err)
+	}
 	out := buf.String()
 	if !strings.Contains(out, "TAGE-Conf") || !strings.Contains(out, "UCP-Conf") {
 		t.Fatalf("Fig9 output incomplete:\n%s", out)
@@ -99,7 +176,9 @@ func TestFig9Output(t *testing.T) {
 func TestFig6and7Output(t *testing.T) {
 	var buf bytes.Buffer
 	r := tinyRunner(&buf)
-	r.Fig6and7()
+	if err := r.Fig6and7(); err != nil {
+		t.Fatal(err)
+	}
 	out := buf.String()
 	for _, want := range []string{"Fig. 6a", "Fig. 6b", "Fig. 7", "HitBank", "AltBank", "Loop"} {
 		if !strings.Contains(out, want) {
@@ -114,7 +193,9 @@ func TestArtifactTableOutput(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	r := tinyRunner(&buf)
-	r.ArtifactTable()
+	if err := r.ArtifactTable(); err != nil {
+		t.Fatal(err)
+	}
 	out := buf.String()
 	for _, want := range []string{"UCP", "UCP-TillL1I", "UCP-SharedDecoders", "UCP-IdealBTBBanking"} {
 		if !strings.Contains(out, want) {

@@ -10,11 +10,14 @@ import (
 // Fig9JRS extends the Fig. 9 comparison with the classic JRS resetting-
 // counter estimator (a dedicated 0.5KB structure, §VII-D) measured over
 // the same predictor stream as the storage-free estimators.
-func (r *Runner) Fig9JRS() {
+func (r *Runner) Fig9JRS() error {
 	var jrsStats, tageStats, ucpStats bpred.H2PStats
 	branches := int(r.opts.Measure)
 	for _, prof := range r.opts.Profiles {
-		prog := r.program(prof)
+		prog, err := r.program(prof)
+		if err != nil {
+			return err
+		}
 		w := trace.NewWalker(prog)
 		pred := bpred.NewTageSCL(bpred.Config64KB())
 		jrs := bpred.DefaultJRS()
@@ -48,13 +51,14 @@ func (r *Runner) Fig9JRS() {
 		100*tageStats.Coverage(), 100*tageStats.Accuracy())
 	fmt.Fprintf(r.opts.Out, "UCP-Conf | free | %.1f | %.1f\n",
 		100*ucpStats.Coverage(), 100*ucpStats.Accuracy())
+	return nil
 }
 
 // Fig6and7 reproduces Fig. 6 and Fig. 7 by profiling a standalone 64KB
 // TAGE-SC-L over the trace set: per-component misprediction rates as a
 // function of the providing counter value (Fig. 6) and each component's
 // share of total mispredictions (Fig. 7).
-func (r *Runner) Fig6and7() {
+func (r *Runner) Fig6and7() error {
 	type bucket struct{ n, miss uint64 }
 	// TAGE provider counters, centered: index by value+4 (range -4..3).
 	var hitBank, altBank, bimodal, bimodalBad [8]bucket
@@ -65,7 +69,10 @@ func (r *Runner) Fig6and7() {
 
 	branches := int(r.opts.Measure) // per trace, same budget as the sim runs
 	for _, prof := range r.opts.Profiles {
-		prog := r.program(prof)
+		prog, err := r.program(prof)
+		if err != nil {
+			return err
+		}
 		w := trace.NewWalker(prog)
 		pred := bpred.NewTageSCL(bpred.Config64KB())
 		seen := 0
@@ -177,4 +184,5 @@ func (r *Runner) Fig6and7() {
 	fmt.Fprintf(r.opts.Out, "bimodal(>1in8) | %.1f\n", share(bimBadMiss))
 	fmt.Fprintf(r.opts.Out, "SC | %.1f\n", share(srcMiss[bpred.SrcSC]))
 	fmt.Fprintf(r.opts.Out, "Loop | %.1f\n", share(srcMiss[bpred.SrcLoop]))
+	return nil
 }

@@ -1,0 +1,66 @@
+package runq
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"ucp/internal/sim"
+	"ucp/internal/trace"
+)
+
+// SchemaVersion stamps the cache record layout. Bumping it (or
+// sim.ModelVersion, which is folded into every key alongside it)
+// orphans all previously written records: they are simply never looked
+// up again, so no explicit invalidation pass is needed.
+const SchemaVersion = "runq-1"
+
+// keyPayload is the canonical serialized identity of a job. It contains
+// everything that determines a run's measured numbers: the full machine
+// configuration (not just its display name), the complete synthetic
+// workload parameterization, the instruction budgets, and the model +
+// schema version stamps. Two jobs share a cache entry exactly when all
+// of it matches — same-named configs with different contents, or the
+// same sweep at different instruction counts, hash apart.
+type keyPayload struct {
+	Schema  string
+	Model   string
+	Config  sim.Config
+	Profile trace.Profile
+	Warmup  uint64
+	Measure uint64
+}
+
+// Key returns the hex SHA-256 content digest addressing job's result.
+// The digest is computed over the deterministic JSON encoding of the
+// job's full identity; encoding/json emits struct fields in declaration
+// order and contains no maps here, so the bytes are stable.
+func Key(job Job) (string, error) {
+	cfg := job.Config
+	cfg.WarmupInsts, cfg.MeasureInsts = job.Warmup, job.Measure
+	b, err := json.Marshal(keyPayload{
+		Schema:  SchemaVersion,
+		Model:   sim.ModelVersion,
+		Config:  cfg,
+		Profile: job.Profile,
+		Warmup:  job.Warmup,
+		Measure: job.Measure,
+	})
+	if err != nil {
+		return "", fmt.Errorf("runq: hashing %s/%s: %w", job.Config.Name, job.Profile.Name, err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// profileKey identifies a workload parameterization for the in-process
+// program cache. Profiles with equal names but different parameters map
+// to different programs, so the key covers every field.
+func profileKey(p trace.Profile) (string, error) {
+	b, err := json.Marshal(p)
+	if err != nil {
+		return "", fmt.Errorf("runq: hashing profile %s: %w", p.Name, err)
+	}
+	return string(b), nil
+}

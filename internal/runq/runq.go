@@ -1,0 +1,339 @@
+// Package runq schedules simulation runs across a worker pool and
+// memoizes their results in a content-addressed cache — in-process
+// always, on disk when a cache directory is configured.
+//
+// The experiment harness submits batches of (config, trace, budget)
+// jobs; runq fans them out over Workers goroutines and returns results
+// in submission order, so any report rendered from them is byte-for-byte
+// identical at every worker count. Each distinct job is keyed by a
+// SHA-256 digest of its full identity (see Key), executed at most once
+// per key, and — with a cache directory — never recomputed across
+// process restarts until the model or schema version stamp changes.
+//
+// Workers recover panics into per-job errors and retry a failed job
+// once, so one broken configuration fails its own figure instead of
+// taking down the whole evaluation. Progress and ETA reporting flow
+// through an injected Clock: runq itself never reads the wall clock
+// (the ucplint wallclock rule), the real clock is wired only in cmd/.
+package runq
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"ucp/internal/sim"
+	"ucp/internal/trace"
+)
+
+// Job is one simulation to run: cfg over the synthetic workload prof at
+// the given instruction budgets. Warmup/Measure override the config's
+// own WarmupInsts/MeasureInsts fields.
+type Job struct {
+	Config  sim.Config
+	Profile trace.Profile
+	Warmup  uint64
+	Measure uint64
+}
+
+// Result provenance values for JobResult.Source.
+const (
+	// SourceRun marks a freshly executed simulation.
+	SourceRun = "run"
+	// SourceDisk marks a result replayed from the on-disk cache.
+	SourceDisk = "disk"
+	// SourceMemo marks a result served from the in-process memo (or
+	// copied from an identical job earlier in the same batch).
+	SourceMemo = "memo"
+)
+
+// JobResult pairs a job with its outcome. Exactly one of Result/Err is
+// meaningful: Err != nil means the job failed (after the retry).
+type JobResult struct {
+	Job    Job
+	Key    string
+	Result sim.Result
+	Err    error
+	// Source records where the result came from: SourceRun, SourceDisk,
+	// or SourceMemo.
+	Source string
+	// Attempts counts executions of this job (0 when served from a
+	// cache, 2 when the first attempt panicked or errored).
+	Attempts int
+}
+
+// Clock returns elapsed time since an origin chosen by the caller. It
+// exists so progress/ETA reporting works without runq ever touching the
+// wall clock; cmd/ wires time.Since behind it.
+type Clock func() time.Duration
+
+// Options configures a Pool.
+type Options struct {
+	// Workers bounds concurrent simulations (GOMAXPROCS when <= 0).
+	Workers int
+	// CacheDir enables the on-disk result cache when non-empty.
+	CacheDir string
+	// Clock supplies elapsed time for ETA estimates (nil: no ETA).
+	Clock Clock
+	// Progress receives scheduler progress lines (nil: silent). It must
+	// not alias the report writer: progress output is nondeterministic
+	// by nature (completion-ordered, timed).
+	Progress io.Writer
+}
+
+// Stats counts what the pool did, cumulatively over its lifetime.
+type Stats struct {
+	// Runs counts simulations actually executed (including failed ones,
+	// excluding retries).
+	Runs int
+	// MemoHits counts jobs served from the in-process memo.
+	MemoHits int
+	// DiskHits counts jobs replayed from the on-disk cache.
+	DiskHits int
+	// Retries counts second attempts after a panic or error.
+	Retries int
+	// Failures counts jobs that still failed after their retry.
+	Failures int
+}
+
+// Pool executes jobs. Safe for use from one goroutine at a time
+// (RunAll is not reentrant); the workers it spawns synchronize
+// internally.
+type Pool struct {
+	opts Options
+
+	mu    sync.Mutex
+	memo  map[string]memoEntry
+	progs map[string]*progEntry
+	stats Stats
+	done  int // jobs completed in the current RunAll, for progress
+
+	// runJob is the execution seam; tests substitute failure modes.
+	runJob func(Job) (sim.Result, error)
+}
+
+type memoEntry struct {
+	res sim.Result
+	err error
+}
+
+type progEntry struct {
+	once sync.Once
+	prog *trace.Program
+	err  error
+}
+
+// New builds a pool.
+func New(opts Options) *Pool {
+	p := &Pool{
+		opts:  opts,
+		memo:  make(map[string]memoEntry),
+		progs: make(map[string]*progEntry),
+	}
+	p.runJob = p.simulate
+	return p
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+func (p *Pool) workers() int {
+	if p.opts.Workers > 0 {
+		return p.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Program returns the built program for prof, constructing it at most
+// once per parameterization. Programs are immutable once built (all
+// walk state lives in trace.Walker), so one instance is shared by every
+// concurrent run over the same workload.
+func (p *Pool) Program(prof trace.Profile) (*trace.Program, error) {
+	key, err := profileKey(prof)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	e := p.progs[key]
+	if e == nil {
+		e = &progEntry{}
+		p.progs[key] = e
+	}
+	p.mu.Unlock()
+	e.once.Do(func() { e.prog, e.err = trace.BuildProgram(prof) })
+	return e.prog, e.err
+}
+
+// RunAll executes the batch and returns one JobResult per job, in
+// submission order regardless of completion order or worker count.
+// Jobs with identical keys are executed once; duplicates receive a copy
+// of the leader's outcome. RunAll never panics on a bad job — failures
+// come back in JobResult.Err.
+func (p *Pool) RunAll(jobs []Job) []JobResult {
+	results := make([]JobResult, len(jobs))
+	// Resolve keys; the first job with each key leads, later duplicates
+	// in the same batch copy its outcome after the barrier.
+	dupOf := make([]int, len(jobs))
+	leader := make(map[string]int, len(jobs))
+	var queue []int
+	for i, j := range jobs {
+		dupOf[i] = -1
+		results[i] = JobResult{Job: j}
+		key, err := Key(j)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		results[i].Key = key
+		if li, dup := leader[key]; dup {
+			dupOf[i] = li
+			continue
+		}
+		leader[key] = i
+		queue = append(queue, i)
+	}
+
+	p.mu.Lock()
+	p.done = 0
+	p.mu.Unlock()
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				results[i] = p.execute(results[i])
+				p.noteProgress(len(queue))
+			}
+		}()
+	}
+	for _, i := range queue {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	for i, li := range dupOf {
+		if li < 0 {
+			continue
+		}
+		results[i].Result = results[li].Result
+		results[i].Err = results[li].Err
+		results[i].Source = SourceMemo
+	}
+	return results
+}
+
+// execute resolves one unique job: memo, then disk, then simulation
+// with panic recovery and a single retry.
+func (p *Pool) execute(jr JobResult) JobResult {
+	p.mu.Lock()
+	if e, ok := p.memo[jr.Key]; ok {
+		p.stats.MemoHits++
+		p.mu.Unlock()
+		jr.Result, jr.Err, jr.Source = e.res, e.err, SourceMemo
+		return jr
+	}
+	p.mu.Unlock()
+
+	if res, ok := p.loadDisk(jr.Key); ok {
+		jr.Result, jr.Source = res, SourceDisk
+		p.mu.Lock()
+		p.stats.DiskHits++
+		p.memo[jr.Key] = memoEntry{res: res}
+		p.mu.Unlock()
+		return jr
+	}
+
+	var res sim.Result
+	var err error
+	for attempt := 1; attempt <= 2; attempt++ {
+		jr.Attempts = attempt
+		res, err = recoverRun(p.runJob, jr.Job)
+		if err == nil {
+			break
+		}
+		if attempt == 1 {
+			p.mu.Lock()
+			p.stats.Retries++
+			p.mu.Unlock()
+		}
+	}
+	jr.Source = SourceRun
+	if err != nil {
+		jr.Err = fmt.Errorf("%s on %s: %w", jr.Job.Config.Name, jr.Job.Profile.Name, err)
+	} else {
+		jr.Result = res
+		if serr := p.storeDisk(jr.Key, jr.Job, res); serr != nil && p.opts.Progress != nil {
+			fmt.Fprintf(p.opts.Progress, "runq: cache write failed: %v\n", serr)
+		}
+	}
+	p.mu.Lock()
+	p.stats.Runs++
+	if err != nil {
+		p.stats.Failures++
+	}
+	p.memo[jr.Key] = memoEntry{res: jr.Result, err: jr.Err}
+	p.mu.Unlock()
+	return jr
+}
+
+// recoverRun invokes run, converting a panic into an error so one bad
+// configuration cannot take down the process.
+func recoverRun(run func(Job) (sim.Result, error), job Job) (res sim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return run(job)
+}
+
+// simulate is the real job body: build (or reuse) the program, apply
+// the instruction budgets, and run the machine.
+func (p *Pool) simulate(job Job) (sim.Result, error) {
+	prog, err := p.Program(job.Profile)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	cfg := job.Config
+	cfg.WarmupInsts, cfg.MeasureInsts = job.Warmup, job.Measure
+	src := trace.NewLimit(trace.NewWalker(prog), int(cfg.WarmupInsts+cfg.MeasureInsts)+200_000)
+	return sim.Run(cfg, src, prog, job.Profile.Name)
+}
+
+// noteProgress emits a progress/ETA line roughly every 5% of the batch
+// (and at the end). Progress is observability only — it goes to the
+// injected writer, never the report, and needs no determinism.
+func (p *Pool) noteProgress(total int) {
+	if p.opts.Progress == nil || total == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	stride := total / 20
+	if stride < 1 {
+		stride = 1
+	}
+	if p.done != total && p.done%stride != 0 {
+		return
+	}
+	line := fmt.Sprintf("runq: %d/%d jobs (%.0f%%)", p.done, total, 100*float64(p.done)/float64(total))
+	if p.opts.Clock != nil {
+		elapsed := p.opts.Clock()
+		line += fmt.Sprintf(" elapsed %s", elapsed.Round(100*time.Millisecond))
+		if p.done < total && p.done > 0 {
+			eta := time.Duration(float64(elapsed) / float64(p.done) * float64(total-p.done))
+			line += fmt.Sprintf(" eta %s", eta.Round(100*time.Millisecond))
+		}
+	}
+	fmt.Fprintln(p.opts.Progress, line)
+}

@@ -22,6 +22,12 @@ import (
 	"ucp/internal/uopcache"
 )
 
+// ModelVersion stamps the simulator's behavior revision. internal/runq
+// folds it into every result-cache key, so cached results from an older
+// model revision are never replayed as current ones. Bump it whenever a
+// change anywhere in the model alters any measured number.
+const ModelVersion = "ucp-sim-1"
+
 // Config describes one simulated machine configuration. Run validates
 // it (and, transitively, every sub-structure's geometry) before
 // assembling a machine.

@@ -7,6 +7,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -133,6 +134,47 @@ func (h *Histogram) Render() string {
 		fmt.Fprintf(&sb, "%10d-%-10d |%-40s %d\n", lo, hi, strings.Repeat("#", bar), h.buckets[i])
 	}
 	return sb.String()
+}
+
+// histogramState is the exported wire form of a Histogram. The on-disk
+// result cache (internal/runq) serializes whole sim.Results as JSON, so
+// the round trip must preserve every field a report can render — name,
+// buckets, count, sum, min, max — or a cache-warm rerun would print
+// different bytes than the run that populated the cache.
+type histogramState struct {
+	Name    string   `json:"name"`
+	Buckets []uint64 `json:"buckets"`
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     uint64   `json:"min"`
+	Max     uint64   `json:"max"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramState{
+		Name:    h.name,
+		Buckets: h.buckets[:],
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var s histogramState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	if len(s.Buckets) > len(h.buckets) {
+		return fmt.Errorf("stats: histogram %q has %d buckets, want ≤ %d",
+			s.Name, len(s.Buckets), len(h.buckets))
+	}
+	*h = Histogram{name: s.Name, count: s.Count, sum: s.Sum, min: s.Min, max: s.Max}
+	copy(h.buckets[:], s.Buckets)
+	return nil
 }
 
 // Merge adds other's samples into h (bucket-wise; min/max/mean exact).

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -115,6 +116,49 @@ func TestRender(t *testing.T) {
 	out := h.Render()
 	if !strings.Contains(out, "#") {
 		t.Fatalf("no bars:\n%s", out)
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram("refill latency")
+	for _, v := range []uint64{0, 1, 3, 9, 200, 1 << 30} {
+		h.Add(v)
+	}
+	b, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := NewHistogram("")
+	if err := json.Unmarshal(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Render() != h.Render() || got.String() != h.String() {
+		t.Fatalf("round trip changed rendering:\n%s\nvs\n%s", got.Render(), h.Render())
+	}
+	if got.Mean() != h.Mean() || got.Percentile(90) != h.Percentile(90) ||
+		got.Min() != h.Min() || got.Max() != h.Max() || got.Count() != h.Count() {
+		t.Fatal("round trip changed summary statistics")
+	}
+}
+
+func TestHistogramJSONRoundTripEmpty(t *testing.T) {
+	h := NewHistogram("empty")
+	b, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := NewHistogram("x")
+	if err := json.Unmarshal(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Render() != h.Render() {
+		t.Fatal("empty histogram rendering changed")
+	}
+	// The empty-histogram min sentinel (MaxUint64) must survive so that
+	// later Adds still track the true minimum.
+	got.Add(7)
+	if got.Min() != 7 {
+		t.Fatalf("min after round trip + Add = %d, want 7", got.Min())
 	}
 }
 
