@@ -15,6 +15,7 @@ import (
 // mode. Too little hysteresis thrashes modes; too much wastes stream
 // opportunities.
 func BenchmarkAblationStreamSwitchHysteresis(b *testing.B) {
+	b.ReportAllocs()
 	var imps [3]float64
 	hits := []int{1, 3, 8}
 	for i := 0; i < b.N; i++ {
@@ -35,6 +36,7 @@ func BenchmarkAblationStreamSwitchHysteresis(b *testing.B) {
 // penalty the paper charges (1 cycle, §V); a free switch bounds how much
 // of the slowdown on switch-heavy traces it explains.
 func BenchmarkAblationModeSwitchPenalty(b *testing.B) {
+	b.ReportAllocs()
 	var free, heavy float64
 	for i := 0; i < b.N; i++ {
 		cfg0 := ucp.Baseline()
@@ -52,6 +54,7 @@ func BenchmarkAblationModeSwitchPenalty(b *testing.B) {
 
 // BenchmarkAblationAltFTQSize varies UCP's 24-entry Alt-FTQ (§IV-F).
 func BenchmarkAblationAltFTQSize(b *testing.B) {
+	b.ReportAllocs()
 	var small, big float64
 	for i := 0; i < b.N; i++ {
 		mk := func(n int, name string) ucp.Config {
@@ -71,6 +74,7 @@ func BenchmarkAblationAltFTQSize(b *testing.B) {
 // BenchmarkAblationWalkWidth varies how many alternate-path addresses
 // UCP generates per cycle (one 16-address window in the paper's model).
 func BenchmarkAblationWalkWidth(b *testing.B) {
+	b.ReportAllocs()
 	var narrow, wide float64
 	for i := 0; i < b.N; i++ {
 		mk := func(w int, name string) ucp.Config {
@@ -91,6 +95,7 @@ func BenchmarkAblationWalkWidth(b *testing.B) {
 // paper argues against: keeping the µ-op cache inclusive of the L1I
 // limits reach on large footprints.
 func BenchmarkAblationInclusiveUop(b *testing.B) {
+	b.ReportAllocs()
 	var imp float64
 	for i := 0; i < b.N; i++ {
 		inc := ucp.Baseline()
@@ -103,6 +108,7 @@ func BenchmarkAblationInclusiveUop(b *testing.B) {
 
 // BenchmarkAblationUopMSHRs varies UCP's 32-entry µ-op cache MSHR file.
 func BenchmarkAblationUopMSHRs(b *testing.B) {
+	b.ReportAllocs()
 	var small float64
 	for i := 0; i < b.N; i++ {
 		u := ucp.DefaultUCP()
@@ -119,6 +125,7 @@ func BenchmarkAblationUopMSHRs(b *testing.B) {
 // the block-based organization of §IV-C under UCP — the paper claims
 // UCP is conceptually agnostic of the BTB organization.
 func BenchmarkAblationBlockBTB(b *testing.B) {
+	b.ReportAllocs()
 	var delta float64
 	for i := 0; i < b.N; i++ {
 		base := ucp.WithUCP(ucp.DefaultUCP())

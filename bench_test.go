@@ -80,6 +80,7 @@ func noUop() ucp.Config {
 // BenchmarkFig02UopCacheVsNone measures the IPC improvement of the
 // 4Kops µ-op cache over no µ-op cache (Fig. 2).
 func BenchmarkFig02UopCacheVsNone(b *testing.B) {
+	b.ReportAllocs()
 	var imp float64
 	for i := 0; i < b.N; i++ {
 		imp = geomean(b, noUop(), ucp.Baseline())
@@ -90,6 +91,7 @@ func BenchmarkFig02UopCacheVsNone(b *testing.B) {
 // BenchmarkFig03HitRateSwitchPKI measures the baseline µ-op cache hit
 // rate and mode-switch PKI (Fig. 3).
 func BenchmarkFig03HitRateSwitchPKI(b *testing.B) {
+	b.ReportAllocs()
 	var hr, sw float64
 	for i := 0; i < b.N; i++ {
 		hr, sw = 0, 0
@@ -108,6 +110,7 @@ func BenchmarkFig03HitRateSwitchPKI(b *testing.B) {
 // BenchmarkFig04SizeSweep measures the speedup of a 16Kops µ-op cache
 // and of the ideal µ-op cache over the 4Kops baseline (Fig. 4).
 func BenchmarkFig04SizeSweep(b *testing.B) {
+	b.ReportAllocs()
 	big := ucp.Baseline()
 	big.Name = "uop-16K"
 	big.Uop.Ops = 16384
@@ -127,6 +130,7 @@ func BenchmarkFig04SizeSweep(b *testing.B) {
 // and the IdealBRCond-16 configuration against the no-prefetcher
 // baseline (Fig. 5).
 func BenchmarkFig05PrefetcherStudy(b *testing.B) {
+	b.ReportAllocs()
 	ep := ucp.Baseline()
 	ep.Name = "pf-ep"
 	ep.L1IPrefetcher = "ep"
@@ -145,6 +149,7 @@ func BenchmarkFig05PrefetcherStudy(b *testing.B) {
 // BenchmarkFig06ConfidenceProfile exercises the TAGE-SC-L component
 // profiling behind Fig. 6 (per-provider misprediction behavior).
 func BenchmarkFig06ConfidenceProfile(b *testing.B) {
+	b.ReportAllocs()
 	var miss float64
 	for i := 0; i < b.N; i++ {
 		r := runOne(b, ucp.Baseline(), "srv203")
@@ -156,6 +161,7 @@ func BenchmarkFig06ConfidenceProfile(b *testing.B) {
 // BenchmarkFig07MispredictShare measures total misprediction pressure
 // feeding the Fig. 7 component-share analysis.
 func BenchmarkFig07MispredictShare(b *testing.B) {
+	b.ReportAllocs()
 	var mpki float64
 	for i := 0; i < b.N; i++ {
 		mpki = 0
@@ -170,6 +176,7 @@ func BenchmarkFig07MispredictShare(b *testing.B) {
 // BenchmarkFig09H2PCoverageAccuracy measures H2P coverage/accuracy of
 // both confidence estimators (Fig. 9).
 func BenchmarkFig09H2PCoverageAccuracy(b *testing.B) {
+	b.ReportAllocs()
 	var tCov, uCov, uAcc float64
 	for i := 0; i < b.N; i++ {
 		tCov, uCov, uAcc = 0, 0, 0
@@ -190,6 +197,7 @@ func BenchmarkFig09H2PCoverageAccuracy(b *testing.B) {
 // BenchmarkFig10UCPvsBaseline measures baseline and UCP against the
 // no-µ-op-cache machine (Fig. 10).
 func BenchmarkFig10UCPvsBaseline(b *testing.B) {
+	b.ReportAllocs()
 	var impBase, impUCP float64
 	for i := 0; i < b.N; i++ {
 		impBase = geomean(b, noUop(), ucp.Baseline())
@@ -201,6 +209,7 @@ func BenchmarkFig10UCPvsBaseline(b *testing.B) {
 
 // BenchmarkFig11SpeedupMPKI measures the headline UCP speedup (Fig. 11).
 func BenchmarkFig11SpeedupMPKI(b *testing.B) {
+	b.ReportAllocs()
 	var imp float64
 	for i := 0; i < b.N; i++ {
 		imp = geomean(b, ucp.Baseline(), ucp.WithUCP(ucp.DefaultUCP()))
@@ -211,6 +220,7 @@ func BenchmarkFig11SpeedupMPKI(b *testing.B) {
 // BenchmarkFig12Variants measures UCP without Alt-Ind and UCP with
 // TAGE-Conf (Fig. 12).
 func BenchmarkFig12Variants(b *testing.B) {
+	b.ReportAllocs()
 	noind := ucp.WithUCP(ucp.NoIndUCP())
 	noind.Name = "UCP-NoInd"
 	tconf := ucp.DefaultUCP()
@@ -229,6 +239,7 @@ func BenchmarkFig12Variants(b *testing.B) {
 // BenchmarkFig13UCPHitRate measures the µ-op cache hit rate under UCP
 // (Fig. 13).
 func BenchmarkFig13UCPHitRate(b *testing.B) {
+	b.ReportAllocs()
 	cfg := ucp.WithUCP(ucp.DefaultUCP())
 	var hr float64
 	for i := 0; i < b.N; i++ {
@@ -244,6 +255,7 @@ func BenchmarkFig13UCPHitRate(b *testing.B) {
 // BenchmarkFig14PrefetchAccuracy measures UCP prefetch accuracy
 // (Fig. 14).
 func BenchmarkFig14PrefetchAccuracy(b *testing.B) {
+	b.ReportAllocs()
 	cfg := ucp.WithUCP(ucp.DefaultUCP())
 	var acc float64
 	for i := 0; i < b.N; i++ {
@@ -259,6 +271,7 @@ func BenchmarkFig14PrefetchAccuracy(b *testing.B) {
 // BenchmarkFig15ThresholdSweep measures two points of the stopping
 // threshold sweep (Fig. 15).
 func BenchmarkFig15ThresholdSweep(b *testing.B) {
+	b.ReportAllocs()
 	low := ucp.DefaultUCP()
 	low.StopThreshold = 16
 	lowCfg := ucp.WithUCP(low)
@@ -275,6 +288,7 @@ func BenchmarkFig15ThresholdSweep(b *testing.B) {
 // BenchmarkFig16Pareto measures the two UCP Pareto points (speedup per
 // KB of storage, Fig. 16).
 func BenchmarkFig16Pareto(b *testing.B) {
+	b.ReportAllocs()
 	var perKB, perKBNoInd float64
 	for i := 0; i < b.N; i++ {
 		full := ucp.WithUCP(ucp.DefaultUCP())
@@ -295,6 +309,7 @@ func BenchmarkFig16Pareto(b *testing.B) {
 // BenchmarkArtifactTable measures the four artifact variants (the
 // appendix's summary table).
 func BenchmarkArtifactTable(b *testing.B) {
+	b.ReportAllocs()
 	mk := func(mut func(*ucp.UCPConfig), name string) ucp.Config {
 		u := ucp.DefaultUCP()
 		mut(&u)
@@ -323,6 +338,7 @@ func BenchmarkArtifactTable(b *testing.B) {
 // BenchmarkSimulatorThroughput reports raw simulation speed
 // (instructions per second) on the baseline machine.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		runOne(b, ucp.Baseline(), "int02")
 	}

@@ -13,6 +13,11 @@
 #                           cache must be byte-identical; wall-clock
 #                           ratios are recorded in BENCH_runq.json but
 #                           never gated — timing is machine noise)
+#   9. hotpath gate        (quick-sweep determinism digests must byte-
+#                           match testdata/hotpath_digest.golden — every
+#                           optimization is provably outcome-neutral —
+#                           and a BenchmarkSimQuick smoke records
+#                           insts/s + allocs/inst into BENCH_hotpath.json)
 #
 # Any failure aborts immediately with a nonzero exit.
 set -eu
@@ -75,7 +80,10 @@ cmp "$RUNQ_TMP/serial.md" "$RUNQ_TMP/warm.md" || {
 	echo "runq: cache-warm report differs from cold" >&2; exit 1; }
 
 SERIAL_MS=$((T1 - T0)); PARALLEL_MS=$((T2 - T1)); WARM_MS=$((T3 - T2))
-awk -v s="$SERIAL_MS" -v p="$PARALLEL_MS" -v w="$WARM_MS" -v j="$(nproc)" 'BEGIN {
+# Cores come from the Go runtime (what the worker pool actually sees),
+# not nproc: parallel_speedup is meaningless when this prints 1.
+CORES=$("$RUNQ_TMP/experiments" -numcpu)
+awk -v s="$SERIAL_MS" -v p="$PARALLEL_MS" -v w="$WARM_MS" -v j="$CORES" 'BEGIN {
 	printf "{\n"
 	printf "  \"bench\": \"runq quick sweep (-all -quick, 60k+60k insts)\",\n"
 	printf "  \"cores\": %d,\n", j
@@ -87,5 +95,53 @@ awk -v s="$SERIAL_MS" -v p="$PARALLEL_MS" -v w="$WARM_MS" -v j="$(nproc)" 'BEGIN
 	printf "}\n"
 }' > BENCH_runq.json
 echo "runq: serial=${SERIAL_MS}ms parallel8=${PARALLEL_MS}ms warm=${WARM_MS}ms (BENCH_runq.json)"
+
+step "hotpath determinism digest"
+# The hard gate of the hot-path work: the quick-sweep determinism
+# digests (baseline + UCP, 60k+60k insts) must be byte-identical to the
+# pre-optimization golden. Any optimization that changes a simulated
+# outcome — one cycle, one counter — fails here.
+go build -o "$RUNQ_TMP/ucpsim" ./cmd/ucpsim
+{
+	"$RUNQ_TMP/ucpsim" -trace quick -digest -warmup 60000 -measure 60000
+	"$RUNQ_TMP/ucpsim" -trace quick -ucp -digest -warmup 60000 -measure 60000
+} > "$RUNQ_TMP/digest.txt"
+cmp "$RUNQ_TMP/digest.txt" testdata/hotpath_digest.golden || {
+	echo "hotpath: determinism digest differs from testdata/hotpath_digest.golden" >&2
+	echo "hotpath: an optimization changed simulated outcomes (or the model changed" >&2
+	echo "hotpath: intentionally — then regenerate the golden and say so in the PR)" >&2
+	exit 1
+}
+echo "hotpath: digests match golden"
+
+step "hotpath benchmark (BenchmarkSimQuick)"
+# One iteration is enough for a smoke + a steady-state allocs/inst
+# reading (the sim loop is allocation-free; construction amortizes).
+# Timings are recorded, never gated.
+go test -run '^$' -bench '^BenchmarkSimQuick$' -benchtime=1x . | tee "$RUNQ_TMP/bench.txt"
+grep -q '^BenchmarkSimQuick' "$RUNQ_TMP/bench.txt" || {
+	echo "hotpath: BenchmarkSimQuick produced no result line" >&2; exit 1; }
+# seed_serial_ms is the quick-sweep serial wall clock of the
+# pre-optimization tree (commit 4e3b42d), measured interleaved with the
+# optimized build on the same machine to cancel thermal drift.
+awk -v s="$SERIAL_MS" -v j="$CORES" -v seed=28645 '
+	/^BenchmarkSimQuick/ {
+		for (i = 2; i <= NF; i++) {
+			if ($i == "insts/s")     ips = $(i-1)
+			if ($i == "allocs/inst") api = $(i-1)
+		}
+	}
+	END {
+		printf "{\n"
+		printf "  \"bench\": \"BenchmarkSimQuick (quick set, baseline+UCP, 30k+30k insts each)\",\n"
+		printf "  \"cores\": %d,\n", j
+		printf "  \"simulated_insts_per_sec\": %.0f,\n", ips
+		printf "  \"allocs_per_inst\": %.5f,\n", api
+		printf "  \"sweep_serial_ms\": %d,\n", s
+		printf "  \"seed_serial_ms\": %d,\n", seed
+		printf "  \"speedup_vs_seed\": %.2f\n", (s > 0 ? seed / s : 0)
+		printf "}\n"
+	}' "$RUNQ_TMP/bench.txt" > BENCH_hotpath.json
+echo "hotpath: $(tr -d '\n' < BENCH_hotpath.json | tr -s ' ')"
 
 printf '\ncheck.sh: all gates passed\n'

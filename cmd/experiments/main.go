@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -40,8 +42,43 @@ func main() {
 		jobs     = flag.Int("jobs", 0, "concurrent simulations (default GOMAXPROCS); the report is byte-identical at any value")
 		cacheDir = flag.String("cache-dir", "", "content-addressed result cache directory (empty: no on-disk cache)")
 		progress = flag.Bool("progress", true, "print scheduler progress/ETA lines to stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
+		numCPU   = flag.Bool("numcpu", false, "print runtime.NumCPU() and exit (used by check.sh to stamp BENCH_runq.json)")
 	)
 	flag.Parse()
+
+	if *numCPU {
+		fmt.Println(runtime.NumCPU())
+		return
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		path := *memProf
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

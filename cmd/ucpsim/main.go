@@ -17,6 +17,8 @@
 //	ucpsim -trace srv205 -compare          # baseline vs UCP side by side
 //	ucpsim -trace srv203 -ucp -json        # machine-readable output
 //	ucpsim -trace srv206 -ucp -hist        # stream/refill distributions
+//	ucpsim -trace quick -digest            # determinism digests only
+//	ucpsim -trace srv203 -cpuprofile cpu.pb.gz   # pprof the hot loop
 package main
 
 import (
@@ -24,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ucp"
 	"ucp/internal/runq"
@@ -52,8 +56,39 @@ func main() {
 		hist       = flag.Bool("hist", false, "print stream-length and refill-latency distributions")
 		jobs       = flag.Int("jobs", 0, "concurrent simulations (default GOMAXPROCS); output order is unaffected")
 		cacheDir   = flag.String("cache-dir", "", "content-addressed result cache directory (empty: no on-disk cache)")
+		digest     = flag.Bool("digest", false, "print Result.DeterminismDigest instead of the metric table (optimization-neutrality gate)")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		path := *memProf
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	cfg := ucp.Baseline()
 	if *useUCP {
@@ -80,9 +115,12 @@ func main() {
 		return
 	}
 	var profiles []ucp.Profile
-	if *traceName == "all" {
+	switch *traceName {
+	case "all":
 		profiles = ucp.DefaultProfiles()
-	} else {
+	case "quick":
+		profiles = ucp.QuickProfiles()
+	default:
 		p, ok := ucp.ProfileByName(*traceName)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown profile %q; available:", *traceName)
@@ -104,13 +142,17 @@ func main() {
 		jobList[i] = runq.Job{Config: cfg, Profile: p, Warmup: *warmup, Measure: *measure}
 	}
 	results := pool.RunAll(jobList)
-	if !*jsonOut {
+	if !*jsonOut && !*digest {
 		header()
 	}
 	for i, jr := range results {
 		if jr.Err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", profiles[i].Name, jr.Err)
 			os.Exit(1)
+		}
+		if *digest {
+			fmt.Print(jr.Result.DeterminismDigest())
+			continue
 		}
 		emit(jr.Result, *jsonOut, *hist)
 	}

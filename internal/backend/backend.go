@@ -50,9 +50,8 @@ type Uop struct {
 }
 
 type robEntry struct {
-	uop    Uop
-	issued bool
-	done   uint64
+	uop  Uop
+	done uint64
 }
 
 // Flush reports a resolved misprediction.
@@ -76,13 +75,20 @@ type Backend struct {
 	cfg Config
 	mem *cache.Hierarchy
 	// DataPrefetcher is optional.
-	DataPrefetcher   DataPrefetcher
-	rob              []robEntry
+	DataPrefetcher DataPrefetcher
+	rob            []robEntry
+	// issuedF holds the per-entry issued flags densely, separate from
+	// the entries themselves: the scheduler's scan-advance and
+	// skip-issued paths then read one byte per entry instead of pulling
+	// each ~48-byte robEntry through the cache.
+	issuedF          []bool
 	head, tail, used int
-	// scan is the ring index of the oldest possibly-unissued entry;
-	// everything between head and scan has already issued. It keeps the
-	// per-cycle scheduler scan O(window) instead of O(ROB).
-	scan int
+	// unissued lists the ring indices of not-yet-issued entries in
+	// program order. The scheduler iterates it instead of walking ROB
+	// slots, so interleaved already-issued entries cost nothing; the
+	// SchedWindow bound is still enforced in slot distance from the
+	// oldest unissued entry, preserving the slot-scan semantics exactly.
+	unissued []int
 	// dirty forces a scheduler scan; nextWake is the earliest cycle a
 	// blocked µ-op can become ready when the window is quiescent. They
 	// make memory-stall phases O(1) per cycle instead of O(window).
@@ -100,7 +106,10 @@ type Backend struct {
 
 // New constructs a backend over the given memory hierarchy.
 func New(cfg Config, mem *cache.Hierarchy) *Backend {
-	return &Backend{cfg: cfg, mem: mem, rob: make([]robEntry, cfg.ROB)}
+	return &Backend{cfg: cfg, mem: mem,
+		rob:      make([]robEntry, cfg.ROB),
+		issuedF:  make([]bool, cfg.ROB),
+		unissued: make([]int, 0, cfg.ROB)}
 }
 
 // CanDispatch reports whether n more µ-ops fit in the ROB.
@@ -110,7 +119,12 @@ func (b *Backend) CanDispatch(n int) bool { return b.used+n <= b.cfg.ROB }
 // CanDispatch and the configured dispatch width.
 func (b *Backend) Dispatch(u Uop) {
 	b.rob[b.tail] = robEntry{uop: u}
-	b.tail = (b.tail + 1) % b.cfg.ROB
+	b.issuedF[b.tail] = false
+	b.unissued = append(b.unissued, b.tail)
+	b.tail++
+	if b.tail == len(b.rob) {
+		b.tail = 0
+	}
 	b.used++
 	b.dirty = true
 }
@@ -129,11 +143,13 @@ func (b *Backend) Cycle(now uint64) (committed int, flush *Flush) {
 	_ = issued
 	// Commit in order.
 	for committed < b.cfg.CommitWidth && b.used > 0 {
-		e := &b.rob[b.head]
-		if !e.issued || e.done > now {
+		if !b.issuedF[b.head] || b.rob[b.head].done > now {
 			break
 		}
-		b.head = (b.head + 1) % b.cfg.ROB
+		b.head++
+		if b.head == len(b.rob) {
+			b.head = 0
+		}
 		b.used--
 		committed++
 		b.Committed++
@@ -149,42 +165,58 @@ func (b *Backend) Cycle(now uint64) (committed int, flush *Flush) {
 // issue runs one scheduler scan, returning the number of µ-ops issued
 // and any resolved misprediction.
 func (b *Backend) issue(now uint64) (issued int, flush *Flush) {
-	// Advance the oldest-unissued pointer past the issued prefix. The
-	// offset bound keeps this loop finite even when the whole ROB is
-	// issued and waiting to commit.
-	off := (b.scan - b.head + b.cfg.ROB) % b.cfg.ROB
-	if off > b.used {
-		b.scan, off = b.head, 0
+	// Iterate the unissued list (program order) instead of walking ROB
+	// slots: already-issued entries between candidates cost nothing.
+	// The candidate set is unchanged — the scheduler still only reaches
+	// entries within SchedWindow ROB slots of the oldest unissued one,
+	// and stops mid-window once the issue width is spent.
+	list := b.unissued
+	if len(list) == 0 {
+		b.dirty = false
+		b.nextWake = ^uint64(0)
+		return 0, nil
 	}
-	for off < b.used && b.rob[b.scan].issued {
-		b.scan = (b.scan + 1) % b.cfg.ROB
-		off++
-	}
+	rob := b.rob
+	n := len(rob)
+	issuedF := b.issuedF
+	regReady := &b.regReady
+	oldest := list[0]
+	window := b.cfg.SchedWindow
+	issueWidth := b.cfg.IssueWidth
 	loads, stores := 0, 0
 	portLimited := false
 	wake := ^uint64(0)
-	idx := b.scan
-	remaining := b.used - off
-	for scanned := 0; scanned < remaining && scanned < b.cfg.SchedWindow && issued < b.cfg.IssueWidth; scanned++ {
-		e := &b.rob[idx]
-		idx = (idx + 1) % b.cfg.ROB
-		if e.issued {
-			continue
+	kept := list[:0]
+	for li, cur := range list {
+		if issued >= issueWidth {
+			kept = append(kept, list[li:]...)
+			break
 		}
+		dist := cur - oldest
+		if dist < 0 {
+			dist += n
+		}
+		if dist >= window {
+			kept = append(kept, list[li:]...)
+			break
+		}
+		e := &rob[cur]
 		u := &e.uop
-		if r1, r2 := b.regReady[u.Src1], b.regReady[u.Src2]; r1 > now || r2 > now {
+		if r1, r2 := regReady[u.Src1], regReady[u.Src2]; r1 > now || r2 > now {
 			if r2 > r1 {
 				r1 = r2
 			}
 			if r1 < wake {
 				wake = r1
 			}
+			kept = append(kept, cur)
 			continue
 		}
 		switch u.Class {
 		case isa.Load:
 			if loads >= b.cfg.LoadPorts {
 				portLimited = true
+				kept = append(kept, cur)
 				continue
 			}
 			loads++
@@ -196,6 +228,7 @@ func (b *Backend) issue(now uint64) (issued int, flush *Flush) {
 		case isa.Store:
 			if stores >= b.cfg.StorePorts {
 				portLimited = true
+				kept = append(kept, cur)
 				continue
 			}
 			stores++
@@ -213,11 +246,11 @@ func (b *Backend) issue(now uint64) (issued int, flush *Flush) {
 				e.done = now + b.cfg.ALULat
 			}
 		}
-		e.issued = true
+		issuedF[cur] = true
 		issued++
 		b.Issued++
 		if u.Dst != 0 {
-			b.regReady[u.Dst] = e.done
+			regReady[u.Dst] = e.done
 		}
 		if u.Class.IsBranch() && u.Mispredict {
 			if flush == nil || e.done < flush.Cycle {
@@ -225,6 +258,7 @@ func (b *Backend) issue(now uint64) (issued int, flush *Flush) {
 			}
 		}
 	}
+	b.unissued = kept
 	// A scan that issued something (or hit a port limit) may unblock
 	// more work next cycle; a quiescent scan sleeps until the earliest
 	// source-ready time.

@@ -339,8 +339,8 @@ func TestFoldedHistoryConsistency(t *testing.T) {
 			a.Push(0x100, bit)
 			b.Push(0x100, bit)
 		}
-		return a.fIdx[0].comp == b.fIdx[0].comp &&
-			a.fTag1[0].comp == b.fTag1[0].comp
+		return a.folds[0].idx.comp == b.folds[0].idx.comp &&
+			a.folds[0].tag1.comp == b.folds[0].tag1.comp
 	}, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
 	}
@@ -427,6 +427,7 @@ func TestCentreredCounterRanges(t *testing.T) {
 }
 
 func BenchmarkTageSCL64KB(b *testing.B) {
+	b.ReportAllocs()
 	pred := NewTageSCL(Config64KB())
 	h := pred.Hist()
 	r := rng.New(1)

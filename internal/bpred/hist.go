@@ -18,24 +18,32 @@ package bpred
 const maxHistBits = 1024
 
 // folded is a cyclically-folded history register (Michaud/Seznec CSR),
-// maintaining hash(h[0:origLen]) incrementally in compLen bits.
+// maintaining hash(h[0:origLen]) incrementally in compLen bits. The
+// out-shift (origLen mod compLen) and width mask are precomputed at
+// construction: update runs ~36 times per history push in the shipped
+// configurations, and the integer division dominated it.
 type folded struct {
-	comp    uint32
-	compLen int
-	origLen int
+	comp     uint32
+	compLen  uint32
+	outShift uint32 // origLen % compLen
+	mask     uint32 // (1 << compLen) - 1
 }
 
 func newFolded(origLen, compLen int) folded {
-	return folded{compLen: compLen, origLen: origLen}
+	return folded{
+		compLen:  uint32(compLen),
+		outShift: uint32(origLen % compLen),
+		mask:     (1 << uint(compLen)) - 1,
+	}
 }
 
 // update shifts in newBit and removes oldBit (the bit leaving the
 // origLen-deep window).
 func (f *folded) update(newBit, oldBit uint32) {
-	f.comp = (f.comp << 1) | newBit
-	f.comp ^= oldBit << uint(f.origLen%f.compLen)
-	f.comp ^= f.comp >> uint(f.compLen)
-	f.comp &= (1 << uint(f.compLen)) - 1
+	c := (f.comp << 1) | newBit
+	c ^= oldBit << f.outShift
+	c ^= c >> f.compLen
+	f.comp = c & f.mask
 }
 
 // histShape describes the folded registers a predictor needs; it is
@@ -61,22 +69,30 @@ type Hist struct {
 	// ghr mirrors the youngest 64 direction bits for cheap SC indexing.
 	ghr uint64
 
-	fIdx  []folded // per-table index folds
-	fTag1 []folded // per-table tag folds (width tagBits)
-	fTag2 []folded // per-table tag folds (width tagBits-1)
+	// folds holds each table's three folded registers contiguously:
+	// Push and the TAGE index/tag hashes touch all three per table, so
+	// interleaving keeps each table's working set on one cache line
+	// (three parallel slices cost three lines per table).
+	folds []tableFolds
+}
+
+// tableFolds groups one tagged table's folded registers (index fold,
+// tag fold of width tagBits, tag fold of width tagBits-1).
+type tableFolds struct {
+	idx, tag1, tag2 folded
 }
 
 func newHist(shape *histShape) *Hist {
 	h := &Hist{shape: shape}
 	n := len(shape.lens)
-	h.fIdx = make([]folded, n)
-	h.fTag1 = make([]folded, n)
-	h.fTag2 = make([]folded, n)
+	h.folds = make([]tableFolds, n)
 	for i := 0; i < n; i++ {
 		l := shape.lens[i]
-		h.fIdx[i] = newFolded(l, shape.idxBits[i])
-		h.fTag1[i] = newFolded(l, shape.tagBits[i])
-		h.fTag2[i] = newFolded(l, shape.tagBits[i]-1)
+		h.folds[i] = tableFolds{
+			idx:  newFolded(l, shape.idxBits[i]),
+			tag1: newFolded(l, shape.tagBits[i]),
+			tag2: newFolded(l, shape.tagBits[i]-1),
+		}
 	}
 	return h
 }
@@ -84,9 +100,7 @@ func newHist(shape *histShape) *Hist {
 // Clone returns an independent deep copy of the history context.
 func (h *Hist) Clone() *Hist {
 	c := &Hist{shape: h.shape, ring: h.ring, pos: h.pos, path: h.path, ghr: h.ghr}
-	c.fIdx = append([]folded(nil), h.fIdx...)
-	c.fTag1 = append([]folded(nil), h.fTag1...)
-	c.fTag2 = append([]folded(nil), h.fTag2...)
+	c.folds = append([]tableFolds(nil), h.folds...)
 	return c
 }
 
@@ -96,9 +110,7 @@ func (h *Hist) CopyFrom(src *Hist) {
 	h.pos = src.pos
 	h.path = src.path
 	h.ghr = src.ghr
-	copy(h.fIdx, src.fIdx)
-	copy(h.fTag1, src.fTag1)
-	copy(h.fTag2, src.fTag2)
+	copy(h.folds, src.folds)
 }
 
 // bitAt returns the direction bit written `age` updates ago (age 0 is
@@ -115,13 +127,19 @@ func (h *Hist) Push(pc uint64, taken bool) {
 	if taken {
 		nb = 1
 	}
-	// Collect outgoing bits before overwriting.
-	for i := range h.shape.lens {
-		l := h.shape.lens[i]
-		ob := h.bitAt(l - 1)
-		h.fIdx[i].update(nb, ob)
-		h.fTag1[i].update(nb, ob)
-		h.fTag2[i].update(nb, ob)
+	// Collect outgoing bits before overwriting. bitAt is inlined with
+	// pos and ring hoisted: the folds writes below cannot alias them,
+	// but the compiler cannot prove that across the slice.
+	folds := h.folds
+	pos := h.pos
+	ring := &h.ring
+	for i, l := range h.shape.lens {
+		bi := (pos - l) & (maxHistBits - 1)
+		ob := uint32(ring[bi/64]>>(uint(bi)%64)) & 1
+		f := &folds[i]
+		f.idx.update(nb, ob)
+		f.tag1.update(nb, ob)
+		f.tag2.update(nb, ob)
 	}
 	idx := h.pos & (maxHistBits - 1)
 	if nb == 1 {

@@ -150,6 +150,13 @@ type TAGE struct {
 	bimHist  uint8 // correctness of last 8 bimodal-provided predictions (1=miss). nbits:8
 	tick     int
 	lfsr     uint32 // allocation randomness (deterministic)
+
+	// Per-table index/tag hashing constants, precomputed at construction
+	// so the predict path does no divisions or shift reconstruction.
+	idxMask   uint64
+	pcShifts  [maxTables]uint
+	pathMasks [maxTables]uint64
+	tagMasks  [maxTables]uint64
 }
 
 // geometricLens computes Tables history lengths between MinHist and
@@ -195,6 +202,16 @@ func NewTAGE(cfg TageConfig) *TAGE {
 		idxBits[i] = cfg.IdxBits
 	}
 	t.shape = histShape{lens: t.lens, idxBits: idxBits, tagBits: t.tagBits}
+	t.idxMask = uint64(1<<cfg.IdxBits) - 1
+	for i := 0; i < cfg.Tables; i++ {
+		t.pcShifts[i] = uint(2 + ((i + 3) % 7))
+		pl := t.lens[i]
+		if pl > 16 {
+			pl = 16
+		}
+		t.pathMasks[i] = (1 << uint(pl)) - 1
+		t.tagMasks[i] = uint64(1<<t.tagBits[i]) - 1
+	}
 	return t
 }
 
@@ -219,18 +236,15 @@ func (t *TAGE) bimIndex(pc uint64) int32 {
 }
 
 func (t *TAGE) tableIndex(h *Hist, pc uint64, i int) int32 {
-	v := (pc >> 2) ^ (pc >> uint(2+((i+3)%7))) ^ uint64(h.fIdx[i].comp)
-	pl := t.lens[i]
-	if pl > 16 {
-		pl = 16
-	}
-	v ^= h.path & ((1 << uint(pl)) - 1)
-	return int32(v & uint64((1<<t.cfg.IdxBits)-1))
+	v := (pc >> 2) ^ (pc >> t.pcShifts[i]) ^ uint64(h.folds[i].idx.comp)
+	v ^= h.path & t.pathMasks[i]
+	return int32(v & t.idxMask)
 }
 
 func (t *TAGE) tableTag(h *Hist, pc uint64, i int) uint16 {
-	v := (pc >> 2) ^ uint64(h.fTag1[i].comp) ^ (uint64(h.fTag2[i].comp) << 1)
-	return uint16(v & uint64((1<<t.tagBits[i])-1))
+	f := &h.folds[i]
+	v := (pc >> 2) ^ uint64(f.tag1.comp) ^ (uint64(f.tag2.comp) << 1)
+	return uint16(v & t.tagMasks[i])
 }
 
 func ctrTaken(ctr uint8, bits int) bool { return ctr >= 1<<(bits-1) }
@@ -257,6 +271,15 @@ func bump(ctr uint8, up bool, bits int) uint8 {
 // Prediction across different Predict calls.
 func (t *TAGE) Predict(h *Hist, pc uint64) Prediction {
 	var p Prediction
+	t.PredictInto(&p, h, pc)
+	return p
+}
+
+// PredictInto is Predict writing into caller-owned storage, so hot
+// paths can reuse one long-lived Prediction instead of letting a fresh
+// one escape to the heap at every branch. p is fully overwritten.
+func (t *TAGE) PredictInto(p *Prediction, h *Hist, pc uint64) {
+	*p = Prediction{}
 	p.loopHit = -1
 	p.bimIdx = t.bimIndex(pc)
 	for i := 0; i < t.cfg.Tables; i++ {
@@ -285,7 +308,7 @@ func (t *TAGE) Predict(h *Hist, pc uint64) Prediction {
 		p.BimodalRecentMiss = t.bimHist != 0
 		p.altTaken = bimTaken
 		p.Taken = p.TageTaken
-		return p
+		return
 	}
 	hit := &t.tables[p.hitBank-1][p.indices[p.hitBank-1]]
 	hitTaken := ctrTaken(hit.ctr, t.cfg.CtrBits)
@@ -328,7 +351,6 @@ func (t *TAGE) Predict(h *Hist, pc uint64) Prediction {
 		p.ProviderSat = ctrSaturated(hit.ctr, t.cfg.CtrBits)
 	}
 	p.Taken = p.TageTaken
-	return p
 }
 
 // Update trains the TAGE tables given the architectural outcome. The

@@ -99,21 +99,28 @@ func (t *TageSCL) NewHist() *Hist { return t.tage.NewHist() }
 // Passing a cloned Hist predicts down an alternate path without touching
 // demand state; tables are shared in both cases (read-only here).
 func (t *TageSCL) Predict(h *Hist, pc uint64) Prediction {
-	p := t.tage.Predict(h, pc)
-	t.loop.predict(pc, &p)
+	var p Prediction
+	t.PredictInto(&p, h, pc)
+	return p
+}
+
+// PredictInto is Predict writing into caller-owned storage (see
+// TAGE.PredictInto); p is fully overwritten.
+func (t *TageSCL) PredictInto(p *Prediction, h *Hist, pc uint64) {
+	t.tage.PredictInto(p, h, pc)
+	t.loop.predict(pc, p)
 	mid := p.TageTaken
 	src := p.Source
 	if p.loopValid {
 		mid = p.loopTaken
 		src = SrcLoop
 	}
-	final := t.sc.compute(pc, h, mid, &p)
+	final := t.sc.compute(pc, h, mid, p)
 	if p.SCUsed {
 		src = SrcSC
 	}
 	p.Taken = final
 	p.Source = src
-	return p
 }
 
 // Update trains all components with the architectural outcome. The

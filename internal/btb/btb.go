@@ -95,8 +95,6 @@ func DefaultConfig() Config { return Config{Entries: 64 * 1024, Ways: 8, Banks: 
 func UCPConfig() Config { return Config{Entries: 64 * 1024, Ways: 8, Banks: 32} }
 
 type entry struct {
-	valid  bool
-	tag    uint32
 	target uint64
 	kind   BranchKind // one of the four branch classes. nbits:2
 	lru    uint32
@@ -104,12 +102,22 @@ type entry struct {
 
 // BTB is a set-associative, banked branch target buffer.
 type BTB struct {
-	cfg   Config
-	sets  int
-	data  []entry // sets × ways
+	cfg      Config
+	sets     int
+	tagShift uint // 2 + log2(sets), precomputed off the lookup path
+	// tags packs each way's valid bit and tag as valid<<32|tag (zero =
+	// invalid), separate from the payload entries: a whole 8-way set's
+	// tag match then reads one cache line, and Probe — which runs every
+	// alternate-path walk step and usually misses — never touches the
+	// payload array at all.
+	tags  []uint64 // sets × ways
+	data  []entry  // sets × ways
 	clock uint32
 	stats Stats
 }
+
+// validBit marks a live way in the packed tag array.
+const validBit = uint64(1) << 32
 
 // Stats counts BTB traffic.
 type Stats struct {
@@ -122,7 +130,9 @@ func New(cfg Config) *BTB {
 	if sets < 1 {
 		sets = 1
 	}
-	return &BTB{cfg: cfg, sets: sets, data: make([]entry, sets*cfg.Ways)}
+	return &BTB{cfg: cfg, sets: sets, tagShift: 2 + log2(sets),
+		tags: make([]uint64, sets*cfg.Ways),
+		data: make([]entry, sets*cfg.Ways)}
 }
 
 func (b *BTB) setOf(pc uint64) int {
@@ -130,7 +140,7 @@ func (b *BTB) setOf(pc uint64) int {
 }
 
 func (b *BTB) tagOf(pc uint64) uint32 {
-	return uint32(pc >> uint(2+log2(b.sets)))
+	return uint32(pc >> b.tagShift)
 }
 
 func log2(v int) uint {
@@ -155,12 +165,11 @@ func (b *BTB) Banks() int { return b.cfg.Banks }
 func (b *BTB) Lookup(pc uint64) (target uint64, kind BranchKind, hit bool) {
 	b.stats.Lookups++
 	b.clock++
-	set := b.setOf(pc)
-	tag := b.tagOf(pc)
-	base := set * b.cfg.Ways
-	for w := 0; w < b.cfg.Ways; w++ {
-		e := &b.data[base+w]
-		if e.valid && e.tag == tag {
+	base := b.setOf(pc) * b.cfg.Ways
+	want := validBit | uint64(b.tagOf(pc))
+	for w, tv := range b.tags[base : base+b.cfg.Ways] {
+		if tv == want {
+			e := &b.data[base+w]
 			e.lru = b.clock
 			b.stats.Hits++
 			return e.target, e.kind, true
@@ -173,12 +182,11 @@ func (b *BTB) Lookup(pc uint64) (target uint64, kind BranchKind, hit bool) {
 // UCP's alternate-path walker uses it to discover taken-at-least-once
 // branches along a never-fetched path (§IV-C).
 func (b *BTB) Probe(pc uint64) (target uint64, kind BranchKind, hit bool) {
-	set := b.setOf(pc)
-	tag := b.tagOf(pc)
-	base := set * b.cfg.Ways
-	for w := 0; w < b.cfg.Ways; w++ {
-		e := &b.data[base+w]
-		if e.valid && e.tag == tag {
+	base := b.setOf(pc) * b.cfg.Ways
+	want := validBit | uint64(b.tagOf(pc))
+	for w, tv := range b.tags[base : base+b.cfg.Ways] {
+		if tv == want {
+			e := &b.data[base+w]
 			return e.target, e.kind, true
 		}
 	}
@@ -189,30 +197,30 @@ func (b *BTB) Probe(pc uint64) (target uint64, kind BranchKind, hit bool) {
 func (b *BTB) Insert(pc, target uint64, kind BranchKind) {
 	b.stats.Inserts++
 	b.clock++
-	set := b.setOf(pc)
-	tag := b.tagOf(pc)
-	base := set * b.cfg.Ways
+	base := b.setOf(pc) * b.cfg.Ways
+	want := validBit | uint64(b.tagOf(pc))
 	victim, oldest := 0, ^uint32(0)
-	for w := 0; w < b.cfg.Ways; w++ {
-		e := &b.data[base+w]
-		if e.valid && e.tag == tag {
+	for w, tv := range b.tags[base : base+b.cfg.Ways] {
+		if tv == want {
+			e := &b.data[base+w]
 			e.target = target
 			e.kind = kind
 			e.lru = b.clock
 			return
 		}
-		if !e.valid {
+		if tv == 0 {
 			victim, oldest = w, 0
 			break
 		}
-		if e.lru < oldest {
+		if e := &b.data[base+w]; e.lru < oldest {
 			victim, oldest = w, e.lru
 		}
 	}
-	if b.data[base+victim].valid {
+	if b.tags[base+victim] != 0 {
 		b.stats.Evictions++
 	}
-	b.data[base+victim] = entry{valid: true, tag: tag, target: target, kind: kind, lru: b.clock}
+	b.tags[base+victim] = want
+	b.data[base+victim] = entry{target: target, kind: kind, lru: b.clock}
 }
 
 // Stats returns a copy of the traffic counters.

@@ -29,28 +29,46 @@ type Stats struct {
 	MSHRStalls             uint64
 }
 
-type line struct {
-	valid bool
-	tag   uint64
-	lru   uint64
+// validBit marks a live way in a packed tag array. Tags are line
+// addresses shifted right by ≥6 bits, so bit 63 is never part of a tag.
+const validBit = uint64(1) << 63
+
+// mshrEntry is one in-flight miss: the line address and its
+// fill-complete cycle.
+type mshrEntry struct {
+	la    uint64
+	ready uint64
 }
 
 // Cache is one set-associative level backed by a lower Level.
 type Cache struct {
-	cfg   Config
-	sets  int
-	ways  int
-	data  []line
+	cfg  Config
+	sets int
+	ways int
+	// tags packs each way's valid bit and tag as validBit|tag (zero =
+	// invalid), with the LRU stamps in a parallel array: the hit loop
+	// then scans one cache line per 8-way set instead of three.
+	tags  []uint64 // sets × ways
+	lrus  []uint64 // sets × ways
 	lower Level
 	clock uint64
 	stats Stats
+
+	// Set/tag extraction constants: when sets is a power of two (every
+	// shipped configuration) the per-access divisions reduce to masks.
+	setsPow2 bool
+	setMask  uint64
+	tagShift uint
 
 	// OnEvict, when set, observes every line eviction (used to keep the
 	// µ-op cache inclusive of the L1I, §IV-G2).
 	OnEvict func(lineAddr uint64)
 
-	// mshr maps in-flight line addresses to their fill-complete cycle.
-	mshr map[uint64]uint64
+	// mshr holds in-flight line addresses with their fill-complete
+	// cycles, in allocation order. The file is small (Config.MSHRs), so
+	// a flat slice beats a map: lookups are a short linear scan and
+	// purge/victim selection do not pay map-iteration overhead.
+	mshr []mshrEntry
 }
 
 // Level is anything that can serve a line fetch.
@@ -80,29 +98,67 @@ func New(cfg Config, lower Level) *Cache {
 	if sets < 1 {
 		sets = 1
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:   cfg,
 		sets:  sets,
 		ways:  cfg.Ways,
-		data:  make([]line, sets*cfg.Ways),
+		tags:  make([]uint64, sets*cfg.Ways),
+		lrus:  make([]uint64, sets*cfg.Ways),
 		lower: lower,
-		mshr:  make(map[uint64]uint64),
+		mshr:  make([]mshrEntry, 0, cfg.MSHRs+1),
 	}
+	if sets&(sets-1) == 0 {
+		c.setsPow2 = true
+		c.setMask = uint64(sets - 1)
+		shift := uint(0)
+		for 1<<shift < sets {
+			shift++
+		}
+		c.tagShift = 6 + shift // log2(LineBytes) + log2(sets)
+	}
+	return c
 }
 
 func (c *Cache) lineAddr(addr uint64) uint64 { return addr &^ (LineBytes - 1) }
 
-func (c *Cache) setOf(la uint64) int { return int((la / LineBytes) % uint64(c.sets)) }
+func (c *Cache) setOf(la uint64) int {
+	if c.setsPow2 {
+		return int((la >> 6) & c.setMask)
+	}
+	return int((la / LineBytes) % uint64(c.sets))
+}
 
-func (c *Cache) tagOf(la uint64) uint64 { return la / LineBytes / uint64(c.sets) }
+func (c *Cache) tagOf(la uint64) uint64 {
+	if c.setsPow2 {
+		return la >> c.tagShift
+	}
+	return la / LineBytes / uint64(c.sets)
+}
 
-// purge drops completed MSHR entries.
+// purge drops completed MSHR entries, preserving allocation order.
 func (c *Cache) purge(now uint64) {
-	for la, ready := range c.mshr {
-		if ready <= now {
-			delete(c.mshr, la)
+	kept := c.mshr[:0]
+	for _, e := range c.mshr {
+		if e.ready > now {
+			kept = append(kept, e)
 		}
 	}
+	c.mshr = kept
+}
+
+// mshrFind returns the index of la's in-flight entry, or -1.
+func (c *Cache) mshrFind(la uint64) int {
+	for i := range c.mshr {
+		if c.mshr[i].la == la {
+			return i
+		}
+	}
+	return -1
+}
+
+// mshrDelete removes entry i, preserving allocation order.
+func (c *Cache) mshrDelete(i int) {
+	c.mshr = append(c.mshr[:i], c.mshr[i+1:]...)
 }
 
 // Contains reports whether the line holding addr is resident (no state
@@ -110,10 +166,9 @@ func (c *Cache) purge(now uint64) {
 func (c *Cache) Contains(addr uint64) bool {
 	la := c.lineAddr(addr)
 	base := c.setOf(la) * c.ways
-	tag := c.tagOf(la)
-	for w := 0; w < c.ways; w++ {
-		e := &c.data[base+w]
-		if e.valid && e.tag == tag {
+	want := validBit | c.tagOf(la)
+	for _, tv := range c.tags[base : base+c.ways] {
+		if tv == want {
 			return true
 		}
 	}
@@ -144,11 +199,10 @@ func (c *Cache) access(addr uint64, now uint64, isPrefetch bool) uint64 {
 		c.stats.Accesses++
 	}
 	base := c.setOf(la) * c.ways
-	tag := c.tagOf(la)
-	for w := 0; w < c.ways; w++ {
-		e := &c.data[base+w]
-		if e.valid && e.tag == tag {
-			e.lru = c.clock
+	want := validBit | c.tagOf(la)
+	for w, tv := range c.tags[base : base+c.ways] {
+		if tv == want {
+			c.lrus[base+w] = c.clock
 			if !isPrefetch {
 				c.stats.Hits++
 			}
@@ -161,14 +215,15 @@ func (c *Cache) access(addr uint64, now uint64, isPrefetch bool) uint64 {
 	// Merge with an outstanding miss for the same line. Entries whose
 	// fill already completed are stale (purged lazily): drop them and
 	// treat this as a fresh miss.
-	if ready, ok := c.mshr[la]; ok {
+	if i := c.mshrFind(la); i >= 0 {
+		ready := c.mshr[i].ready
 		if ready > now {
 			if ready < now+c.cfg.HitLatency {
 				return now + c.cfg.HitLatency
 			}
 			return ready
 		}
-		delete(c.mshr, la)
+		c.mshrDelete(i)
 	}
 	issue := now
 	if len(c.mshr) >= c.cfg.MSHRs {
@@ -178,20 +233,20 @@ func (c *Cache) access(addr uint64, now uint64, isPrefetch bool) uint64 {
 		// MSHR file full: the request waits for the earliest outstanding
 		// fill to retire.
 		earliest := ^uint64(0)
-		var victim uint64
-		for a, ready := range c.mshr {
-			if ready < earliest {
-				earliest, victim = ready, a
+		victim := 0
+		for i := range c.mshr {
+			if c.mshr[i].ready < earliest {
+				earliest, victim = c.mshr[i].ready, i
 			}
 		}
 		c.stats.MSHRStalls++
-		delete(c.mshr, victim)
+		c.mshrDelete(victim)
 		if earliest > issue {
 			issue = earliest
 		}
 	}
 	ready := c.lower.FetchLine(la, issue+c.cfg.HitLatency)
-	c.mshr[la] = ready
+	c.mshr = append(c.mshr, mshrEntry{la: la, ready: ready})
 	c.fill(la)
 	return ready
 }
@@ -201,27 +256,26 @@ func (c *Cache) access(addr uint64, now uint64, isPrefetch bool) uint64 {
 // which is the standard trace-simulator simplification.)
 func (c *Cache) fill(la uint64) {
 	base := c.setOf(la) * c.ways
-	tag := c.tagOf(la)
 	victim, oldest := 0, ^uint64(0)
-	for w := 0; w < c.ways; w++ {
-		e := &c.data[base+w]
-		if !e.valid {
+	for w, tv := range c.tags[base : base+c.ways] {
+		if tv == 0 {
 			victim, oldest = w, 0
 			break
 		}
-		if e.lru < oldest {
-			victim, oldest = w, e.lru
+		if l := c.lrus[base+w]; l < oldest {
+			victim, oldest = w, l
 		}
 	}
-	if v := &c.data[base+victim]; v.valid {
+	if tv := c.tags[base+victim]; tv != 0 {
 		c.stats.Evictions++
 		if c.OnEvict != nil {
 			set := c.setOf(la)
-			evicted := (v.tag*uint64(c.sets) + uint64(set)) * LineBytes
+			evicted := ((tv&^validBit)*uint64(c.sets) + uint64(set)) * LineBytes
 			c.OnEvict(evicted)
 		}
 	}
-	c.data[base+victim] = line{valid: true, tag: tag, lru: c.clock}
+	c.tags[base+victim] = validBit | c.tagOf(la)
+	c.lrus[base+victim] = c.clock
 }
 
 // Stats returns a copy of the traffic counters.

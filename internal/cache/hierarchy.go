@@ -130,9 +130,13 @@ type TLBConfig struct {
 // TLB is a set-associative translation cache. A miss consults the STLB
 // (when present), and an STLB miss pays the page-walk latency.
 type TLB struct {
-	cfg         TLBConfig
-	sets        int
-	data        []line
+	cfg  TLBConfig
+	sets int
+	// tags packs each way's valid bit and tag as validBit|tag (zero =
+	// invalid), LRU stamps parallel — same layout as Cache, so the hit
+	// loop reads one cache line per set.
+	tags        []uint64
+	lrus        []uint64
 	clock       uint64
 	stlb        *TLB
 	walkLatency uint64
@@ -145,7 +149,9 @@ func NewTLB(cfg TLBConfig, stlb *TLB) *TLB {
 	if sets < 1 {
 		sets = 1
 	}
-	return &TLB{cfg: cfg, sets: sets, data: make([]line, sets*cfg.Ways), stlb: stlb}
+	return &TLB{cfg: cfg, sets: sets,
+		tags: make([]uint64, sets*cfg.Ways),
+		lrus: make([]uint64, sets*cfg.Ways), stlb: stlb}
 }
 
 // Translate returns the cycle at which the translation of addr is
@@ -154,13 +160,11 @@ func (t *TLB) Translate(addr uint64, now uint64) uint64 {
 	page := addr >> uint(t.cfg.PageBits)
 	t.clock++
 	t.stats.Accesses++
-	set := int(page % uint64(t.sets))
-	tag := page / uint64(t.sets)
-	base := set * t.cfg.Ways
-	for w := 0; w < t.cfg.Ways; w++ {
-		e := &t.data[base+w]
-		if e.valid && e.tag == tag {
-			e.lru = t.clock
+	base := int(page%uint64(t.sets)) * t.cfg.Ways
+	want := validBit | page/uint64(t.sets)
+	for w, tv := range t.tags[base : base+t.cfg.Ways] {
+		if tv == want {
+			t.lrus[base+w] = t.clock
 			t.stats.Hits++
 			return now + t.cfg.HitLatency
 		}
@@ -177,21 +181,19 @@ func (t *TLB) Translate(addr uint64, now uint64) uint64 {
 }
 
 func (t *TLB) insert(page uint64) {
-	set := int(page % uint64(t.sets))
-	tag := page / uint64(t.sets)
-	base := set * t.cfg.Ways
+	base := int(page%uint64(t.sets)) * t.cfg.Ways
 	victim, oldest := 0, ^uint64(0)
-	for w := 0; w < t.cfg.Ways; w++ {
-		e := &t.data[base+w]
-		if !e.valid {
+	for w, tv := range t.tags[base : base+t.cfg.Ways] {
+		if tv == 0 {
 			victim, oldest = w, 0
 			break
 		}
-		if e.lru < oldest {
-			victim, oldest = w, e.lru
+		if l := t.lrus[base+w]; l < oldest {
+			victim, oldest = w, l
 		}
 	}
-	t.data[base+victim] = line{valid: true, tag: tag, lru: t.clock}
+	t.tags[base+victim] = validBit | page/uint64(t.sets)
+	t.lrus[base+victim] = t.clock
 }
 
 // Stats returns a copy of the TLB counters.

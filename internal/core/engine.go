@@ -54,16 +54,27 @@ type Engine struct {
 	// conflictCtr is the 3-bit BTB-bank starvation counter of §IV-C.
 	// nbits:3
 	conflictCtr uint8
-	pathLines   map[uint64]bool
+	pathLines   *lineSet
 
 	// Alt-FTQ of entry specs awaiting µ-op tag check.
 	altFTQ  []uopcache.EntrySpec
 	ftqHead int
 	ftqUsed int
 
-	// In-flight prefetches and entries awaiting the alternate decoders.
+	// In-flight prefetches and entries awaiting the alternate decoders
+	// (a ring over a fixed backing array bounded by cfg.AltDecodeQueue).
 	mshrCount int
 	decodeQ   []fillJob
+	dqHead    int
+	dqUsed    int
+
+	// Per-cycle scratch, reused so the steady-state walk allocates
+	// nothing: the window's instruction metas, the entry specs Split
+	// produces from them, and the alternate predictor's output.
+	walkMetas   []uopcache.InstMeta
+	specScratch []uopcache.EntrySpec
+	predScratch bpred.Prediction
+	uopCfg      uopcache.Config
 
 	stats Stats
 }
@@ -72,16 +83,20 @@ type Engine struct {
 // nil only with cfg.TillL1I (no µ-op fill without class knowledge).
 func New(cfg Config, fe *frontend.Frontend, code CodeInfo) *Engine {
 	e := &Engine{
-		cfg:       cfg,
-		fe:        fe,
-		btb:       fe.BTB,
-		uop:       fe.Uop,
-		mem:       fe.Mem,
-		code:      code,
-		altBP:     bpred.NewTageSCL(cfg.AltBP),
-		altRAS:    ras.New(cfg.AltRASEntries),
-		altFTQ:    make([]uopcache.EntrySpec, cfg.AltFTQEntries),
-		pathLines: make(map[uint64]bool, 64),
+		cfg:         cfg,
+		fe:          fe,
+		btb:         fe.BTB,
+		uop:         fe.Uop,
+		mem:         fe.Mem,
+		code:        code,
+		altBP:       bpred.NewTageSCL(cfg.AltBP),
+		altRAS:      ras.New(cfg.AltRASEntries),
+		altFTQ:      make([]uopcache.EntrySpec, cfg.AltFTQEntries),
+		pathLines:   newLineSet(64),
+		decodeQ:     make([]fillJob, cfg.AltDecodeQueue),
+		walkMetas:   make([]uopcache.InstMeta, 0, cfg.WalkWidth),
+		specScratch: make([]uopcache.EntrySpec, 0, cfg.WalkWidth),
+		uopCfg:      fe.Uop.Config(),
 	}
 	e.altBPHist = e.altBP.Hist()
 	e.altHist = e.altBP.NewHist()
@@ -98,8 +113,9 @@ func (e *Engine) Stats() Stats { return e.stats }
 // branch, and (re)start the alternate path on H2P (§IV-B).
 func (e *Engine) OnCond(pc uint64, p *bpred.Prediction, actualTaken bool, takenTarget uint64, btbHit bool, now uint64) {
 	// Alt-BP trains alongside the main predictor (§IV-C).
-	ap := e.altBP.Predict(e.altBPHist, pc)
-	e.altBP.Update(pc, actualTaken, &ap)
+	ap := &e.predScratch
+	e.altBP.PredictInto(ap, e.altBPHist, pc)
+	e.altBP.Update(pc, actualTaken, ap)
 
 	if e.cfg.Estimator.H2P(p) {
 		e.start(pc, p.Taken, takenTarget, btbHit, now)
@@ -150,9 +166,7 @@ func (e *Engine) start(pc uint64, predTaken bool, takenTarget uint64, btbHit boo
 	e.threshold = e.cfg.StopThreshold
 	e.noBranchCtr = 0
 	e.conflictCtr = 0
-	for k := range e.pathLines {
-		delete(e.pathLines, k)
-	}
+	e.pathLines.Reset()
 	// Clone histories at the pre-H2P point and push the opposite
 	// direction (§IV-C).
 	e.altHist.CopyFrom(e.altBPHist)
@@ -206,7 +220,7 @@ func (e *Engine) walk(now uint64) {
 		}
 	}
 
-	var metas []uopcache.InstMeta
+	metas := e.walkMetas[:0]
 	pc := e.altPC
 	stopped := false
 	for i := 0; i < e.cfg.WalkWidth; i++ {
@@ -265,7 +279,8 @@ func (e *Engine) walk(now uint64) {
 func (e *Engine) predictAltBranch(pc, target uint64, kind btb.BranchKind) (next uint64, taken bool, weight int, ok bool) {
 	switch kind {
 	case btb.KindCond:
-		ap := e.altBP.Predict(e.altHist, pc)
+		ap := &e.predScratch
+		e.altBP.PredictInto(ap, e.altHist, pc)
 		e.altHist.Push(pc, ap.Taken)
 		if e.altInd != nil {
 			nt := pc + isa.InstBytes
@@ -274,9 +289,9 @@ func (e *Engine) predictAltBranch(pc, target uint64, kind btb.BranchKind) (next 
 			}
 			e.altIndWalk.Push(pc, nt, ap.Taken)
 		}
-		w := condWeight(&ap)
+		w := condWeight(ap)
 		// High-confidence alternate branches extend the budget (§IV-E).
-		if !e.cfg.Estimator.H2P(&ap) {
+		if !e.cfg.Estimator.H2P(ap) {
 			e.threshold++
 		}
 		if ap.Taken {
@@ -336,13 +351,17 @@ func (e *Engine) flushWindow(metas []uopcache.InstMeta, now uint64) {
 			e.altRAS.Push(metas[i].PC + isa.InstBytes)
 		}
 	}
-	specs := uopcache.Split(metas, e.uop.Config())
+	specs := uopcache.SplitInto(e.specScratch[:0], metas, e.uopCfg)
+	e.specScratch = specs[:0]
 	for _, s := range specs {
 		if e.ftqUsed == len(e.altFTQ) {
 			e.stats.AltFTQFull++
 			return
 		}
-		tail := (e.ftqHead + e.ftqUsed) % len(e.altFTQ)
+		tail := e.ftqHead + e.ftqUsed
+		if tail >= len(e.altFTQ) {
+			tail -= len(e.altFTQ)
+		}
 		e.altFTQ[tail] = s
 		e.ftqUsed++
 		e.stats.EntriesGenerated++
@@ -371,7 +390,7 @@ func (e *Engine) tagCheck(now uint64) {
 		e.stats.MSHRFull++
 		return
 	}
-	if !e.cfg.TillL1I && len(e.decodeQ) >= e.cfg.AltDecodeQueue {
+	if !e.cfg.TillL1I && e.dqUsed >= e.cfg.AltDecodeQueue {
 		e.stats.DecodeQFull++
 		return
 	}
@@ -383,8 +402,7 @@ func (e *Engine) tagCheck(now uint64) {
 		return
 	}
 	e.stats.PrefetchesIssued++
-	if !e.pathLines[line] {
-		e.pathLines[line] = true
+	if e.pathLines.Add(line) {
 		e.stats.LinesPrefetched++
 	}
 	if e.cfg.TillL1I {
@@ -392,12 +410,20 @@ func (e *Engine) tagCheck(now uint64) {
 		return
 	}
 	e.mshrCount++
-	e.decodeQ = append(e.decodeQ, fillJob{spec: spec, readyAt: done})
+	tail := e.dqHead + e.dqUsed
+	if tail >= len(e.decodeQ) {
+		tail -= len(e.decodeQ)
+	}
+	e.decodeQ[tail] = fillJob{spec: spec, readyAt: done}
+	e.dqUsed++
 	e.popFTQ()
 }
 
 func (e *Engine) popFTQ() {
-	e.ftqHead = (e.ftqHead + 1) % len(e.altFTQ)
+	e.ftqHead++
+	if e.ftqHead == len(e.altFTQ) {
+		e.ftqHead = 0
+	}
 	e.ftqUsed--
 }
 
@@ -405,15 +431,15 @@ func (e *Engine) popFTQ() {
 // arrived are decoded (AltDecodeWidth µ-ops per cycle) and installed
 // into the µ-op cache (§IV-D).
 func (e *Engine) drainDecodeQ(now uint64) {
-	if len(e.decodeQ) == 0 {
+	if e.dqUsed == 0 {
 		return
 	}
 	if e.cfg.SharedDecoders && !e.fe.InStreamMode() {
 		return // demand path owns the decoders this cycle
 	}
 	budget := e.cfg.AltDecodeWidth
-	for len(e.decodeQ) > 0 && budget > 0 {
-		job := e.decodeQ[0]
+	for e.dqUsed > 0 && budget > 0 {
+		job := &e.decodeQ[e.dqHead]
 		if job.readyAt > now {
 			break
 		}
@@ -424,7 +450,11 @@ func (e *Engine) drainDecodeQ(now uint64) {
 		e.uop.Insert(job.spec.StartPC, job.spec.Ops, job.spec.Branches, job.spec.EndsTaken, true)
 		e.stats.FillsInserted++
 		e.mshrCount--
-		e.decodeQ = e.decodeQ[1:]
+		e.dqHead++
+		if e.dqHead == len(e.decodeQ) {
+			e.dqHead = 0
+		}
+		e.dqUsed--
 	}
 }
 

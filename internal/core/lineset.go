@@ -1,0 +1,122 @@
+package core
+
+import "math/bits"
+
+// lineSet is a small open-addressed hash set of cache-line addresses.
+// It replaces the former map[uint64]bool walk state: membership and
+// insert are a couple of cache lines of probing with no hashing
+// allocation, and Reset clears only the slots actually used (O(used),
+// not O(capacity)), which matters because the set is flushed at every
+// alternate-path (re)start.
+//
+// The zero line address is representable (tracked out of band) so the
+// key array can use 0 as its empty sentinel.
+type lineSet struct {
+	keys    []uint64 // power-of-two table; 0 = empty slot
+	filled  []uint32 // indices of occupied slots, for O(used) reset
+	mask    uint32
+	hasZero bool
+}
+
+// newLineSet returns a set sized for at least capHint lines before the
+// first grow. The table keeps load factor <= 1/2.
+func newLineSet(capHint int) *lineSet {
+	n := 16
+	for n < capHint*2 {
+		n <<= 1
+	}
+	return &lineSet{
+		keys:   make([]uint64, n),
+		filled: make([]uint32, 0, n/2),
+		mask:   uint32(n - 1),
+	}
+}
+
+// slotOf hashes line into the table (Fibonacci hashing; the low bits of
+// line addresses are all zero, so plain masking would cluster).
+func (s *lineSet) slotOf(line uint64) uint32 {
+	const phi = 0x9E3779B97F4A7C15
+	return uint32((line*phi)>>(64-uint(bits.Len32(s.mask)))) & s.mask
+}
+
+// Add inserts line and reports whether it was newly inserted.
+func (s *lineSet) Add(line uint64) bool {
+	if line == 0 {
+		if s.hasZero {
+			return false
+		}
+		s.hasZero = true
+		return true
+	}
+	if len(s.filled) >= len(s.keys)/2 {
+		s.grow()
+	}
+	i := s.slotOf(line)
+	for {
+		k := s.keys[i]
+		if k == line {
+			return false
+		}
+		if k == 0 {
+			s.keys[i] = line
+			s.filled = append(s.filled, i)
+			return true
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// Has reports whether line is in the set.
+func (s *lineSet) Has(line uint64) bool {
+	if line == 0 {
+		return s.hasZero
+	}
+	i := s.slotOf(line)
+	for {
+		k := s.keys[i]
+		if k == line {
+			return true
+		}
+		if k == 0 {
+			return false
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// Len returns the number of distinct lines inserted since the last Reset.
+func (s *lineSet) Len() int {
+	n := len(s.filled)
+	if s.hasZero {
+		n++
+	}
+	return n
+}
+
+// Reset empties the set, touching only the occupied slots.
+func (s *lineSet) Reset() {
+	for _, i := range s.filled {
+		s.keys[i] = 0
+	}
+	s.filled = s.filled[:0]
+	s.hasZero = false
+}
+
+// grow doubles the table and reinserts the live keys.
+func (s *lineSet) grow() {
+	old := s.keys
+	oldFilled := s.filled
+	n := len(old) * 2
+	s.keys = make([]uint64, n)
+	s.filled = make([]uint32, 0, n/2)
+	s.mask = uint32(n - 1)
+	for _, i := range oldFilled {
+		line := old[i]
+		j := s.slotOf(line)
+		for s.keys[j] != 0 {
+			j = (j + 1) & s.mask
+		}
+		s.keys[j] = line
+		s.filled = append(s.filled, j)
+	}
+}

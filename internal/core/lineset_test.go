@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"ucp/internal/rng"
+)
+
+// TestLineSetMatchesMap drives a lineSet and a reference map[uint64]bool
+// through the same randomized Add/Has/Reset stream and requires
+// identical answers throughout. Line addresses are 64-byte aligned (as
+// in the walk state the set replaces), which is also the worst case for
+// the hash: the low six bits carry no entropy.
+func TestLineSetMatchesMap(t *testing.T) {
+	r := rng.New(7)
+	s := newLineSet(4) // small hint so the test crosses several grows
+	ref := make(map[uint64]bool)
+	// A modest address pool forces repeat insertions and positive Has
+	// hits; include 0, the out-of-band sentinel key.
+	pool := make([]uint64, 400)
+	for i := range pool {
+		pool[i] = (r.Uint64() % 4096) * 64
+	}
+	pool[0] = 0
+	for step := 0; step < 20000; step++ {
+		line := pool[r.Uint64()%uint64(len(pool))]
+		switch {
+		case step%1000 == 999:
+			s.Reset()
+			ref = make(map[uint64]bool)
+		case r.Bool(0.5):
+			fresh := s.Add(line)
+			if fresh == ref[line] {
+				t.Fatalf("step %d: Add(%#x) fresh=%v but map had=%v", step, line, fresh, ref[line])
+			}
+			ref[line] = true
+		default:
+			if got, want := s.Has(line), ref[line]; got != want {
+				t.Fatalf("step %d: Has(%#x)=%v, want %v", step, line, got, want)
+			}
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("step %d: Len=%d, map has %d", step, s.Len(), len(ref))
+		}
+	}
+}
+
+// TestLineSetGrow inserts well past the initial capacity so the table
+// doubles repeatedly (>64 distinct lines from a 16-slot start), then
+// verifies membership, absence, and that Reset restores an empty set
+// usable for a second filling.
+func TestLineSetGrow(t *testing.T) {
+	s := newLineSet(1)
+	const n = 300
+	for i := 0; i < n; i++ {
+		line := uint64(i) * 64
+		if !s.Add(line) {
+			t.Fatalf("Add(%#x) reported duplicate on first insert", line)
+		}
+		if s.Add(line) {
+			t.Fatalf("Add(%#x) reported fresh on second insert", line)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len=%d after %d distinct inserts", s.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if !s.Has(uint64(i) * 64) {
+			t.Fatalf("Has(%#x) false after insert", uint64(i)*64)
+		}
+	}
+	for i := n; i < 2*n; i++ {
+		if s.Has(uint64(i) * 64) {
+			t.Fatalf("Has(%#x) true for never-inserted line", uint64(i)*64)
+		}
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len=%d after Reset", s.Len())
+	}
+	for i := 0; i < n; i++ {
+		if s.Has(uint64(i) * 64) {
+			t.Fatalf("Has(%#x) true after Reset", uint64(i)*64)
+		}
+	}
+	// The table must stay fully usable after Reset.
+	for i := 0; i < n; i++ {
+		if !s.Add(uint64(i)*64 + 64*1024) {
+			t.Fatalf("re-fill Add reported duplicate at %d", i)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len=%d after post-Reset refill", s.Len())
+	}
+}

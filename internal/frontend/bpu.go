@@ -23,12 +23,20 @@ func (f *Frontend) generate(now uint64) {
 		if f.ftqUsed == len(f.ftq) {
 			return
 		}
-		var win window
+		// Build directly into the FTQ tail slot; the entry only becomes
+		// visible when pushWindow bumps ftqUsed. This avoids copying the
+		// ~900-byte window value twice per window on the hot path.
+		tail := f.ftqHead + f.ftqUsed
+		if tail >= len(f.ftq) {
+			tail -= len(f.ftq)
+		}
+		win := &f.ftq[tail]
+		*win = window{}
 		if f.ideal.UopAlwaysHit || f.brCondCredit > 0 {
 			win.forceHit = true
 		}
 		for win.n < f.cfg.WindowInsts {
-			in, ok := f.src.Next()
+			in, ok := f.nextInst()
 			if !ok {
 				f.srcDone = true
 				break
@@ -60,7 +68,7 @@ func (f *Frontend) generate(now uint64) {
 	}
 }
 
-func (f *Frontend) pushWindow(win window, now uint64) {
+func (f *Frontend) pushWindow(win *window, now uint64) {
 	// Fetch-directed prefetching (§V): the L1I access for an FTQ entry
 	// is initiated as soon as the address is generated, so the FTQ
 	// run-ahead hides instruction misses. A window whose first entry is
@@ -92,8 +100,7 @@ func (f *Frontend) pushWindow(win window, now uint64) {
 			win.l1iResident = true
 		}
 	}
-	tail := (f.ftqHead + f.ftqUsed) % len(f.ftq)
-	f.ftq[tail] = win
+	// win already is the FTQ tail slot (see generate); publish it.
 	f.ftqUsed++
 	f.stats.Windows++
 }
@@ -108,7 +115,11 @@ func (f *Frontend) predictBranch(in *isa.Inst, now uint64) (predTaken, mispred, 
 	switch {
 	case in.Class == isa.CondBranch:
 		f.stats.CondBranches++
-		p := f.Pred.Predict(f.Pred.Hist(), in.PC)
+		// The Prediction is written into long-lived scratch: passing a
+		// stack value's address through the UCPHook interface would force
+		// a heap allocation per conditional branch.
+		p := &f.predScratch
+		f.Pred.PredictInto(p, f.Pred.Hist(), in.PC)
 		f.markBanks(now, in.PC)
 		target, _, btbHit := f.BTB.Lookup(in.PC)
 		miss := p.Taken != in.Taken
@@ -122,18 +133,18 @@ func (f *Frontend) predictBranch(in *isa.Inst, now uint64) (predTaken, mispred, 
 			f.brCondCredit--
 		}
 		// Confidence classification (both estimators, for Fig. 9/12b).
-		f.stats.H2PTage.Record(bpred.TageConfH2P(&p), miss)
-		f.stats.H2PUCP.Record(bpred.UCPConfH2P(&p), miss)
+		f.stats.H2PTage.Record(bpred.TageConfH2P(p), miss)
+		f.stats.H2PUCP.Record(bpred.UCPConfH2P(p), miss)
 		// Train and advance history with the architectural outcome (the
 		// trace-driven equivalent of speculative update + repair).
-		f.Pred.Update(in.PC, in.Taken, &p)
+		f.Pred.Update(in.PC, in.Taken, p)
 		f.Pred.PushHistory(in.PC, in.Taken)
 		f.Ind.Hist().Push(in.PC, in.NextPC(), in.Taken)
 		if in.Taken {
 			f.BTB.Insert(in.PC, in.Target, btb.KindCond)
 		}
 		if f.hook != nil {
-			f.hook.OnCond(in.PC, &p, in.Taken, target, btbHit, now)
+			f.hook.OnCond(in.PC, p, in.Taken, target, btbHit, now)
 		}
 		if miss {
 			return p.Taken, true, false

@@ -186,7 +186,8 @@ func (f *Frontend) windowHit(now uint64, win *window) bool {
 			PredTaken: win.insts[i].predTaken,
 		}
 	}
-	specs := uopcache.Split(metas[:win.n], f.Uop.Config())
+	specs := uopcache.SplitInto(f.specScratch[:0], metas[:win.n], f.uopCfg)
+	f.specScratch = specs[:0]
 	allHit := true
 	firstKey := uint64(0)
 	for i := range specs {
@@ -211,7 +212,7 @@ func (f *Frontend) windowHit(now uint64, win *window) bool {
 	nextPC := endPC + isa.InstBytes
 	open := !last.EndsTaken &&
 		!(lastInst.inst.Class.IsBranch() && lastInst.predTaken) &&
-		int(last.Ops) < f.Uop.Config().OpsPerEntry &&
+		int(last.Ops) < f.uopCfg.OpsPerEntry &&
 		uopcache.RegionOf(nextPC) == uopcache.RegionOf(last.StartPC)
 	if open {
 		f.carryValid = true

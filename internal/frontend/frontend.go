@@ -172,6 +172,16 @@ type Frontend struct {
 	src     trace.Source
 	srcDone bool
 
+	// Batched trace delivery (trace.BatchSource fast path): when the
+	// source supports it, instructions are pulled many-at-a-time into
+	// batch, amortizing the per-Next interface dispatch. batchSrc is nil
+	// for scalar-only sources and the consumption order is identical
+	// either way.
+	batchSrc trace.BatchSource
+	batch    []isa.Inst
+	batchPos int
+	batchLen int
+
 	Pred *bpred.TageSCL
 	BTB  btb.TargetBuffer
 	RAS  *ras.Stack
@@ -227,6 +237,14 @@ type Frontend struct {
 	uopBanksUsed uint64
 	stolenCycles uint64 // demand cycles lost to alternate-path BTB wins
 
+	// Hot-path scratch, reused so steady-state fetch allocates nothing:
+	// the BPU's Prediction (which would otherwise escape through the
+	// UCPHook interface at every conditional branch), the entry specs
+	// windowHit derives, and the µ-op cache geometry.
+	predScratch bpred.Prediction
+	specScratch []uopcache.EntrySpec
+	uopCfg      uopcache.Config
+
 	stats Stats
 }
 
@@ -235,23 +253,51 @@ type Frontend struct {
 func New(cfg Config, src trace.Source, pred *bpred.TageSCL, b btb.TargetBuffer,
 	r *ras.Stack, ind *ittage.Predictor, u *uopcache.UopCache,
 	mem *cache.Hierarchy, ideal Ideal) *Frontend {
-	return &Frontend{
-		cfg:        cfg,
-		ideal:      ideal,
-		src:        src,
-		Pred:       pred,
-		BTB:        b,
-		RAS:        r,
-		Ind:        ind,
-		Uop:        u,
-		Mem:        mem,
-		builder:    uopcache.NewBuilder(u, false),
-		ftq:        make([]window, cfg.FTQWindows),
-		uopq:       make([]DeliveredUop, cfg.UopQueue),
-		mode:       1, // cold caches start on the build path
-		StreamLens: newStreamLens(),
-		RefillLat:  newRefillLat(),
+	f := &Frontend{
+		cfg:         cfg,
+		ideal:       ideal,
+		src:         src,
+		Pred:        pred,
+		BTB:         b,
+		RAS:         r,
+		Ind:         ind,
+		Uop:         u,
+		Mem:         mem,
+		builder:     uopcache.NewBuilder(u, false),
+		ftq:         make([]window, cfg.FTQWindows),
+		uopq:        make([]DeliveredUop, cfg.UopQueue),
+		mode:        1, // cold caches start on the build path
+		StreamLens:  newStreamLens(),
+		RefillLat:   newRefillLat(),
+		specScratch: make([]uopcache.EntrySpec, 0, cfg.WindowInsts),
+		uopCfg:      u.Config(),
 	}
+	// One-time type assertion: sources with a batch fast path are drained
+	// through a read-ahead buffer instead of per-instruction dispatch.
+	if bs, ok := src.(trace.BatchSource); ok {
+		f.batchSrc = bs
+		f.batch = make([]isa.Inst, 128)
+	}
+	return f
+}
+
+// nextInst pulls the next trace instruction, refilling the read-ahead
+// buffer through the batch fast path when the source has one.
+func (f *Frontend) nextInst() (isa.Inst, bool) {
+	if f.batchPos < f.batchLen {
+		in := f.batch[f.batchPos]
+		f.batchPos++
+		return in, true
+	}
+	if f.batchSrc != nil {
+		n := f.batchSrc.NextBatch(f.batch)
+		if n > 0 {
+			f.batchPos, f.batchLen = 1, n
+			return f.batch[0], true
+		}
+		return isa.Inst{}, false
+	}
+	return f.src.Next()
 }
 
 // Histogram constructors are shared between New and ResetHistograms so

@@ -155,6 +155,7 @@ func NewAnalyzers() []*Analyzer {
 		newCtrWidthAnalyzer(),
 		newStatNameAnalyzer(),
 		newConfigBoundsAnalyzer(),
+		newPprofImportAnalyzer(),
 	}
 }
 

@@ -1,0 +1,50 @@
+package lint
+
+import "strconv"
+
+// newPprofImportAnalyzer confines profiling to the binaries. Importing
+// runtime/pprof (or net/http/pprof, which starts a sampling server as
+// an import side effect) from library code would let profiling hooks
+// leak into the simulated model, where their timers and goroutines
+// perturb exactly the hot paths being measured. The cmd/ entry points
+// own all profiling flags; everything else must stay instrumentation
+// free.
+func newPprofImportAnalyzer() *Analyzer {
+	const rule = "pprofimport"
+	forbidden := map[string]bool{
+		"runtime/pprof":  true,
+		"net/http/pprof": true,
+	}
+	return &Analyzer{
+		Name: rule,
+		Doc:  "forbid runtime/pprof and net/http/pprof imports outside cmd/",
+		CheckPackage: func(p *Package, r *Reporter) {
+			if isCmdPackage(p.Path) {
+				return
+			}
+			for _, f := range p.Files {
+				for _, imp := range f.Imports {
+					path, err := strconv.Unquote(imp.Path.Value)
+					if err != nil {
+						continue
+					}
+					if forbidden[path] {
+						r.Report(p, imp.Pos(), rule,
+							"import of %s is forbidden outside cmd/: profiling hooks belong in the binaries, not the model", path)
+					}
+				}
+			}
+		},
+	}
+}
+
+// isCmdPackage reports whether importPath names a main-package tree
+// under the module's cmd/ directory.
+func isCmdPackage(importPath string) bool {
+	for i := 0; i+4 <= len(importPath); i++ {
+		if importPath[i:i+4] == "cmd/" && (i == 0 || importPath[i-1] == '/') {
+			return true
+		}
+	}
+	return false
+}

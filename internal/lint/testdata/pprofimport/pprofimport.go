@@ -1,0 +1,24 @@
+// Package fixture exercises the pprofimport analyzer: profiling
+// packages may only be imported by the cmd/ binaries.
+package fixture
+
+import (
+	"os"
+	"runtime/pprof" // want "import of runtime/pprof is forbidden outside cmd/"
+
+	//ucplint:ignore pprofimport
+	rpprof "runtime/pprof"
+)
+
+// Bad starts a CPU profile from library code, which would perturb the
+// very hot paths the simulator measures.
+func Bad(f *os.File) error {
+	defer pprof.StopCPUProfile()
+	return pprof.StartCPUProfile(f)
+}
+
+// Suppressed uses the ignore-directive escape hatch above: the aliased
+// import is deliberate and produces no finding.
+func Suppressed(f *os.File) error {
+	return rpprof.WriteHeapProfile(f)
+}

@@ -35,6 +35,15 @@ func (l *LearnedCode) Known() int { return len(l.classes) }
 
 // observingSource wraps a trace source, feeding every instruction into
 // a LearnedCode before handing it to the consumer.
+//
+// It must NOT implement trace.BatchSource: the frontend would then read
+// whole batches ahead of the simulated fetch stream, and every
+// batched-ahead instruction would reach LearnedCode.Observe cycles
+// early. Observe timing is architecturally visible (it gates when the
+// µ-op splitter first knows an instruction's class), so an early
+// Observe changes simulated outcomes and breaks the determinism
+// digest. Keeping this wrapper scalar-only makes the frontend fall back
+// to per-instruction Next, which observes in exact fetch order.
 type observingSource struct {
 	src interface {
 		Next() (isa.Inst, bool)

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"math/bits"
 	"strings"
 )
 
@@ -30,12 +31,11 @@ func NewHistogram(name string) *Histogram {
 	return &Histogram{name: name, min: math.MaxUint64}
 }
 
+// bucketOf maps v to its power-of-two bucket: floor(log2(v)), with 0
+// and 1 sharing bucket 0 and everything ≥ 2^39 clamped into bucket 39.
+// bits.Len64 keeps the Add path loop- and branch-free.
 func bucketOf(v uint64) int {
-	b := 0
-	for v > 1 {
-		v >>= 1
-		b++
-	}
+	b := bits.Len64(v|1) - 1
 	if b >= 40 {
 		b = 39
 	}

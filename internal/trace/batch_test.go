@@ -1,0 +1,141 @@
+package trace
+
+// Property test for the BatchSource contract: NextBatch must yield
+// exactly the sequence Next would, for every implementation and every
+// batch-size pattern — the frontend's batch read-ahead is a pure
+// performance path and must never change what the simulator observes.
+
+import (
+	"testing"
+
+	"ucp/internal/isa"
+	"ucp/internal/rng"
+)
+
+// scalarOnly hides a source's NextBatch so Limit's fallback drain path
+// is exercised.
+type scalarOnly struct{ src Source }
+
+func (s scalarOnly) Next() (isa.Inst, bool) { return s.src.Next() }
+func (s scalarOnly) Reset()                 { s.src.Reset() }
+
+// drainScalar reads up to max instructions via Next.
+func drainScalar(src Source, max int) []isa.Inst {
+	var out []isa.Inst
+	for len(out) < max {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// drainBatch reads up to max instructions via NextBatch using the given
+// repeating pattern of batch sizes.
+func drainBatch(t *testing.T, src BatchSource, max int, sizes []int) []isa.Inst {
+	t.Helper()
+	var out []isa.Inst
+	for i := 0; len(out) < max; i++ {
+		sz := sizes[i%len(sizes)]
+		if rem := max - len(out); sz > rem {
+			sz = rem
+		}
+		dst := make([]isa.Inst, sz)
+		n := src.NextBatch(dst)
+		if n == 0 {
+			break
+		}
+		if n > sz {
+			t.Fatalf("NextBatch wrote %d into a %d-slot buffer", n, sz)
+		}
+		out = append(out, dst[:n]...)
+	}
+	return out
+}
+
+func sameInsts(a, b []isa.Inst) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func genInsts(n int, seed uint64) []isa.Inst {
+	r := rng.New(seed)
+	out := make([]isa.Inst, n)
+	pc := uint64(0x1000)
+	for i := range out {
+		cl := isa.ALU
+		if r.Bool(0.2) {
+			cl = isa.CondBranch
+		}
+		out[i] = isa.Inst{PC: pc, Class: cl, Taken: r.Bool(0.5)}
+		pc += isa.InstBytes
+	}
+	return out
+}
+
+func TestNextBatchMatchesNext(t *testing.T) {
+	insts := genInsts(257, 42)
+	patterns := [][]int{{1}, {3}, {64}, {1, 7, 128}, {300}}
+
+	// Every (construction, limit, batch-size pattern) combination must
+	// produce Next's exact sequence. Limits straddle the truncation
+	// boundary: shorter than, equal to, and beyond the stream.
+	makeSources := func() map[string]func(limit int) (Source, BatchSource) {
+		return map[string]func(limit int) (Source, BatchSource){
+			"slice": func(int) (Source, BatchSource) {
+				return NewSliceSource(insts), NewSliceSource(insts)
+			},
+			"limit-over-slice": func(limit int) (Source, BatchSource) {
+				return NewLimit(NewSliceSource(insts), limit),
+					NewLimit(NewSliceSource(insts), limit)
+			},
+			"limit-over-scalar": func(limit int) (Source, BatchSource) {
+				return NewLimit(scalarOnly{NewSliceSource(insts)}, limit),
+					NewLimit(scalarOnly{NewSliceSource(insts)}, limit)
+			},
+		}
+	}
+	for name, mk := range makeSources() {
+		for _, limit := range []int{0, 1, 100, 256, 257, 1000} {
+			for pi, sizes := range patterns {
+				scalar, batch := mk(limit)
+				want := drainScalar(scalar, 100000)
+				got := drainBatch(t, batch, 100000, sizes)
+				if !sameInsts(want, got) {
+					t.Fatalf("%s limit=%d pattern=%d: NextBatch gave %d insts, Next gave %d (or content differs)",
+						name, limit, pi, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+func TestNextBatchMatchesNextWalker(t *testing.T) {
+	prog, err := BuildProgram(QuickProfiles()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	want := drainScalar(NewWalker(prog), n)
+	for _, sizes := range [][]int{{1}, {128}, {1, 7, 128}} {
+		got := drainBatch(t, NewWalker(prog), n, sizes)
+		if !sameInsts(want, got) {
+			t.Fatalf("walker NextBatch diverges from Next under pattern %v", sizes)
+		}
+	}
+	// Limit over the endless walker: truncation must be exact.
+	lim := NewLimit(NewWalker(prog), 777)
+	got := drainBatch(t, lim, 100000, []int{100})
+	if len(got) != 777 || !sameInsts(want[:777], got) {
+		t.Fatalf("Limit(walker, 777) via NextBatch yielded %d insts", len(got))
+	}
+}

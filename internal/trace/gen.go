@@ -627,6 +627,15 @@ func (w *Walker) Next() (isa.Inst, bool) {
 	return in, true
 }
 
+// NextBatch implements BatchSource. The stream is endless, so the whole
+// of dst is always filled.
+func (w *Walker) NextBatch(dst []isa.Inst) int {
+	for i := range dst {
+		dst[i], _ = w.Next()
+	}
+	return len(dst)
+}
+
 func b2u(b bool) uint64 {
 	if b {
 		return 1

@@ -26,6 +26,53 @@ type Source interface {
 	Reset()
 }
 
+// BatchSource is an optional Source fast path: consumers that would
+// call Next in a tight loop may pull many instructions per interface
+// dispatch instead. Implementations must yield exactly the sequence
+// Next would — NextBatch followed by Next (or vice versa) observes one
+// stream with no gaps, duplicates, or reordering.
+type BatchSource interface {
+	Source
+	// NextBatch fills dst from the front and returns the number of
+	// instructions written. It returns 0 only when the stream is
+	// exhausted (or dst is empty); short counts are otherwise allowed.
+	NextBatch(dst []isa.Inst) int
+}
+
+// NextBatch implements BatchSource by copying from the backing slice.
+func (s *SliceSource) NextBatch(dst []isa.Inst) int {
+	n := copy(dst, s.insts[s.pos:])
+	s.pos += n
+	return n
+}
+
+// NextBatch implements BatchSource: it truncates dst to the remaining
+// budget and delegates to the wrapped source's batch path when it has
+// one, falling back to a scalar drain otherwise.
+func (l *Limit) NextBatch(dst []isa.Inst) int {
+	if l.seen >= l.n {
+		return 0
+	}
+	if rem := l.n - l.seen; len(dst) > rem {
+		dst = dst[:rem]
+	}
+	n := 0
+	if bs, ok := l.src.(BatchSource); ok {
+		n = bs.NextBatch(dst)
+	} else {
+		for n < len(dst) {
+			in, ok := l.src.Next()
+			if !ok {
+				break
+			}
+			dst[n] = in
+			n++
+		}
+	}
+	l.seen += n
+	return n
+}
+
 // SliceSource serves instructions from an in-memory slice.
 type SliceSource struct {
 	insts []isa.Inst

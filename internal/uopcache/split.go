@@ -25,44 +25,52 @@ type EntrySpec struct {
 // sequential PCs except immediately after a predicted-taken branch
 // (which starts a new entry at the target).
 func Split(insts []InstMeta, cfg Config) []EntrySpec {
-	var out []EntrySpec
+	return SplitInto(nil, insts, cfg)
+}
+
+// SplitInto appends the entry specs for insts to dst and returns the
+// extended slice. Callers on the cycle hot path pass a reused backing
+// array (dst[:0]) so steady-state fill planning is allocation-free.
+func SplitInto(dst []EntrySpec, insts []InstMeta, cfg Config) []EntrySpec {
 	var cur EntrySpec
 	open := false
-	var nextPC uint64
-	flush := func(endsTaken bool) {
-		if open && cur.Ops > 0 {
-			cur.EndsTaken = endsTaken
-			out = append(out, cur)
-		}
-		open = false
-	}
+	var nextPC, curRegion uint64
+	maxOps := uint8(cfg.OpsPerEntry)
+	maxBranches := uint8(cfg.MaxBranches)
 	for i := range insts {
 		in := &insts[i]
+		isBranch := in.Class.IsBranch()
 		if open {
-			sameRegion := RegionOf(in.PC) == RegionOf(cur.StartPC)
-			sequential := in.PC == nextPC
-			switch {
-			case !sameRegion || !sequential || cur.Ops >= uint8(cfg.OpsPerEntry):
-				flush(false)
-			case in.Class.IsBranch() && int(cur.Branches) >= cfg.MaxBranches:
-				flush(false)
+			if in.PC != nextPC || RegionOf(in.PC) != curRegion || cur.Ops >= maxOps ||
+				(isBranch && cur.Branches >= maxBranches) {
+				cur.EndsTaken = false
+				dst = append(dst, cur)
+				open = false
 			}
 		}
 		if !open {
 			open = true
 			cur = EntrySpec{StartPC: in.PC}
+			curRegion = RegionOf(in.PC)
 		}
 		cur.Ops++
 		nextPC = in.PC + isa.InstBytes
-		if in.Class.IsBranch() {
+		if isBranch {
 			cur.Branches++
 		}
-		if in.Class.IsBranch() && in.PredTaken {
-			flush(true)
-		} else if cur.Ops >= uint8(cfg.OpsPerEntry) {
-			flush(false)
+		if isBranch && in.PredTaken {
+			cur.EndsTaken = true
+			dst = append(dst, cur)
+			open = false
+		} else if cur.Ops >= maxOps {
+			cur.EndsTaken = false
+			dst = append(dst, cur)
+			open = false
 		}
 	}
-	flush(false)
-	return out
+	if open && cur.Ops > 0 {
+		cur.EndsTaken = false
+		dst = append(dst, cur)
+	}
+	return dst
 }

@@ -80,9 +80,6 @@ func (c Config) Sets() int {
 // Entry is one µ-op cache entry: a run of decoded µ-ops starting at
 // StartPC, all within one 32-byte region.
 type Entry struct {
-	valid bool
-	tag   uint64 // region tag ⧺ start offset
-	lru   uint64
 	// Ops is the number of µ-ops held ([0,8] in the baseline geometry).
 	// nbits:4
 	Ops uint8
@@ -113,28 +110,67 @@ type Stats struct {
 
 // UopCache is the decoded µ-op cache.
 type UopCache struct {
-	cfg   Config
-	sets  int
+	cfg  Config
+	sets int
+	// tags packs each way's valid bit and tag (region tag ⧺ start
+	// offset) as validBit|tag (zero = invalid), with LRU stamps in a
+	// parallel array: tag checks — which run several times per cycle on
+	// both the demand and alternate paths and usually miss — scan one
+	// cache line per set without touching the entry payloads.
+	tags  []uint64 // sets × ways
+	lrus  []uint64 // sets × ways
 	data  []Entry
 	clock uint64
 	stats Stats
+
+	// Set/tag extraction constants (masks when sets is a power of two,
+	// as in every shipped configuration) — the tag check runs several
+	// times per cycle on both the demand and alternate paths.
+	setsPow2 bool
+	setMask  uint64
+	tagShift uint
 }
+
+// validBit marks a live way in the packed tag array. Tags derive from
+// PCs shifted right by ≥5 bits, so bit 63 is never part of a tag.
+const validBit = uint64(1) << 63
 
 // New constructs a µ-op cache.
 func New(cfg Config) *UopCache {
 	sets := cfg.Sets()
-	return &UopCache{cfg: cfg, sets: sets, data: make([]Entry, sets*cfg.Ways)}
+	u := &UopCache{cfg: cfg, sets: sets,
+		tags: make([]uint64, sets*cfg.Ways),
+		lrus: make([]uint64, sets*cfg.Ways),
+		data: make([]Entry, sets*cfg.Ways)}
+	if sets&(sets-1) == 0 {
+		u.setsPow2 = true
+		u.setMask = uint64(sets - 1)
+		shift := uint(0)
+		for 1<<shift < sets {
+			shift++
+		}
+		u.tagShift = 5 + shift // log2(EntryBytes) + log2(sets)
+	}
+	return u
 }
 
 // RegionOf returns the 32-byte-aligned region address containing pc.
 func RegionOf(pc uint64) uint64 { return pc &^ (isa.EntryBytes - 1) }
 
 func (u *UopCache) setOf(pc uint64) int {
+	if u.setsPow2 {
+		return int((pc / isa.EntryBytes) & u.setMask)
+	}
 	return int((pc / isa.EntryBytes) % uint64(u.sets))
 }
 
 func (u *UopCache) tagOf(pc uint64) uint64 {
-	region := pc / isa.EntryBytes / uint64(u.sets)
+	var region uint64
+	if u.setsPow2 {
+		region = pc >> u.tagShift
+	} else {
+		region = pc / isa.EntryBytes / uint64(u.sets)
+	}
 	off := (pc % isa.EntryBytes) / isa.InstBytes
 	return region<<3 | off
 }
@@ -153,11 +189,11 @@ func (u *UopCache) Lookup(pc uint64) (*Entry, bool) {
 	u.stats.Lookups++
 	u.clock++
 	base := u.setOf(pc) * u.cfg.Ways
-	tag := u.tagOf(pc)
-	for w := 0; w < u.cfg.Ways; w++ {
-		e := &u.data[base+w]
-		if e.valid && e.tag == tag {
-			e.lru = u.clock
+	want := validBit | u.tagOf(pc)
+	for w, tv := range u.tags[base : base+u.cfg.Ways] {
+		if tv == want {
+			e := &u.data[base+w]
+			u.lrus[base+w] = u.clock
 			e.Used = true
 			if e.Prefetched {
 				u.stats.PrefetchUsed++
@@ -174,10 +210,9 @@ func (u *UopCache) Lookup(pc uint64) (*Entry, bool) {
 // UCP's Alt-FTQ filtering, §IV-D).
 func (u *UopCache) Probe(pc uint64) bool {
 	base := u.setOf(pc) * u.cfg.Ways
-	tag := u.tagOf(pc)
-	for w := 0; w < u.cfg.Ways; w++ {
-		e := &u.data[base+w]
-		if e.valid && e.tag == tag {
+	want := validBit | u.tagOf(pc)
+	for _, tv := range u.tags[base : base+u.cfg.Ways] {
+		if tv == want {
 			return true
 		}
 	}
@@ -193,33 +228,34 @@ func (u *UopCache) Insert(pc uint64, ops, branches uint8, endsTaken, prefetched 
 	}
 	u.clock++
 	base := u.setOf(pc) * u.cfg.Ways
-	tag := u.tagOf(pc)
+	want := validBit | u.tagOf(pc)
 	victim, oldest := 0, ^uint64(0)
-	for w := 0; w < u.cfg.Ways; w++ {
-		e := &u.data[base+w]
-		if e.valid && e.tag == tag {
+	for w, tv := range u.tags[base : base+u.cfg.Ways] {
+		if tv == want {
 			// Rebuild of an existing entry: refresh in place.
+			e := &u.data[base+w]
 			e.Ops, e.Branches, e.EndsTaken = ops, branches, endsTaken
-			e.lru = u.clock
+			u.lrus[base+w] = u.clock
 			return
 		}
-		if !e.valid {
+		if tv == 0 {
 			victim, oldest = w, 0
 			break
 		}
-		if e.lru < oldest {
-			victim, oldest = w, e.lru
+		if l := u.lrus[base+w]; l < oldest {
+			victim, oldest = w, l
 		}
 	}
 	v := &u.data[base+victim]
-	if v.valid {
+	if u.tags[base+victim] != 0 {
 		u.stats.Evictions++
 		if v.Prefetched && !v.Used {
 			u.stats.PrefetchEvictUnused++
 		}
 	}
+	u.tags[base+victim] = want
+	u.lrus[base+victim] = u.clock
 	*v = Entry{
-		valid: true, tag: tag, lru: u.clock,
 		Ops: ops, Branches: branches, EndsTaken: endsTaken,
 		Prefetched: prefetched,
 	}
@@ -233,10 +269,10 @@ func (u *UopCache) InvalidateLine(lineAddr uint64) {
 	for region := lineAddr &^ (isa.LineBytes - 1); region < lineAddr+isa.LineBytes; region += isa.EntryBytes {
 		base := u.setOf(region) * u.cfg.Ways
 		regionTag := region / isa.EntryBytes / uint64(u.sets)
-		for w := 0; w < u.cfg.Ways; w++ {
-			e := &u.data[base+w]
-			if e.valid && e.tag>>3 == regionTag {
-				*e = Entry{}
+		for w, tv := range u.tags[base : base+u.cfg.Ways] {
+			if tv != 0 && (tv&^validBit)>>3 == regionTag {
+				u.tags[base+w] = 0
+				u.data[base+w] = Entry{}
 				u.stats.Invalidations++
 			}
 		}
@@ -246,6 +282,7 @@ func (u *UopCache) InvalidateLine(lineAddr uint64) {
 // InvalidateAll empties the cache (used between experiment phases).
 func (u *UopCache) InvalidateAll() {
 	for i := range u.data {
+		u.tags[i] = 0
 		u.data[i] = Entry{}
 	}
 }

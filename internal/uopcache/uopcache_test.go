@@ -249,10 +249,10 @@ func TestBuilderProperty(t *testing.T) {
 		}
 		b.Flush(false)
 		for i := range u.data {
-			e := &u.data[i]
-			if !e.valid {
+			if u.tags[i] == 0 {
 				continue
 			}
+			e := &u.data[i]
 			if e.Ops == 0 || e.Ops > 8 || e.Branches > 2 {
 				return false
 			}
