@@ -18,6 +18,13 @@
 #                           optimization is provably outcome-neutral —
 #                           and a BenchmarkSimQuick smoke records
 #                           insts/s + allocs/inst into BENCH_hotpath.json)
+#  10. sampling gate       (paired full-vs-sampled sweep in one process:
+#                           per-point IPC error must stay under 2% and
+#                           the aggregate wall-clock speedup at or above
+#                           10x; measurements land in BENCH_sampling.json;
+#                           the sampled side must digest identically twice)
+#  11. BENCH schema        (every BENCH_*.json carries the shared
+#                           schema_version/bench/cores envelope)
 #
 # Any failure aborts immediately with a nonzero exit.
 set -eu
@@ -85,6 +92,7 @@ SERIAL_MS=$((T1 - T0)); PARALLEL_MS=$((T2 - T1)); WARM_MS=$((T3 - T2))
 CORES=$("$RUNQ_TMP/experiments" -numcpu)
 awk -v s="$SERIAL_MS" -v p="$PARALLEL_MS" -v w="$WARM_MS" -v j="$CORES" 'BEGIN {
 	printf "{\n"
+	printf "  \"schema_version\": 1,\n"
 	printf "  \"bench\": \"runq quick sweep (-all -quick, 60k+60k insts)\",\n"
 	printf "  \"cores\": %d,\n", j
 	printf "  \"serial_ms\": %d,\n", s
@@ -133,6 +141,7 @@ awk -v s="$SERIAL_MS" -v j="$CORES" -v seed=28645 '
 	}
 	END {
 		printf "{\n"
+		printf "  \"schema_version\": 1,\n"
 		printf "  \"bench\": \"BenchmarkSimQuick (quick set, baseline+UCP, 30k+30k insts each)\",\n"
 		printf "  \"cores\": %d,\n", j
 		printf "  \"simulated_insts_per_sec\": %.0f,\n", ips
@@ -143,5 +152,26 @@ awk -v s="$SERIAL_MS" -v j="$CORES" -v seed=28645 '
 		printf "}\n"
 	}' "$RUNQ_TMP/bench.txt" > BENCH_hotpath.json
 echo "hotpath: $(tr -d '\n' < BENCH_hotpath.json | tr -s ' ')"
+
+step "sampling gate"
+# Paired full-vs-sampled sweep (no-uop / baseline / UCP on crypto01,
+# 25M measured insts) in one process so the wall-clock ratio is
+# thermally comparable. Gated: per-point IPC error < 2%, aggregate
+# speedup >= 10x, sampled runs digest-identical across two passes.
+"$RUNQ_TMP/experiments" -sample-gate -sample-bench BENCH_sampling.json
+
+step "BENCH schema"
+# Every benchmark record shares the same envelope so downstream tooling
+# can discover and parse them uniformly.
+for f in BENCH_runq.json BENCH_hotpath.json BENCH_sampling.json; do
+	[ -f "$f" ] || { echo "BENCH schema: $f missing" >&2; exit 1; }
+	grep -q '"schema_version": 1' "$f" || {
+		echo "BENCH schema: $f lacks \"schema_version\": 1" >&2; exit 1; }
+	grep -q '"bench": "' "$f" || {
+		echo "BENCH schema: $f lacks a \"bench\" description" >&2; exit 1; }
+	grep -q '"cores": ' "$f" || {
+		echo "BENCH schema: $f lacks a \"cores\" stamp" >&2; exit 1; }
+done
+echo "BENCH schema: runq/hotpath/sampling records conform"
 
 printf '\ncheck.sh: all gates passed\n'

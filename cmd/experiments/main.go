@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"ucp/internal/harness"
+	"ucp/internal/sim"
 	"ucp/internal/trace"
 )
 
@@ -45,11 +46,21 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 		numCPU   = flag.Bool("numcpu", false, "print runtime.NumCPU() and exit (used by check.sh to stamp BENCH_runq.json)")
+		sample   = flag.Bool("sample", false, "run sweeps in sampled mode (conservative geometry; see EXPERIMENTS.md)")
+		gate     = flag.Bool("sample-gate", false, "run the paired full-vs-sampled gate sweep, write -sample-bench, and exit")
+		gateOut  = flag.String("sample-bench", "BENCH_sampling.json", "where -sample-gate records its measurements")
 	)
 	flag.Parse()
 
 	if *numCPU {
 		fmt.Println(runtime.NumCPU())
+		return
+	}
+	if *gate {
+		if err := runSampleGate(os.Stdout, *gateOut); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *cpuProf != "" {
@@ -106,6 +117,9 @@ func main() {
 	}
 	if *quick {
 		opts.Profiles = trace.QuickProfiles()
+	}
+	if *sample {
+		opts.Sampling = sim.ConservativeSampling()
 	}
 	r := harness.NewRunner(opts)
 

@@ -51,6 +51,12 @@ func main() {
 		idealUop   = flag.Bool("ideal-uop-cache", false, "perfect µ-op cache")
 		warmup     = flag.Uint64("warmup", 800_000, "warmup instructions")
 		measure    = flag.Uint64("measure", 700_000, "measured instructions")
+		sample     = flag.Bool("sample", false, "sampled simulation: fast-forward between detailed windows (conservative geometry)")
+		sampleFast = flag.Bool("sample-fast", false, "with -sample: bounded-horizon geometry (small-footprint traces only; see EXPERIMENTS.md)")
+		samplePer  = flag.Uint64("sample-period", 0, "with -sample: override the sampling period (instructions)")
+		sampleWin  = flag.Uint64("sample-window", 0, "with -sample: override the measured window length")
+		sampleWarm = flag.Uint64("sample-warm", 0, "with -sample: override the detailed-warm length")
+		sampleFF   = flag.Uint64("sample-ffwarm", 0, "with -sample: override the functional-warm horizon")
 		compare    = flag.Bool("compare", false, "run baseline AND UCP, reporting the speedup")
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON instead of the table")
 		hist       = flag.Bool("hist", false, "print stream-length and refill-latency distributions")
@@ -109,6 +115,25 @@ func main() {
 	cfg.Ideal.NoUopCache = *noUop
 	cfg.Ideal.UopAlwaysHit = *idealUop
 	cfg.WarmupInsts, cfg.MeasureInsts = *warmup, *measure
+	if *sample {
+		sc := ucp.ConservativeSampling()
+		if *sampleFast {
+			sc = ucp.FastSampling()
+		}
+		if *samplePer > 0 {
+			sc.PeriodInsts = *samplePer
+		}
+		if *sampleWin > 0 {
+			sc.DetailedInsts = *sampleWin
+		}
+		if *sampleWarm > 0 {
+			sc.WarmInsts = *sampleWarm
+		}
+		if *sampleFF > 0 {
+			sc.FFWarmInsts = *sampleFF
+		}
+		cfg.Sampling = sc
+	}
 
 	if *file != "" {
 		runFile(cfg, *file)
@@ -210,6 +235,19 @@ func emit(r sim.Result, asJSON, withHist bool) {
 				"btbConflicts": r.UCP.BTBConflicts,
 			},
 		}
+		if s := r.Sampled; s != nil {
+			out["sampled"] = map[string]any{
+				"windows":       s.Windows,
+				"skippedInsts":  s.SkippedInsts,
+				"ffInsts":       s.FFInsts,
+				"detailedInsts": s.DetailedInsts,
+				"measuredInsts": s.MeasuredInsts,
+				"ipcMean":       s.IPCMean,
+				"ipcCI95":       s.IPCCI95,
+				"mpkiMean":      s.MPKIMean,
+				"mpkiCI95":      s.MPKICI95,
+			}
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -219,6 +257,11 @@ func emit(r sim.Result, asJSON, withHist bool) {
 		return
 	}
 	row(r)
+	if s := r.Sampled; s != nil {
+		fmt.Printf("%-10s sampled: %d windows, IPC %.4f ±%.4f, MPKI %.3f ±%.3f (95%% CI); %d skipped / %d functional / %d detailed\n",
+			r.Trace, s.Windows, s.IPCMean, s.IPCCI95, s.MPKIMean, s.MPKICI95,
+			s.SkippedInsts, s.FFInsts, s.DetailedInsts)
+	}
 	if withHist {
 		fmt.Println(r.StreamLens.Render())
 		fmt.Println(r.RefillLat.Render())

@@ -1,0 +1,22 @@
+package backend
+
+import "ucp/internal/isa"
+
+// FunctionalCommit retires one instruction through the sampled-mode
+// functional path: loads and stores warm their demand D-cache/DTLB
+// state and the commit counter advances, but no ROB, scheduler, or
+// latency modeling runs. The warm path bypasses the MSHR/latency model
+// (the functional clock is denser than sustainable demand traffic), and
+// the data prefetcher is not driven — it is a timing mechanism that
+// re-trains during the detailed warm segment.
+func (b *Backend) FunctionalCommit(in *isa.Inst, now uint64) {
+	switch in.Class {
+	case isa.Load:
+		b.mem.WarmData(in.MemAddr, now)
+		b.LoadsIssued++
+	case isa.Store:
+		b.mem.WarmData(in.MemAddr, now)
+		b.StoreIssued++
+	}
+	b.Committed++
+}

@@ -76,6 +76,9 @@ type Level interface {
 	// FetchLine returns the cycle at which the line containing addr is
 	// available, issuing the request at cycle now.
 	FetchLine(addr uint64, now uint64) uint64
+	// WarmLine installs the line without engaging the MSHR/latency
+	// model (warm.go).
+	WarmLine(addr uint64)
 }
 
 // FixedLatency is a Level with a constant access time (the DRAM model:

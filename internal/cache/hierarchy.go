@@ -14,6 +14,11 @@ type Hierarchy struct {
 	DTLB *TLB
 	STLB *TLB
 
+	// Consecutive-duplicate filters for the functional warm path
+	// (warm.go): repeated warms within one page/line short-circuit.
+	warmIPage, warmDPage, warmDLine      uint64
+	warmIValid, warmDPValid, warmDLValid bool
+
 	// L1I prefetch queue: issued L1I prefetches drain one per cycle.
 	pqCap      int
 	pqFreeAt   uint64

@@ -1,0 +1,85 @@
+package cache
+
+// Functional warming for the sampled simulation mode: WarmLine performs
+// a demand fill's *state* effects — tag/LRU update on a hit, fill with
+// LRU eviction (and the OnEvict inclusive-µ-op-cache callback) on a
+// miss, recursing into lower levels — without touching the MSHR file or
+// producing a ready cycle. The fast-forward path issues memory traffic
+// at one instruction per nominal cycle, far denser than the detailed
+// machine could sustain; routing it through FetchLine would grow an
+// unbounded MSHR backlog that stalls the next detailed window.
+
+// WarmLine implements Level: residency and recency update only. Unlike
+// the access/fill demand pair it resolves the hit and the victim in a
+// single pass over the set — the warm path runs once per skipped memory
+// reference, so the second scan is measurable.
+func (c *Cache) WarmLine(addr uint64) {
+	la := c.lineAddr(addr)
+	c.clock++
+	c.stats.Accesses++
+	base := c.setOf(la) * c.ways
+	want := validBit | c.tagOf(la)
+	empty, victim, oldest := -1, 0, ^uint64(0)
+	for w, tv := range c.tags[base : base+c.ways] {
+		if tv == want {
+			c.lrus[base+w] = c.clock
+			c.stats.Hits++
+			return
+		}
+		if tv == 0 {
+			if empty < 0 {
+				empty = w
+			}
+			continue
+		}
+		if l := c.lrus[base+w]; l < oldest {
+			victim, oldest = w, l
+		}
+	}
+	c.stats.Misses++
+	c.lower.WarmLine(la)
+	if empty >= 0 {
+		victim = empty
+	} else {
+		c.stats.Evictions++
+		if c.OnEvict != nil {
+			tv := c.tags[base+victim]
+			evicted := ((tv&^validBit)*uint64(c.sets) + uint64(c.setOf(la))) * LineBytes
+			c.OnEvict(evicted)
+		}
+	}
+	c.tags[base+victim] = want
+	c.lrus[base+victim] = c.clock
+}
+
+// WarmLine implements Level for the DRAM backend.
+func (f *FixedLatency) WarmLine(uint64) { f.Accesses++ }
+
+// WarmFetchInst is FetchInst's functional counterpart: ITLB/STLB state
+// advances (Translate has no latency-model state beyond its return
+// value) and the L1I path is warmed. Consecutive calls within one page
+// skip the redundant translation — warming cares about residency, not
+// per-access recency, and the warm path's throughput bounds the whole
+// sampled mode.
+func (h *Hierarchy) WarmFetchInst(addr uint64, now uint64) {
+	if pg := addr >> uint(h.ITLB.cfg.PageBits); !h.warmIValid || pg != h.warmIPage {
+		h.warmIPage, h.warmIValid = pg, true
+		h.ITLB.Translate(addr, now)
+	}
+	h.L1I.WarmLine(addr)
+}
+
+// WarmData is Load/Store's functional counterpart on the DTLB/L1D path,
+// with the same consecutive-duplicate filtering per line and per page.
+func (h *Hierarchy) WarmData(addr uint64, now uint64) {
+	la := addr &^ (LineBytes - 1)
+	if h.warmDLValid && la == h.warmDLine {
+		return
+	}
+	h.warmDLine, h.warmDLValid = la, true
+	if pg := addr >> uint(h.DTLB.cfg.PageBits); !h.warmDPValid || pg != h.warmDPage {
+		h.warmDPage, h.warmDPValid = pg, true
+		h.DTLB.Translate(addr, now)
+	}
+	h.L1D.WarmLine(la)
+}

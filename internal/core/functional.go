@@ -1,0 +1,39 @@
+package core
+
+import "ucp/internal/isa"
+
+// FunctionalObserve is the sampled-mode counterpart of the OnCond and
+// OnUncond hooks: during functional fast-forward it keeps the
+// alternate-path predictors and the demand-path shadow history training
+// on the committed stream, so a detailed window opens with Alt-BP and
+// Alt-Ind state consistent with the instructions that flowed past. It
+// never classifies H2P branches or starts walks — alternate-path
+// prefetching is a timing mechanism, and fast-forwarded stretches have
+// no timing to improve. predTaken is the demand predictor's predicted
+// direction for conditional branches (the shadow history advances on
+// predictions, mirroring OnCond); it is ignored for other classes.
+func (e *Engine) FunctionalObserve(in *isa.Inst, predTaken bool) {
+	switch {
+	case in.Class == isa.CondBranch:
+		e.WarmCond(in.PC, in.Taken, predTaken)
+	case in.Class.IsBranch():
+		if e.altInd != nil {
+			if in.Class.IsIndirect() && in.Class != isa.Return {
+				l := e.altInd.Predict(e.altInd.Hist(), in.PC)
+				e.altInd.Update(in.PC, in.Target, &l)
+			}
+			e.altInd.Hist().Push(in.PC, in.Target, true)
+		}
+	}
+}
+
+// WarmCond is FunctionalObserve's conditional-branch case for the
+// warming-skip tier, where outcomes arrive without a materialized
+// isa.Inst. The Alt-Ind history is not advanced — targets are unknown
+// during a skip — and refills during the functional-warm horizon.
+func (e *Engine) WarmCond(pc uint64, taken, predTaken bool) {
+	ap := &e.predScratch
+	e.altBP.PredictInto(ap, e.altBPHist, pc)
+	e.altBP.Update(pc, taken, ap)
+	e.altBPHist.Push(pc, predTaken)
+}

@@ -11,6 +11,11 @@ import (
 // mispredicted branches (stall until execute) and decode resteers
 // (stall until delivery).
 func (f *Frontend) generate(now uint64) {
+	if f.paused {
+		// Sampled-mode drain: no new windows, and the quiet cycles are
+		// not BPU stalls (they fall outside measured windows anyway).
+		return
+	}
 	if f.srcDone || f.waitingFlush || f.waitingDeliver {
 		f.stats.BPUStallCycles++
 		return

@@ -220,6 +220,12 @@ type Frontend struct {
 	waitingFlush   bool
 	waitingDeliver bool
 
+	// Sampled-mode state (functional.go): window generation gate and the
+	// last L1I line touched by the functional-commit path.
+	paused      bool
+	ffLastLine  uint64
+	ffLineValid bool
+
 	brCondCredit int // remaining forced-hit conditional branches
 	fastCredit   int // µ-ops streamed by the MRC (bypass fetch latency)
 	wp           wrongPath

@@ -1,0 +1,121 @@
+package frontend
+
+import (
+	"ucp/internal/btb"
+	"ucp/internal/isa"
+)
+
+// This file is the frontend's functional-commit path: the sampled
+// simulation mode (sim.SamplingConfig) fast-forwards between detailed
+// windows by committing instructions in program order and updating only
+// the state-carrying structures — branch predictors with architectural
+// outcomes, the BTB, the RAS, ITTAGE, the µ-op cache build path, and
+// L1I/ITLB demand fills — while skipping the cycle-accurate FTQ, fetch,
+// and delivery machinery entirely. Frontend counters and the
+// stream/refill histograms are NOT touched: measured statistics come
+// only from detailed windows.
+
+// Pause stops BPU window generation so the in-flight FTQ/µ-op-queue
+// contents can drain through fetch and dispatch. The sampled controller
+// pauses before leaving a detailed window; full-detail runs never pause.
+func (f *Frontend) Pause() { f.paused = true }
+
+// Unpause resumes window generation after a fast-forward segment. The
+// entry-run carry and any pending refill-latency measurement are
+// cleared: both describe fetch state from before the fast-forward and
+// no longer correspond to the stream position.
+func (f *Frontend) Unpause() {
+	f.paused = false
+	f.carryValid = false
+	f.resumedAt = 0
+}
+
+// Empty reports whether no fetched work remains buffered (the FTQ and
+// µ-op queue are drained). Together with Backend.Drained it defines the
+// quiescent point where detailed execution can hand the stream position
+// to the functional path.
+func (f *Frontend) Empty() bool { return f.ftqUsed == 0 && f.uopqUsed == 0 }
+
+// WarmCond trains the direction predictor on one conditional branch
+// outcome reported by the warming skip, exactly as the demand and
+// functional paths train it, and returns the direction it would have
+// predicted (consumed by the core's shadow history). The ITTAGE path
+// history is not advanced — branch targets are unknown during a skip —
+// and refills during the functional-warm horizon.
+func (f *Frontend) WarmCond(pc uint64, taken bool) bool {
+	p := &f.predScratch
+	f.Pred.PredictInto(p, f.Pred.Hist(), pc)
+	f.Pred.Update(pc, taken, p)
+	f.Pred.PushHistory(pc, taken)
+	return p.Taken
+}
+
+// FunctionalCommit retires one instruction through the functional path:
+// it trains the direction predictor with the architectural outcome,
+// maintains both global histories, inserts branch targets into the BTB,
+// tracks calls/returns on the RAS, feeds the µ-op cache builder, and
+// issues the L1I/ITLB demand fill once per line crossing. It performs
+// no cycle accounting — the caller supplies a nominal now that must be
+// non-decreasing across the run. For conditional branches the return
+// value is the direction the demand predictor would have predicted
+// (the core's shadow history advances on predictions, not outcomes);
+// it is false for every other class.
+func (f *Frontend) FunctionalCommit(in *isa.Inst, now uint64) (predTaken bool) {
+	switch in.Class {
+	case isa.CondBranch:
+		// Train and advance history with the architectural outcome,
+		// exactly as the demand path does after predicting.
+		p := &f.predScratch
+		f.Pred.PredictInto(p, f.Pred.Hist(), in.PC)
+		predTaken = p.Taken
+		f.Pred.Update(in.PC, in.Taken, p)
+		f.Pred.PushHistory(in.PC, in.Taken)
+		f.Ind.Hist().Push(in.PC, in.NextPC(), in.Taken)
+		if in.Taken {
+			f.BTB.Insert(in.PC, in.Target, btb.KindCond)
+		}
+
+	case isa.DirectJump, isa.Call:
+		f.BTB.Insert(in.PC, in.Target, btb.KindDirect)
+		if in.Class == isa.Call {
+			f.RAS.Push(in.PC + isa.InstBytes)
+		}
+		f.Ind.Hist().Push(in.PC, in.Target, true)
+
+	case isa.IndirectJump, isa.IndirectCall:
+		l := f.Ind.Predict(f.Ind.Hist(), in.PC)
+		f.Ind.Update(in.PC, in.Target, &l)
+		f.BTB.Insert(in.PC, in.Target, btb.KindIndirect)
+		if in.Class == isa.IndirectCall {
+			f.RAS.Push(in.PC + isa.InstBytes)
+		}
+		f.Ind.Hist().Push(in.PC, in.Target, true)
+
+	case isa.Return:
+		f.RAS.Pop()
+		f.BTB.Insert(in.PC, in.Target, btb.KindReturn)
+		f.Ind.Hist().Push(in.PC, in.Target, true)
+	}
+
+	// µ-op cache fill along the architectural path. The builder sees the
+	// actual direction where the demand build path sees the predicted
+	// one; with the predictor trained on the same stream the two almost
+	// always agree, and entry shapes only differ transiently.
+	if !f.ideal.NoUopCache {
+		f.builder.Add(in.PC, in.Class, in.Class.IsBranch() && in.Taken)
+	}
+
+	// L1I/ITLB demand fill, once per line-boundary crossing (ideal
+	// always-hit machines never touch the L1I on the demand path). The
+	// warm path skips the MSHR/latency model — the functional clock is
+	// far denser than sustainable demand traffic — and for the same
+	// reason the standalone L1I prefetcher is NOT driven here: it is a
+	// timing mechanism and re-trains during the detailed warm segment.
+	if !f.ideal.UopAlwaysHit {
+		if la := in.LineAddr(); !f.ffLineValid || la != f.ffLastLine {
+			f.ffLastLine, f.ffLineValid = la, true
+			f.Mem.WarmFetchInst(la, now)
+		}
+	}
+	return predTaken
+}

@@ -24,6 +24,11 @@ type Options struct {
 	Profiles []trace.Profile
 	// Warmup/Measure override the per-run instruction counts.
 	Warmup, Measure uint64
+	// Sampling, when Enabled, runs every sweep in sampled mode with this
+	// geometry (sim.ConservativeSampling is the safe choice). Sampled
+	// and full-detail results hash to different runq cache keys, so the
+	// two kinds of sweep never contaminate each other's cache entries.
+	Sampling sim.SamplingConfig
 	// Out receives the rendered tables (must be non-nil).
 	Out io.Writer
 	// Verbose prints one line per completed run.
@@ -106,6 +111,9 @@ func (r *Runner) Run(cfg sim.Config, prof trace.Profile) (sim.Result, error) {
 // figure asking for it fails, the process (and the other figures) keep
 // going.
 func (r *Runner) sweep(cfg sim.Config, profs []trace.Profile) ([]sim.Result, error) {
+	if r.opts.Sampling.Enabled {
+		cfg.Sampling = r.opts.Sampling
+	}
 	jobs := make([]runq.Job, len(profs))
 	for i, p := range profs {
 		jobs[i] = runq.Job{Config: cfg, Profile: p, Warmup: r.opts.Warmup, Measure: r.opts.Measure}

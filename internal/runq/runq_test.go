@@ -56,6 +56,23 @@ func TestKeyDistinguishesContents(t *testing.T) {
 	if k2, _ := Key(tweaked); k2 == k1 {
 		t.Fatal("profile parameters not in the key")
 	}
+
+	// Sampling parameters change the measured numbers, so every field of
+	// the sampling geometry must hash apart from the full-detail run and
+	// from each other.
+	sampled := base
+	sampled.Config.Sampling = sim.SamplingConfig{
+		Enabled: true, PeriodInsts: 500, DetailedInsts: 100, WarmInsts: 100,
+	}
+	ks, _ := Key(sampled)
+	if ks == k1 {
+		t.Fatal("sampling params not in the key")
+	}
+	regeo := sampled
+	regeo.Config.Sampling.FFWarmInsts = 250
+	if k2, _ := Key(regeo); k2 == ks {
+		t.Fatal("sampling warm horizon not in the key")
+	}
 }
 
 func TestRunAllDeterministicAcrossWorkerCounts(t *testing.T) {

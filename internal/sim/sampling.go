@@ -1,0 +1,471 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"ucp/internal/core"
+	"ucp/internal/stats"
+	"ucp/internal/trace"
+)
+
+// This file is the sampled simulation mode (SMARTS-style): instead of
+// cycle-simulating the whole warmup + measurement region, the
+// controller alternates
+//
+//	warming skip → functional-warm → detailed-warm → measured window
+//
+// once per PeriodInsts. The warming skip (trace.SkipWarmN) covers the
+// bulk of each gap: the trace generator advances its own state machine
+// without materializing instructions, reporting only fetch-line
+// crossings and load/store addresses so cache and TLB residency stays
+// current — the large, slow-to-warm state that dominates sampling bias.
+// The functional path (FunctionalCommit on frontend/backend,
+// FunctionalObserve on the UCP engine) then commits the last
+// FFWarmInsts instructions before each window in program order,
+// retraining the small fast-warming structures — branch predictors with
+// architectural outcomes, BTB, RAS, ITTAGE, the µ-op cache build path —
+// at a fraction of detailed cost. IPC/MPKI are estimated from the
+// measured windows with Student-t 95% confidence intervals.
+
+// SamplingConfig configures the sampled simulation mode. All counts are
+// instructions. Each period of PeriodInsts ends with WarmInsts of
+// detailed (unmeasured) pipeline warming followed by DetailedInsts of
+// measured detailed execution; the rest of the period is fast-forwarded.
+//
+//ucplint:config
+type SamplingConfig struct {
+	// Enabled turns sampling on. Off by default: full-detail runs are
+	// byte-identical to a build without this mode.
+	Enabled bool
+
+	// PeriodInsts is the sampling period: one measured window per
+	// period, so MeasureInsts/PeriodInsts windows per run.
+	PeriodInsts uint64
+
+	// DetailedInsts is the measured window length.
+	DetailedInsts uint64
+
+	// WarmInsts precede every measured window in detailed-but-unmeasured
+	// mode, refilling pipeline/queue timing state that the functional
+	// path does not model.
+	WarmInsts uint64
+
+	// FFWarmInsts bounds the functional-warming horizon: only the last
+	// FFWarmInsts instructions before each detailed segment run through
+	// the functional path, and everything earlier in the gap goes
+	// through the warming skip (trace.SkipWarmN) — the direction
+	// predictor trains on every conditional outcome, cache/TLB demand
+	// state advances inside the CacheWarmInsts horizon, and the BTB,
+	// RAS, ITTAGE, and µ-op cache do not advance at all. 0 means no
+	// skipping: the entire gap is functionally warmed (most accurate,
+	// but bounded to ~2× over full detail since the functional path
+	// still materializes and trains on every instruction).
+	FFWarmInsts uint64
+
+	// CacheWarmInsts bounds the cache-warming horizon of the skip: only
+	// the last CacheWarmInsts skipped instructions before the
+	// functional-warm horizon report their memory footprint (fetch
+	// lines, load/store addresses) into the cache/TLB hierarchy.
+	// 0 means the entire skipped span is cache-warmed — required when
+	// the trace's working set turns over structures with long rebuild
+	// times (the LLC in particular: its residency reflects roughly a
+	// million instructions of history). Ignored when FFWarmInsts is 0
+	// (nothing is skipped).
+	CacheWarmInsts uint64
+
+	// BPWarmInsts bounds the direction-predictor training horizon of
+	// the skip: only the last BPWarmInsts skipped instructions before
+	// the functional-warm horizon train the direction predictor(s);
+	// anything earlier is skipped outright with no model updates at
+	// all, at trace-generator speed. 0 means the whole skipped span
+	// trains the predictor — required when predictor accuracy is still
+	// converging at the measured scale (large-footprint server traces);
+	// small-footprint traces whose tables converge early can bound this
+	// and gain another several× of speedup, since per-branch training
+	// dominates the skip cost. When both horizons are bounded the
+	// cache-warm zone must fit inside the predictor-training zone.
+	BPWarmInsts uint64
+}
+
+// ConservativeSampling returns a sampling geometry that is safe on
+// every workload: the whole gap outside the functional-warm horizon
+// goes through the warming skip with unbounded cache warming and
+// predictor training (CacheWarmInsts = BPWarmInsts = 0), so no
+// long-history state is ever dropped. Measured ~3-6× over full detail
+// at under 2% IPC error on the large-footprint server traces.
+func ConservativeSampling() SamplingConfig {
+	return SamplingConfig{
+		Enabled:       true,
+		PeriodInsts:   500_000,
+		DetailedInsts: 5_000,
+		WarmInsts:     5_000,
+		FFWarmInsts:   50_000,
+	}
+}
+
+// FastSampling returns the bounded-horizon geometry for small-footprint
+// traces whose working set fits well inside the LLC and whose predictor
+// tables converge early (the crypto profiles): beyond the warming
+// horizons the skip runs at trace-generator speed. Measured ≥10× over
+// full detail at well under 1% IPC error on crypto01 — the check.sh
+// sampling gate pins exactly this geometry — but biased by up to tens
+// of percent on traces with LLC-scale data reuse; prefer
+// ConservativeSampling when unsure.
+func FastSampling() SamplingConfig {
+	return SamplingConfig{
+		Enabled:        true,
+		PeriodInsts:    833_000,
+		DetailedInsts:  5_000,
+		WarmInsts:      5_000,
+		FFWarmInsts:    25_000,
+		CacheWarmInsts: 50_000,
+		BPWarmInsts:    100_000,
+	}
+}
+
+// Validate bounds the sampling geometry. The cross-field constraint
+// against MeasureInsts (at least one full period) lives in
+// Config.Validate.
+func (s SamplingConfig) Validate() error {
+	if !s.Enabled {
+		return nil
+	}
+	if s.PeriodInsts == 0 {
+		return fmt.Errorf("sim: Sampling.PeriodInsts must be positive")
+	}
+	if s.PeriodInsts > 1<<40 {
+		return fmt.Errorf("sim: Sampling.PeriodInsts %d is implausibly large", s.PeriodInsts)
+	}
+	if s.DetailedInsts < 1000 {
+		return fmt.Errorf("sim: Sampling.DetailedInsts must be at least 1000 (window boundaries are commit-based; shorter windows are dominated by in-flight transients), got %d", s.DetailedInsts)
+	}
+	if s.WarmInsts+s.DetailedInsts > s.PeriodInsts {
+		return fmt.Errorf("sim: Sampling.WarmInsts+DetailedInsts (%d+%d) exceed PeriodInsts %d",
+			s.WarmInsts, s.DetailedInsts, s.PeriodInsts)
+	}
+	if s.FFWarmInsts > 1<<40 {
+		return fmt.Errorf("sim: Sampling.FFWarmInsts %d is implausibly large", s.FFWarmInsts)
+	}
+	if s.CacheWarmInsts > 1<<40 {
+		return fmt.Errorf("sim: Sampling.CacheWarmInsts %d is implausibly large", s.CacheWarmInsts)
+	}
+	if s.BPWarmInsts > 1<<40 {
+		return fmt.Errorf("sim: Sampling.BPWarmInsts %d is implausibly large", s.BPWarmInsts)
+	}
+	if s.BPWarmInsts > 0 && (s.CacheWarmInsts == 0 || s.CacheWarmInsts > s.BPWarmInsts) {
+		return fmt.Errorf("sim: Sampling.CacheWarmInsts (%d) must be bounded within BPWarmInsts (%d): an unwarmed cache zone inside the predictor-training zone inverts the warming pyramid",
+			s.CacheWarmInsts, s.BPWarmInsts)
+	}
+	return nil
+}
+
+// SampledStats reports what the sampling controller did and what it
+// estimated. It is folded into the determinism digest, so every field
+// must be deterministic for a given (seed, config).
+type SampledStats struct {
+	// Windows is the number of measured windows.
+	Windows int
+	// SkippedInsts went through the warming skip (cache/TLB residency
+	// and predictor training advance per the CacheWarmInsts/BPWarmInsts
+	// horizons, no µ-op or BTB updates); FFInsts were functionally
+	// committed; DetailedInsts were cycle-accurately committed (warm +
+	// measured + inter-window drain); MeasuredInsts is the measured
+	// subset of DetailedInsts.
+	SkippedInsts  uint64
+	FFInsts       uint64
+	DetailedInsts uint64
+	MeasuredInsts uint64
+
+	// WindowIPC / WindowMPKI are the per-window observations behind the
+	// interval estimates.
+	WindowIPC  []float64
+	WindowMPKI []float64
+
+	// IPCMean ± IPCCI95 and MPKIMean ± MPKICI95 are Student-t 95%
+	// interval estimates over the windows. The half-widths are 0 when
+	// fewer than two windows exist (a single observation bounds
+	// nothing, and Result must stay JSON-serializable for the runq
+	// cache, which rules out storing +Inf).
+	IPCMean  float64
+	IPCCI95  float64
+	MPKIMean float64
+	MPKICI95 float64
+}
+
+// machineWarmer adapts the machine's memory hierarchy to trace.Warmer
+// for the warming-skip tier. Ideal always-hit frontends never touch the
+// L1I on the demand path, so the I-side warm is gated the same way.
+type machineWarmer struct{ m *Machine }
+
+func (w machineWarmer) WarmFetch(lineAddr uint64) {
+	if !w.m.cfg.Ideal.UopAlwaysHit {
+		w.m.mem.WarmFetchInst(lineAddr, w.m.cycle)
+	}
+}
+
+func (w machineWarmer) WarmMem(addr uint64) { w.m.mem.WarmData(addr, w.m.cycle) }
+
+// WarmCond implements trace.BranchWarmer: the demand direction
+// predictor (and, on UCP machines, the alternate-path shadow predictor)
+// trains on every skipped conditional branch. Predictor accuracy
+// converges over tens of millions of instructions — truncating its
+// training to the functional+detailed duty cycle measures an early-run
+// predictor and biases IPC low.
+func (w machineWarmer) WarmCond(pc uint64, taken bool) {
+	predTaken := w.m.fe.WarmCond(pc, taken)
+	if w.m.ucp != nil {
+		w.m.ucp.WarmCond(pc, taken, predTaken)
+	}
+}
+
+// condWarmer is the far-zone warmer: beyond the CacheWarmInsts horizon
+// only the direction predictor trains (its accuracy converges over tens
+// of millions of instructions and cannot be rebuilt by any bounded
+// horizon), while the memory footprint is dropped — caches rebuild well
+// inside the cache-warm + functional-warm horizons.
+type condWarmer struct{ m *Machine }
+
+func (condWarmer) WarmFetch(uint64) {}
+
+func (condWarmer) WarmMem(uint64) {}
+
+func (w condWarmer) WarmCond(pc uint64, taken bool) { machineWarmer(w).WarmCond(pc, taken) }
+
+// runSampled is the sampling controller. Position accounting: skipped
+// instructions never reach the backend, so the absolute stream position
+// is skipped + be.Committed; drain overshoot past a window boundary
+// simply shortens the next period's fast-forward gap.
+func runSampled(cfg Config, src trace.Source, code core.CodeInfo, traceName string) (Result, error) {
+	m := NewMachine(cfg, src, code)
+	s := cfg.Sampling
+	periods := cfg.MeasureInsts / s.PeriodInsts
+
+	var skipped, ffTotal uint64
+	pos := func() uint64 { return skipped + m.be.Committed }
+
+	// ffwd advances the stream position to `to` through the warming
+	// pyramid: the last FFWarmInsts run the functional path, the
+	// CacheWarmInsts before that warm caches and train the predictor,
+	// the BPWarmInsts before that train the predictor only, and
+	// anything earlier skips at trace-generator speed (a zero horizon
+	// extends the corresponding tier over the whole remainder).
+	ffwd := func(to uint64) error {
+		cur := pos()
+		if to <= cur {
+			return nil
+		}
+		warm := to - cur
+		if s.FFWarmInsts > 0 && warm > s.FFWarmInsts {
+			skip := warm - s.FFWarmInsts
+			warm = s.FFWarmInsts
+			cacheZ := skip
+			if s.CacheWarmInsts > 0 && cacheZ > s.CacheWarmInsts {
+				cacheZ = s.CacheWarmInsts
+			}
+			bpZ := skip - cacheZ
+			if s.BPWarmInsts > 0 && bpZ > s.BPWarmInsts-cacheZ {
+				bpZ = s.BPWarmInsts - cacheZ
+			}
+			pure := skip - cacheZ - bpZ
+			zones := [3]struct {
+				n uint64
+				w trace.Warmer
+			}{{pure, nil}, {bpZ, condWarmer{m}}, {cacheZ, machineWarmer{m}}}
+			for _, z := range zones {
+				if z.n == 0 {
+					continue
+				}
+				var n uint64
+				if z.w == nil {
+					n = uint64(trace.SkipN(m.src, int(z.n)))
+				} else {
+					n = uint64(trace.SkipWarmN(m.src, int(z.n), z.w))
+				}
+				skipped += n
+				m.cycle += n
+				if n != z.n {
+					return fmt.Errorf("sim: trace ended during sampled fast-forward at instruction %d", pos())
+				}
+			}
+		}
+		done, err := m.ffRun(warm)
+		ffTotal += done
+		return err
+	}
+
+	var (
+		streamAcc, refillAcc *stats.Histogram
+		ipcs, mpkis          []float64
+		sumInsts, sumCycles  uint64
+		dUopHit, dDecode     uint64
+		dSwitch, dMispred    uint64
+		dPfIns, dPfUsed      uint64
+	)
+
+	// Warmup region: fast-forwarded entirely (bounded functional
+	// warming); the per-window WarmInsts restore timing state.
+	if err := ffwd(cfg.WarmupInsts); err != nil {
+		return Result{}, err
+	}
+
+	for k := uint64(0); k < periods; k++ {
+		measureEnd := cfg.WarmupInsts + (k+1)*s.PeriodInsts
+		measureStart := measureEnd - s.DetailedInsts
+		warmStart := measureStart - s.WarmInsts
+
+		if err := ffwd(warmStart); err != nil {
+			return Result{}, err
+		}
+
+		// Detailed warm, then the measured window. Targets are commit
+		// counts: absolute position minus what was skipped.
+		m.fe.Unpause()
+		if err := m.runUntil(measureStart - skipped); err != nil {
+			return Result{}, err
+		}
+		a := m.snap()
+		m.fe.ResetHistograms()
+		if err := m.runUntil(measureEnd - skipped); err != nil {
+			return Result{}, err
+		}
+		b := m.snap()
+
+		wInsts := b.insts - a.insts
+		wCycles := b.cycles - a.cycles
+		sumInsts += wInsts
+		sumCycles += wCycles
+		dUopHit += b.fe.UopsFromUopCache - a.fe.UopsFromUopCache
+		dDecode += b.fe.UopsFromDecode - a.fe.UopsFromDecode
+		dSwitch += b.fe.ModeSwitches - a.fe.ModeSwitches
+		dMispred += b.fe.CondMispredicts - a.fe.CondMispredicts
+		dPfIns += b.uop.PrefetchInserts - a.uop.PrefetchInserts
+		dPfUsed += b.uop.PrefetchUsed - a.uop.PrefetchUsed
+		if wCycles > 0 {
+			ipcs = append(ipcs, float64(wInsts)/float64(wCycles))
+		}
+		if wInsts > 0 {
+			mpkis = append(mpkis, float64(b.fe.CondMispredicts-a.fe.CondMispredicts)/float64(wInsts)*1000)
+		}
+		// Detach the window's histograms into the accumulators before
+		// the drain can pollute them with out-of-window samples.
+		if streamAcc == nil {
+			streamAcc, refillAcc = m.fe.StreamLens, m.fe.RefillLat
+		} else {
+			streamAcc.Merge(m.fe.StreamLens)
+			refillAcc.Merge(m.fe.RefillLat)
+		}
+		m.fe.ResetHistograms()
+
+		// Quiesce: stop window generation and let in-flight work retire,
+		// handing a clean stream position to the next fast-forward.
+		m.fe.Pause()
+		if err := m.drainQuiet(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	end := m.snap()
+	sampled := &SampledStats{
+		Windows:       len(ipcs),
+		SkippedInsts:  skipped,
+		FFInsts:       ffTotal,
+		DetailedInsts: m.be.Committed - ffTotal,
+		MeasuredInsts: sumInsts,
+		WindowIPC:     ipcs,
+		WindowMPKI:    mpkis,
+	}
+	sampled.IPCMean, sampled.IPCCI95 = stats.CI95(ipcs)
+	sampled.MPKIMean, sampled.MPKICI95 = stats.CI95(mpkis)
+	if math.IsInf(sampled.IPCCI95, 1) {
+		sampled.IPCCI95 = 0
+	}
+	if math.IsInf(sampled.MPKICI95, 1) {
+		sampled.MPKICI95 = 0
+	}
+
+	r := Result{
+		Name:    cfg.Name,
+		Trace:   traceName,
+		Insts:   sumInsts,
+		Cycles:  sumCycles,
+		Sampled: sampled,
+	}
+	if sumCycles > 0 {
+		r.IPC = float64(sumInsts) / float64(sumCycles)
+	}
+	if fetched := dUopHit + dDecode; fetched > 0 {
+		r.UopHitRate = float64(dUopHit) / float64(fetched)
+	}
+	if sumInsts > 0 {
+		r.SwitchPKI = float64(dSwitch) / float64(sumInsts) * 1000
+		r.CondMPKI = float64(dMispred) / float64(sumInsts) * 1000
+	}
+	if dPfIns > 0 {
+		r.PrefetchAccuracy = float64(dPfUsed) / float64(dPfIns)
+	}
+	r.FE = end.fe
+	r.Uop = end.uop
+	r.UCP = end.ucp
+	r.L1I = end.l1i
+	r.StreamLens = streamAcc
+	r.RefillLat = refillAcc
+	if m.ucp != nil {
+		r.UCPStorageKB = m.ucp.StorageKB()
+	}
+	return r, nil
+}
+
+// ffRun functionally commits up to n instructions, returning how many it
+// managed (short only at end of trace, which is an error for the
+// sampled controller's budgets).
+func (m *Machine) ffRun(n uint64) (uint64, error) {
+	for i := uint64(0); i < n; i++ {
+		in, ok := m.src.Next()
+		if !ok {
+			return i, fmt.Errorf("sim: trace ended during functional warming (%d committed)", m.be.Committed)
+		}
+		predTaken := m.fe.FunctionalCommit(&in, m.cycle)
+		if m.ucp != nil {
+			m.ucp.FunctionalObserve(&in, predTaken)
+		}
+		m.be.FunctionalCommit(&in, m.cycle)
+		m.cycle++
+	}
+	return n, nil
+}
+
+// runUntil steps the detailed engine until the commit counter reaches
+// target, with the same stuck-guard as the full-detail loop.
+func (m *Machine) runUntil(target uint64) error {
+	lastCommit := m.be.Committed
+	stuck := uint64(0)
+	for m.be.Committed < target {
+		m.Step()
+		if m.be.Committed == lastCommit {
+			stuck++
+			if stuck > 200_000 {
+				return fmt.Errorf("sim: no commit for %d cycles at cycle %d (%d committed, target %d)", stuck, m.cycle, m.be.Committed, target)
+			}
+		} else {
+			stuck = 0
+			lastCommit = m.be.Committed
+		}
+		if m.fe.Done() && m.be.Drained() {
+			return fmt.Errorf("sim: trace ended during sampled run (%d committed, target %d)", m.be.Committed, target)
+		}
+	}
+	return nil
+}
+
+// drainQuiet steps with window generation paused until the FTQ, µ-op
+// queue, and ROB are all empty.
+func (m *Machine) drainQuiet() error {
+	for cycles := 0; !(m.fe.Empty() && m.be.Drained()); cycles++ {
+		if cycles > 200_000 {
+			return fmt.Errorf("sim: pipeline failed to drain within %d cycles at cycle %d", cycles, m.cycle)
+		}
+		m.Step()
+	}
+	return nil
+}

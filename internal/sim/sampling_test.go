@@ -1,0 +1,205 @@
+package sim_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ucp/internal/core"
+	"ucp/internal/sim"
+	"ucp/internal/trace"
+)
+
+// quickSampling is a sampling geometry small enough for unit tests:
+// 8 windows of 2k measured + 4k warm insts per 25k period, with every
+// tier of the warming pyramid engaged (pure skip → BP-train skip →
+// cache-warm skip → functional warm → detailed warm).
+func quickSampling() sim.SamplingConfig {
+	return sim.SamplingConfig{
+		Enabled:        true,
+		PeriodInsts:    25_000,
+		DetailedInsts:  2_000,
+		WarmInsts:      4_000,
+		FFWarmInsts:    8_000,
+		CacheWarmInsts: 4_000,
+		BPWarmInsts:    8_000,
+	}
+}
+
+// runOnce runs one simulation of the named profile and returns the
+// result.
+func runOnce(t *testing.T, profName string, cfg sim.Config) sim.Result {
+	t.Helper()
+	prof, ok := trace.ProfileByName(profName)
+	if !ok {
+		t.Fatalf("unknown profile %q", profName)
+	}
+	prog, err := trace.BuildProgram(prof)
+	if err != nil {
+		t.Fatalf("building %s: %v", profName, err)
+	}
+	budget := int(cfg.WarmupInsts+cfg.MeasureInsts) + 200_000
+	src := trace.NewLimit(trace.NewWalker(prog), budget)
+	res, err := sim.Run(cfg, src, prog, profName)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	return res
+}
+
+// TestSampledDeterministic is the sampled-mode analogue of
+// TestDeterministicDigest: two sampled runs from the same seed and
+// sampling params must produce byte-identical digests, including the
+// sampled section.
+func TestSampledDeterministic(t *testing.T) {
+	mk := func() string {
+		cfg := sim.WithUCP(core.DefaultConfig())
+		cfg.WarmupInsts = 50_000
+		cfg.MeasureInsts = 200_000
+		cfg.Sampling = quickSampling()
+		return runOnce(t, "srv203", cfg).DeterminismDigest()
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Fatalf("sampled digests differ:\n%s\n---\n%s", a, b)
+	}
+	for _, want := range []string{"sampled windows=", "sampled ipc=", "sampled w0 "} {
+		if !strings.Contains(a, want) {
+			t.Errorf("sampled digest missing %q section", want)
+		}
+	}
+}
+
+// TestSampledEstimatesTrackFull bounds the estimator's error on a unit
+// scale: the sampled IPC must land within a loose tolerance of the
+// full-detail IPC on the same stream (the check.sh gate enforces the
+// tight documented bound at sweep scale). crypto01's small footprint
+// converges within the test budget; large-footprint traces need
+// multi-million-instruction runs before full and sampled measurements
+// describe the same steady state (see EXPERIMENTS.md).
+func TestSampledEstimatesTrackFull(t *testing.T) {
+	for _, withUCP := range []bool{false, true} {
+		cfg := sim.Baseline()
+		if withUCP {
+			cfg = sim.WithUCP(core.DefaultConfig())
+		}
+		cfg.WarmupInsts = 100_000
+		cfg.MeasureInsts = 1_000_000
+		full := runOnce(t, "crypto01", cfg)
+
+		cfg.Sampling = sim.SamplingConfig{
+			Enabled:       true,
+			PeriodInsts:   100_000,
+			DetailedInsts: 4_000,
+			WarmInsts:     4_000,
+			FFWarmInsts:   25_000,
+		}
+		sampled := runOnce(t, "crypto01", cfg)
+
+		if sampled.Sampled == nil {
+			t.Fatal("sampled run carries no SampledStats")
+		}
+		if got, want := sampled.Sampled.Windows, 10; got != want {
+			t.Errorf("ucp=%v: %d windows, want %d", withUCP, got, want)
+		}
+		if full.Sampled != nil {
+			t.Error("full-detail run unexpectedly carries SampledStats")
+		}
+		relErr := math.Abs(sampled.IPC-full.IPC) / full.IPC
+		if relErr > 0.05 {
+			t.Errorf("ucp=%v: sampled IPC %.4f vs full %.4f (%.1f%% error)",
+				withUCP, sampled.IPC, full.IPC, relErr*100)
+		}
+		// The estimator's own bookkeeping must be internally consistent.
+		s := sampled.Sampled
+		if s.MeasuredInsts != sampled.Insts {
+			t.Errorf("MeasuredInsts %d != Result.Insts %d", s.MeasuredInsts, sampled.Insts)
+		}
+		if s.SkippedInsts == 0 || s.FFInsts == 0 {
+			t.Errorf("expected both skipping and functional warming: skipped=%d ff=%d",
+				s.SkippedInsts, s.FFInsts)
+		}
+		if s.IPCCI95 < 0 || math.IsInf(s.IPCCI95, 0) || math.IsNaN(s.IPCCI95) {
+			t.Errorf("IPCCI95 = %v, want finite non-negative", s.IPCCI95)
+		}
+		if s.DetailedInsts < s.MeasuredInsts {
+			t.Errorf("DetailedInsts %d < MeasuredInsts %d", s.DetailedInsts, s.MeasuredInsts)
+		}
+	}
+}
+
+// TestSamplingValidate pins the config bounds.
+func TestSamplingValidate(t *testing.T) {
+	base := func() sim.Config {
+		cfg := sim.Baseline()
+		cfg.WarmupInsts = 10_000
+		cfg.MeasureInsts = 100_000
+		cfg.Sampling = sim.SamplingConfig{
+			Enabled:       true,
+			PeriodInsts:   20_000,
+			DetailedInsts: 2_000,
+			WarmInsts:     2_000,
+		}
+		return cfg
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid sampling config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*sim.Config)
+	}{
+		{"zero period", func(c *sim.Config) { c.Sampling.PeriodInsts = 0 }},
+		{"window too small", func(c *sim.Config) { c.Sampling.DetailedInsts = 999 }},
+		{"warm+detail exceed period", func(c *sim.Config) { c.Sampling.WarmInsts = 19_000 }},
+		{"period exceeds measure", func(c *sim.Config) { c.Sampling.PeriodInsts = 200_000 }},
+		{"implausible period", func(c *sim.Config) { c.Sampling.PeriodInsts = 1 << 41 }},
+		{"implausible ffwarm", func(c *sim.Config) { c.Sampling.FFWarmInsts = 1 << 41 }},
+		{"implausible cachewarm", func(c *sim.Config) { c.Sampling.CacheWarmInsts = 1 << 41 }},
+		{"implausible bpwarm", func(c *sim.Config) { c.Sampling.BPWarmInsts = 1 << 41 }},
+		// BPWarmInsts bounded while CacheWarmInsts is unbounded (= whole
+		// span) puts an unwarmed cache zone inside the predictor-training
+		// zone: the pyramid is inverted.
+		{"inverted pyramid via zero cachewarm", func(c *sim.Config) { c.Sampling.BPWarmInsts = 5_000 }},
+		{"cache zone wider than bp zone", func(c *sim.Config) {
+			c.Sampling.BPWarmInsts = 5_000
+			c.Sampling.CacheWarmInsts = 6_000
+		}},
+	}
+	for _, tc := range cases {
+		cfg := base()
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid sampling config", tc.name)
+		}
+	}
+	// A well-formed pyramid (cache zone inside BP zone) must validate.
+	cfg := base()
+	cfg.Sampling.FFWarmInsts = 4_000
+	cfg.Sampling.CacheWarmInsts = 3_000
+	cfg.Sampling.BPWarmInsts = 5_000
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("well-formed warming pyramid rejected: %v", err)
+	}
+	// Disabled sampling skips all bounds: the zero value must validate.
+	cfg = base()
+	cfg.Sampling = sim.SamplingConfig{}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("zero-value (disabled) sampling rejected: %v", err)
+	}
+}
+
+// TestFullDetailDigestUnaffected pins that merely compiling in the
+// sampled mode changes nothing: a full-detail digest must not contain a
+// sampled section, and the Result must be identical with and without the
+// (disabled) Sampling field set to its zero value — the hotpath golden
+// gate in check.sh then pins byte-identity across PRs.
+func TestFullDetailDigestUnaffected(t *testing.T) {
+	cfg := sim.WithUCP(core.DefaultConfig())
+	cfg.WarmupInsts = 10_000
+	cfg.MeasureInsts = 20_000
+	d := runOnce(t, "srv203", cfg).DeterminismDigest()
+	if strings.Contains(d, "sampled") {
+		t.Fatal("full-detail digest contains a sampled section")
+	}
+}

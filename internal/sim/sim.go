@@ -26,7 +26,7 @@ import (
 // folds it into every result-cache key, so cached results from an older
 // model revision are never replayed as current ones. Bump it whenever a
 // change anywhere in the model alters any measured number.
-const ModelVersion = "ucp-sim-1"
+const ModelVersion = "ucp-sim-2"
 
 // Config describes one simulated machine configuration. Run validates
 // it (and, transitively, every sub-structure's geometry) before
@@ -72,6 +72,13 @@ type Config struct {
 	// are then measured (§V: 50M + 50M at full scale).
 	WarmupInsts  uint64
 	MeasureInsts uint64
+
+	// Sampling selects the sampled simulation mode (sampling.go): the
+	// MeasureInsts region is covered by periodic detailed windows
+	// separated by functional fast-forward instead of being
+	// cycle-simulated end to end. Default off; full-detail behavior is
+	// untouched when disabled.
+	Sampling SamplingConfig
 }
 
 // Baseline is the Table II configuration: 4Kops µ-op cache, 64KB
@@ -144,6 +151,13 @@ func (c Config) Validate() error {
 	if c.WarmupInsts > 1<<40 {
 		return fmt.Errorf("sim: WarmupInsts %d is implausibly large", c.WarmupInsts)
 	}
+	if err := c.Sampling.Validate(); err != nil {
+		return err
+	}
+	if c.Sampling.Enabled && c.Sampling.PeriodInsts > c.MeasureInsts {
+		return fmt.Errorf("sim: Sampling.PeriodInsts %d exceeds MeasureInsts %d (need at least one full period)",
+			c.Sampling.PeriodInsts, c.MeasureInsts)
+	}
 	return nil
 }
 
@@ -177,6 +191,10 @@ type Result struct {
 	UCP          core.Stats
 	UCPStorageKB float64
 	L1I          cache.Stats
+
+	// Sampled carries the sampling estimator's window statistics; nil
+	// for full-detail runs, so their digests are unchanged.
+	Sampled *SampledStats
 }
 
 // Machine is one assembled core, stepped cycle by cycle.
@@ -188,6 +206,7 @@ type Machine struct {
 	ucp   *core.Engine
 	mrc   *prefetch.MRC
 	uop   *uopcache.UopCache
+	src   trace.Source // post-wrapping stream, shared with the frontend
 	cycle uint64
 
 	mrcPending uint64 // corrected target of the stalled misprediction
@@ -197,6 +216,13 @@ type Machine struct {
 // enabled, instruction classes are learned from the dynamic stream (the
 // recorded-trace case) instead of read from a generated Program.
 func NewMachine(cfg Config, src trace.Source, code core.CodeInfo) *Machine {
+	if cfg.Sampling.Enabled {
+		// The fast-forward controller and the frontend must observe one
+		// shared stream position, so the frontend's batched read-ahead
+		// (which buffers up to 128 instructions past the commit point)
+		// is hidden behind a scalar wrapper in sampled mode.
+		src = trace.NewScalar(src)
+	}
 	if code == nil && cfg.UCP != nil {
 		lc := NewLearnedCode()
 		src = &observingSource{src: src, code: lc}
@@ -216,7 +242,7 @@ func NewMachine(cfg Config, src trace.Source, code core.CodeInfo) *Machine {
 		mem.L1I.OnEvict = uop.InvalidateLine
 	}
 	be := backend.New(cfg.Backend, mem)
-	m := &Machine{cfg: cfg, fe: fe, be: be, mem: mem, uop: uop}
+	m := &Machine{cfg: cfg, fe: fe, be: be, mem: mem, uop: uop, src: src}
 	if cfg.UCP != nil {
 		m.ucp = core.New(*cfg.UCP, fe, code)
 		fe.SetHook(m.ucp)
@@ -313,6 +339,9 @@ func Run(cfg Config, src trace.Source, code core.CodeInfo, traceName string) (Re
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	if cfg.Sampling.Enabled {
+		return runSampled(cfg, src, code, traceName)
+	}
 	m := NewMachine(cfg, src, code)
 	target := cfg.WarmupInsts
 	var start snapshot
@@ -406,6 +435,17 @@ func (r Result) DeterminismDigest() string {
 	}
 	if r.RefillLat != nil {
 		sb.WriteString(r.RefillLat.Render())
+	}
+	// The sampled section only exists for sampled runs, so full-detail
+	// digests (and the hotpath golden) are byte-identical to before.
+	if s := r.Sampled; s != nil {
+		fmt.Fprintf(&sb, "sampled windows=%d skipped=%d ff=%d detailed=%d measured=%d\n",
+			s.Windows, s.SkippedInsts, s.FFInsts, s.DetailedInsts, s.MeasuredInsts)
+		fmt.Fprintf(&sb, "sampled ipc=%.9f±%.9f mpki=%.9f±%.9f\n",
+			s.IPCMean, s.IPCCI95, s.MPKIMean, s.MPKICI95)
+		for i, v := range s.WindowIPC {
+			fmt.Fprintf(&sb, "sampled w%d ipc=%.9f\n", i, v)
+		}
 	}
 	return sb.String()
 }

@@ -323,6 +323,25 @@ func TestBlockBTBEndToEnd(t *testing.T) {
 	t.Logf("srv201 UCP: instBTB=%.4f blockBTB=%.4f", inst.IPC, blk.IPC)
 }
 
+// TestObservingSourceStaysScalar pins that observingSource does NOT
+// satisfy trace.BatchSource (and no other skip/warm fast path either):
+// a batch path would let the frontend read ahead of the simulated fetch
+// stream and reach LearnedCode.Observe cycles early, which is
+// architecturally visible and breaks the determinism digest.
+func TestObservingSourceStaysScalar(t *testing.T) {
+	var src trace.Source = &observingSource{}
+	if _, ok := src.(trace.BatchSource); ok {
+		t.Fatal("observingSource satisfies trace.BatchSource; it must stay scalar-only (see learnedcode.go)")
+	}
+	// The skip fast paths would bypass Observe the same way.
+	if _, ok := src.(trace.Skipper); ok {
+		t.Fatal("observingSource satisfies trace.Skipper, bypassing LearnedCode.Observe")
+	}
+	if _, ok := src.(trace.WarmSkipper); ok {
+		t.Fatal("observingSource satisfies trace.WarmSkipper, bypassing LearnedCode.Observe")
+	}
+}
+
 func TestObservingSourceReset(t *testing.T) {
 	prof, _ := trace.ProfileByName("crypto01")
 	prog, _ := trace.BuildProgram(prof)

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCI95EdgeCases(t *testing.T) {
+	// Empty series: nothing to estimate.
+	if mean, half := CI95(nil); mean != 0 || half != 0 {
+		t.Errorf("CI95(nil) = (%v, %v), want (0, 0)", mean, half)
+	}
+	if mean, half := CI95([]float64{}); mean != 0 || half != 0 {
+		t.Errorf("CI95(empty) = (%v, %v), want (0, 0)", mean, half)
+	}
+	// One sample: its value, but one observation bounds nothing.
+	if mean, half := CI95([]float64{2.5}); mean != 2.5 || !math.IsInf(half, 1) {
+		t.Errorf("CI95({2.5}) = (%v, %v), want (2.5, +Inf)", mean, half)
+	}
+	// Constant series: zero variance, zero half-width.
+	if mean, half := CI95([]float64{1.25, 1.25, 1.25, 1.25}); mean != 1.25 || half != 0 {
+		t.Errorf("CI95(constant) = (%v, %v), want (1.25, 0)", mean, half)
+	}
+}
+
+func TestCI95KnownValues(t *testing.T) {
+	// n=2: mean 2, sd = sqrt(2), half = t(df=1) * sd / sqrt(2) = 12.706.
+	mean, half := CI95([]float64{1, 3})
+	if mean != 2 {
+		t.Errorf("mean = %v, want 2", mean)
+	}
+	if math.Abs(half-12.706) > 1e-9 {
+		t.Errorf("half = %v, want 12.706", half)
+	}
+	// n=5 of {1,2,3,4,5}: mean 3, sd = sqrt(2.5),
+	// half = t(df=4) * sd / sqrt(5) = 2.776 * 0.70711 = 1.96293...
+	mean, half = CI95([]float64{1, 2, 3, 4, 5})
+	if mean != 3 {
+		t.Errorf("mean = %v, want 3", mean)
+	}
+	if want := 2.776 * math.Sqrt(2.5) / math.Sqrt(5); math.Abs(half-want) > 1e-9 {
+		t.Errorf("half = %v, want %v", half, want)
+	}
+}
+
+// TestCI95LargeSample pins the df>30 normal-approximation branch and the
+// 1/sqrt(n) shrinkage: quadrupling the sample count at fixed variance
+// halves the half-width.
+func TestCI95LargeSample(t *testing.T) {
+	mk := func(n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i % 2) // alternating 0/1: sd ~ 0.5
+		}
+		return xs
+	}
+	_, h40 := CI95(mk(40))
+	sd := math.Sqrt(float64(40) / float64(39) * 0.25)
+	if want := 1.96 * sd / math.Sqrt(40); math.Abs(h40-want) > 1e-9 {
+		t.Errorf("n=40 half = %v, want %v", h40, want)
+	}
+	_, h160 := CI95(mk(160))
+	if ratio := h40 / h160; math.Abs(ratio-2) > 0.02 {
+		t.Errorf("quadrupling n should halve the half-width; ratio = %v", ratio)
+	}
+}

@@ -121,6 +121,10 @@ func ReadAny(r io.Reader) ([]isa.Inst, error) {
 	if n > maxInsts {
 		return nil, fmt.Errorf("trace: implausible instruction count %d", n)
 	}
+	// The count is still untrusted below maxInsts: a corrupt header can
+	// claim a billion records (~50 GB of isa.Inst) over a byte of body.
+	// Both body readers therefore grow their slice as records actually
+	// parse instead of trusting n up front (see preallocInsts).
 	switch version {
 	case fileVersion:
 		return readV1Body(br, n)
@@ -131,12 +135,26 @@ func ReadAny(r io.Reader) ([]isa.Inst, error) {
 	}
 }
 
+// preallocInsts caps the allocation made on the header's word alone.
+// Honest files pay one extra append-doubling pass beyond a million
+// records; a lying header costs at most this much before the first
+// truncated-record error surfaces.
+const preallocInsts = 1 << 20
+
+func preallocFor(n uint64) uint64 {
+	if n > preallocInsts {
+		return preallocInsts
+	}
+	return n
+}
+
 func readCompactBody(br *bufio.Reader, n uint64) ([]isa.Inst, error) {
-	insts := make([]isa.Inst, n)
+	insts := make([]isa.Inst, 0, preallocFor(n))
 	var expectPC, lastMem uint64
 	var lastDst, lastSrc1, lastSrc2 uint8
-	for i := range insts {
-		in := &insts[i]
+	for i := uint64(0); i < n; i++ {
+		var rec isa.Inst
+		in := &rec
 		flags, err := br.ReadByte()
 		if err != nil {
 			return nil, fmt.Errorf("trace: truncated at record %d: %w", i, err)
@@ -178,27 +196,32 @@ func readCompactBody(br *bufio.Reader, n uint64) ([]isa.Inst, error) {
 		}
 		in.Dst, in.Src1, in.Src2 = lastDst, lastSrc1, lastSrc2
 		expectPC = in.NextPC()
+		insts = append(insts, rec)
 	}
 	return insts, nil
 }
 
 // readV1Body parses the fixed-width v1 records (header already consumed).
 func readV1Body(br *bufio.Reader, n uint64) ([]isa.Inst, error) {
-	insts := make([]isa.Inst, n)
+	insts := make([]isa.Inst, 0, preallocFor(n))
 	rec := make([]byte, 29)
-	for i := range insts {
+	for i := uint64(0); i < n; i++ {
 		if _, err := io.ReadFull(br, rec); err != nil {
 			return nil, fmt.Errorf("trace: truncated at record %d: %w", i, err)
 		}
-		in := &insts[i]
+		var in isa.Inst
 		in.PC = binary.LittleEndian.Uint64(rec[0:8])
 		in.Class = isa.Class(rec[8])
+		if int(in.Class) >= isa.NumClasses {
+			return nil, fmt.Errorf("trace: bad class %d at record %d", in.Class, i)
+		}
 		in.Taken = rec[9] != 0
 		in.Target = binary.LittleEndian.Uint64(rec[10:18])
 		in.MemAddr = binary.LittleEndian.Uint64(rec[18:26])
 		in.Dst = rec[26]
 		in.Src1 = rec[27]
 		in.Src2 = rec[28]
+		insts = append(insts, in)
 	}
 	return insts, nil
 }

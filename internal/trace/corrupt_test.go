@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"runtime"
+	"strings"
+	"testing"
+
+	"ucp/internal/isa"
+)
+
+// header builds a UCPT file header claiming version v and n records.
+func header(v uint32, n uint64) []byte {
+	b := make([]byte, 16)
+	copy(b, fileMagic)
+	binary.LittleEndian.PutUint32(b[4:8], v)
+	binary.LittleEndian.PutUint64(b[8:16], n)
+	return b
+}
+
+// corruptInsts is a small well-formed instruction sequence exercising
+// every record shape (explicit PC, taken branch, memory delta, register
+// change) so truncation cuts land inside varied field encodings.
+func corruptInsts() []isa.Inst {
+	var insts []isa.Inst
+	pc := uint64(0x1000)
+	for i := 0; i < 50; i++ {
+		in := isa.Inst{PC: pc, Class: isa.ALU, Dst: uint8(i % 8), Src1: 1, Src2: 2}
+		switch i % 5 {
+		case 1:
+			in.Class = isa.Load
+			in.MemAddr = 0x8000 + uint64(i)*64
+		case 2:
+			in.Class = isa.Store
+			in.MemAddr = 0x9000 + uint64(i)*8
+		case 3:
+			in.Class = isa.CondBranch
+			in.Taken = i%2 == 1
+			in.Target = pc + 0x40
+		}
+		insts = append(insts, in)
+		pc = in.NextPC()
+	}
+	return insts
+}
+
+// TestReadAnyTruncated cuts valid v1 and v2 files at every byte
+// boundary; every prefix must either parse (short prefixes of the
+// record stream never do) or fail with an error — no panic, no hang.
+func TestReadAnyTruncated(t *testing.T) {
+	insts := corruptInsts()
+	var v1, v2 bytes.Buffer
+	if err := Write(&v1, insts); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCompact(&v2, insts); err != nil {
+		t.Fatal(err)
+	}
+	for name, full := range map[string][]byte{"v1": v1.Bytes(), "v2": v2.Bytes()} {
+		for cut := 0; cut < len(full); cut++ {
+			if _, err := ReadAny(bytes.NewReader(full[:cut])); err == nil {
+				t.Fatalf("%s: prefix of %d/%d bytes parsed without error", name, cut, len(full))
+			}
+		}
+		got, err := ReadAny(bytes.NewReader(full))
+		if err != nil {
+			t.Fatalf("%s: full file: %v", name, err)
+		}
+		if len(got) != len(insts) {
+			t.Fatalf("%s: full file decoded %d insts, want %d", name, len(got), len(insts))
+		}
+	}
+}
+
+// TestReadAnyLyingHeader feeds headers whose record count vastly
+// exceeds the body. The reader must fail gracefully with a truncation
+// error and must not allocate storage proportional to the claimed
+// count (a 512M-record claim would be ~25 GB if trusted).
+func TestReadAnyLyingHeader(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"v2 empty body", header(compactVersion, 1<<29)},
+		{"v1 empty body", header(fileVersion, 1<<29)},
+		{"v1 one record", append(header(fileVersion, 1_000_000), make([]byte, 29)...)},
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for _, tc := range cases {
+		if _, err := ReadAny(bytes.NewReader(tc.data)); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		} else if !strings.Contains(err.Error(), "truncated") {
+			t.Errorf("%s: error %q does not mention truncation", tc.name, err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	// Three preallocInsts-capped slices plus noise stay far under the
+	// multi-gigabyte allocations a trusted count would trigger.
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 1<<29 {
+		t.Fatalf("lying headers allocated %d bytes — count is being trusted", grew)
+	}
+}
+
+// TestReadAnyBadRecords checks malformed record payloads fail with a
+// descriptive error instead of decoding garbage.
+func TestReadAnyBadRecords(t *testing.T) {
+	badClassV2 := append(header(compactVersion, 1), 0x0f) // class 15, no optional fields
+	if _, err := ReadAny(bytes.NewReader(badClassV2)); err == nil || !strings.Contains(err.Error(), "bad class") {
+		t.Errorf("v2 bad class: err = %v", err)
+	}
+	recV1 := make([]byte, 29)
+	recV1[8] = 0xff // class byte
+	badClassV1 := append(header(fileVersion, 1), recV1...)
+	if _, err := ReadAny(bytes.NewReader(badClassV1)); err == nil || !strings.Contains(err.Error(), "bad class") {
+		t.Errorf("v1 bad class: err = %v", err)
+	}
+	if _, err := ReadAny(bytes.NewReader(header(99, 0))); err == nil || !strings.Contains(err.Error(), "unsupported version") {
+		t.Errorf("bad version: err = %v", err)
+	}
+	if _, err := ReadAny(bytes.NewReader(header(compactVersion, 1<<40))); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Errorf("absurd count: err = %v", err)
+	}
+	if _, err := ReadAny(bytes.NewReader([]byte("NOPE000000000000"))); err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Errorf("bad magic: err = %v", err)
+	}
+}

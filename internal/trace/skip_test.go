@@ -1,0 +1,300 @@
+package trace
+
+// Property tests for the Skipper contract: Skip(n) followed by Next must
+// observe exactly what n discarded Next calls followed by Next would —
+// for every implementation, including native fast paths (SliceSource,
+// Walker) and the generic SkipN fallback, across Limit truncation
+// boundaries.
+
+import (
+	"testing"
+
+	"ucp/internal/isa"
+	"ucp/internal/rng"
+)
+
+// skipThenDrain skips n and then collects up to max instructions.
+func skipThenDrain(src Source, n, max int) (int, []isa.Inst) {
+	skipped := SkipN(src, n)
+	return skipped, drainScalar(src, max)
+}
+
+func TestSkipMatchesNext(t *testing.T) {
+	insts := genInsts(257, 7)
+
+	makeSources := map[string]func(limit int) (Source, Source){
+		"slice": func(int) (Source, Source) {
+			return NewSliceSource(insts), NewSliceSource(insts)
+		},
+		"scalar-wrapper": func(int) (Source, Source) {
+			return NewScalar(NewSliceSource(insts)), NewScalar(NewSliceSource(insts))
+		},
+		"fallback-next-loop": func(int) (Source, Source) {
+			return scalarOnly{NewSliceSource(insts)}, scalarOnly{NewSliceSource(insts)}
+		},
+		"limit-over-slice": func(limit int) (Source, Source) {
+			return NewLimit(NewSliceSource(insts), limit),
+				NewLimit(NewSliceSource(insts), limit)
+		},
+		"limit-over-scalar": func(limit int) (Source, Source) {
+			return NewLimit(scalarOnly{NewSliceSource(insts)}, limit),
+				NewLimit(scalarOnly{NewSliceSource(insts)}, limit)
+		},
+	}
+	// Skips and limits straddle every truncation boundary: shorter than,
+	// equal to, and beyond both the stream and the limit.
+	for name, mk := range makeSources {
+		for _, limit := range []int{0, 1, 100, 256, 257, 1000} {
+			for _, n := range []int{0, 1, 99, 100, 101, 256, 257, 300} {
+				ref, sut := mk(limit)
+				// Reference: n Next calls discarded, then drain.
+				refSkipped := 0
+				for i := 0; i < n; i++ {
+					if _, ok := ref.Next(); !ok {
+						break
+					}
+					refSkipped++
+				}
+				want := drainScalar(ref, 100000)
+				gotSkipped, got := skipThenDrain(sut, n, 100000)
+				if gotSkipped != refSkipped {
+					t.Fatalf("%s limit=%d skip=%d: Skip returned %d, want %d",
+						name, limit, n, gotSkipped, refSkipped)
+				}
+				if !sameInsts(want, got) {
+					t.Fatalf("%s limit=%d skip=%d: post-skip stream diverges (%d vs %d insts)",
+						name, limit, n, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestSkipMatchesNextWalker pins the Walker's native Skip against its
+// Next path: all generator state (RNG, histories, call stack, memory
+// strides) must advance identically, so the instructions emitted after a
+// skip are byte-identical to those after discarding the same prefix.
+func TestSkipMatchesNextWalker(t *testing.T) {
+	prog, err := BuildProgram(QuickProfiles()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tail = 3000
+	for _, n := range []int{0, 1, 997, 5000} {
+		ref := NewWalker(prog)
+		for i := 0; i < n; i++ {
+			if _, ok := ref.Next(); !ok {
+				t.Fatalf("walker ended at %d", i)
+			}
+		}
+		want := drainScalar(ref, tail)
+
+		sut := NewWalker(prog)
+		if got := SkipN(sut, n); got != n {
+			t.Fatalf("walker Skip(%d) returned %d", n, got)
+		}
+		if got := drainScalar(sut, tail); !sameInsts(want, got) {
+			t.Fatalf("walker stream diverges after Skip(%d)", n)
+		}
+	}
+
+	// Limit over the endless walker: skipping across the truncation
+	// boundary must clamp exactly.
+	lim := NewLimit(NewWalker(prog), 500)
+	if got := SkipN(lim, 400); got != 400 {
+		t.Fatalf("Limit(walker).Skip(400) = %d", got)
+	}
+	if rest := drainScalar(lim, 100000); len(rest) != 100 {
+		t.Fatalf("after Skip(400) a 500-limit yields %d insts, want 100", len(rest))
+	}
+	if got := SkipN(lim, 10); got != 0 {
+		t.Fatalf("exhausted limit skipped %d insts", got)
+	}
+}
+
+// warmEvent records one Warmer callback for sequence comparison.
+type warmEvent struct {
+	kind  byte // 'F' fetch line, 'M' memory address, 'C' cond outcome
+	addr  uint64
+	taken bool
+}
+
+// warmRec is a plain Warmer (no BranchWarmer): cond outcomes must not
+// be reported to it.
+type warmRec struct{ events []warmEvent }
+
+func (r *warmRec) WarmFetch(la uint64) { r.events = append(r.events, warmEvent{'F', la, false}) }
+func (r *warmRec) WarmMem(a uint64)    { r.events = append(r.events, warmEvent{'M', a, false}) }
+
+// condRec additionally implements BranchWarmer.
+type condRec struct{ warmRec }
+
+func (r *condRec) WarmCond(pc uint64, taken bool) {
+	r.events = append(r.events, warmEvent{'C', pc, taken})
+}
+
+func sameEvents(a, b []warmEvent) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// genWarmInsts mixes in loads/stores (with effective addresses) so the
+// warm callbacks have something to report.
+func genWarmInsts(n int, seed uint64) []isa.Inst {
+	r := rng.New(seed)
+	out := make([]isa.Inst, n)
+	pc := uint64(0x4000)
+	for i := range out {
+		cl := isa.ALU
+		switch {
+		case r.Bool(0.2):
+			cl = isa.CondBranch
+		case r.Bool(0.3):
+			cl = isa.Load
+		case r.Bool(0.2):
+			cl = isa.Store
+		}
+		out[i] = isa.Inst{PC: pc, Class: cl, Taken: r.Bool(0.5), MemAddr: 0x10_0000 + r.Uint64n(1<<16)}
+		pc += isa.InstBytes
+	}
+	return out
+}
+
+// TestSkipWarmMatchesSkip pins the WarmSkipper position contract: after
+// SkipWarm(n, w) the stream must be exactly where Skip(n) leaves it,
+// for native implementations and the SkipWarmN fallback alike.
+func TestSkipWarmMatchesSkip(t *testing.T) {
+	insts := genWarmInsts(257, 3)
+	makeSources := map[string]func(limit int) (Source, Source){
+		"slice": func(int) (Source, Source) {
+			return NewSliceSource(insts), NewSliceSource(insts)
+		},
+		"scalar-wrapper": func(int) (Source, Source) {
+			return NewScalar(NewSliceSource(insts)), NewScalar(NewSliceSource(insts))
+		},
+		"fallback-next-loop": func(int) (Source, Source) {
+			return scalarOnly{NewSliceSource(insts)}, scalarOnly{NewSliceSource(insts)}
+		},
+		"limit-over-slice": func(limit int) (Source, Source) {
+			return NewLimit(NewSliceSource(insts), limit),
+				NewLimit(NewSliceSource(insts), limit)
+		},
+		"limit-over-fallback": func(limit int) (Source, Source) {
+			return NewLimit(scalarOnly{NewSliceSource(insts)}, limit),
+				NewLimit(scalarOnly{NewSliceSource(insts)}, limit)
+		},
+	}
+	for name, mk := range makeSources {
+		for _, limit := range []int{0, 100, 257, 1000} {
+			for _, n := range []int{0, 1, 99, 256, 257, 300} {
+				ref, sut := mk(limit)
+				refSkipped := SkipN(ref, n)
+				want := drainScalar(ref, 100000)
+				var rec condRec
+				gotSkipped := SkipWarmN(sut, n, &rec)
+				if gotSkipped != refSkipped {
+					t.Fatalf("%s limit=%d n=%d: SkipWarm skipped %d, Skip skipped %d",
+						name, limit, n, gotSkipped, refSkipped)
+				}
+				if got := drainScalar(sut, 100000); !sameInsts(want, got) {
+					t.Fatalf("%s limit=%d n=%d: post-SkipWarm stream diverges", name, limit, n)
+				}
+			}
+		}
+	}
+}
+
+// TestSkipWarmCallbackParity pins the warm callback sequence: native
+// SkipWarm fast paths must report exactly the events the generic
+// Next-materializing fallback reports, in the same order, and a warmer
+// without BranchWarmer must see no cond events.
+func TestSkipWarmCallbackParity(t *testing.T) {
+	insts := genWarmInsts(512, 9)
+	for _, n := range []int{0, 1, 100, 512} {
+		var want condRec
+		SkipWarmN(scalarOnly{NewSliceSource(insts)}, n, &want)
+
+		natives := map[string]Source{
+			"slice":            NewSliceSource(insts),
+			"scalar-wrapper":   NewScalar(NewSliceSource(insts)),
+			"limit-over-slice": NewLimit(NewSliceSource(insts), 100000),
+		}
+		for name, src := range natives {
+			var got condRec
+			SkipWarmN(src, n, &got)
+			if !sameEvents(want.events, got.events) {
+				t.Fatalf("%s n=%d: warm event sequence diverges from fallback (%d vs %d events)",
+					name, n, len(got.events), len(want.events))
+			}
+		}
+
+		// Plain Warmer: identical fetch/mem sequence, no cond events.
+		var plain warmRec
+		SkipWarmN(NewSliceSource(insts), n, &plain)
+		var wantPlain []warmEvent
+		for _, e := range want.events {
+			if e.kind != 'C' {
+				wantPlain = append(wantPlain, e)
+			}
+		}
+		if !sameEvents(wantPlain, plain.events) {
+			t.Fatalf("n=%d: plain-Warmer sequence should be the cond-free subsequence", n)
+		}
+	}
+}
+
+// TestSkipWarmWalkerParity pins the Walker's native SkipWarm against
+// materializing the same prefix via Next: identical warm events and an
+// identical stream afterwards (generator state advanced identically).
+func TestSkipWarmWalkerParity(t *testing.T) {
+	prog, err := BuildProgram(QuickProfiles()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tail = 2000
+	for _, n := range []int{0, 1, 997, 5000} {
+		var want condRec
+		ref := scalarOnly{NewWalker(prog)}
+		if got := SkipWarmN(ref, n, &want); got != n {
+			t.Fatalf("fallback SkipWarmN(%d) over walker = %d", n, got)
+		}
+		wantTail := drainScalar(ref, tail)
+
+		var rec condRec
+		sut := NewWalker(prog)
+		if got := sut.SkipWarm(n, &rec); got != n {
+			t.Fatalf("walker SkipWarm(%d) = %d", n, got)
+		}
+		if !sameEvents(want.events, rec.events) {
+			t.Fatalf("walker SkipWarm(%d): warm event sequence diverges (%d vs %d events)",
+				n, len(rec.events), len(want.events))
+		}
+		if got := drainScalar(sut, tail); !sameInsts(wantTail, got) {
+			t.Fatalf("walker stream diverges after SkipWarm(%d)", n)
+		}
+	}
+}
+
+// The Scalar wrapper exists to hide batch fast paths: if it ever gains a
+// NextBatch method the sampled mode's shared-stream-position invariant
+// silently breaks, so pin the absence at compile time.
+var _ Source = (*Scalar)(nil)
+var _ Skipper = (*Scalar)(nil)
+var _ WarmSkipper = (*Scalar)(nil)
+var _ WarmSkipper = (*SliceSource)(nil)
+var _ WarmSkipper = (*Limit)(nil)
+var _ WarmSkipper = (*Walker)(nil)
+
+func TestScalarHidesBatchPath(t *testing.T) {
+	var src Source = NewScalar(NewSliceSource(genInsts(8, 1)))
+	if _, ok := src.(BatchSource); ok {
+		t.Fatal("trace.Scalar satisfies BatchSource; it exists to hide exactly that fast path")
+	}
+}

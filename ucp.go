@@ -62,6 +62,13 @@ type (
 	ExperimentOptions = harness.Options
 	// Experiments runs and caches the paper's figure/table experiments.
 	Experiments = harness.Runner
+
+	// SamplingConfig configures the sampled simulation mode (functional
+	// fast-forward between detailed measurement windows).
+	SamplingConfig = sim.SamplingConfig
+	// SampledStats reports a sampled run's controller and estimator
+	// bookkeeping (Result.Sampled, nil on full-detail runs).
+	SampledStats = sim.SampledStats
 )
 
 // H2P estimator selectors (Fig. 12b).
@@ -82,6 +89,15 @@ func DefaultUCP() UCPConfig { return core.DefaultConfig() }
 
 // NoIndUCP is UCP without the dedicated indirect predictor (8.95KB).
 func NoIndUCP() UCPConfig { return core.NoIndConfig() }
+
+// ConservativeSampling is the workload-agnostic sampled-mode geometry
+// (unbounded warming; ~3-6× at <2% IPC error).
+func ConservativeSampling() SamplingConfig { return sim.ConservativeSampling() }
+
+// FastSampling is the bounded-horizon sampled-mode geometry for
+// small-footprint traces (≥10× on the crypto profiles; see
+// EXPERIMENTS.md for when NOT to use it).
+func FastSampling() SamplingConfig { return sim.FastSampling() }
 
 // DefaultProfiles returns the standard synthetic workload set standing
 // in for the paper's CVP-1 trace subset.
