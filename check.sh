@@ -23,7 +23,13 @@
 #                           the aggregate wall-clock speedup at or above
 #                           10x; measurements land in BENCH_sampling.json;
 #                           the sampled side must digest identically twice)
-#  11. BENCH schema        (every BENCH_*.json carries the shared
+#  11. sweep-reuse gate    (cold vs arena+checkpoint pool over a
+#                           10-config sampled threshold ablation: every
+#                           digest byte-identical, exactly one warm
+#                           checkpoint captured and N-1 restored, and
+#                           wall-clock speedup at or above 3x; recorded
+#                           in BENCH_sweepreuse.json)
+#  12. BENCH schema        (every BENCH_*.json carries the shared
 #                           schema_version/bench/cores envelope)
 #
 # Any failure aborts immediately with a nonzero exit.
@@ -160,10 +166,17 @@ step "sampling gate"
 # speedup >= 10x, sampled runs digest-identical across two passes.
 "$RUNQ_TMP/experiments" -sample-gate -sample-bench BENCH_sampling.json
 
+step "sweep-reuse gate"
+# Cold pool (per-job fast-forward) vs a fresh arena+checkpoint pool over
+# one warm-key-sharing sampled sweep, in one process. Gated: digests
+# byte-identical cold vs warm, one checkpoint captured + N-1 restored,
+# wall-clock speedup >= 3x.
+"$RUNQ_TMP/experiments" -sweepreuse-gate -sweepreuse-bench BENCH_sweepreuse.json
+
 step "BENCH schema"
 # Every benchmark record shares the same envelope so downstream tooling
 # can discover and parse them uniformly.
-for f in BENCH_runq.json BENCH_hotpath.json BENCH_sampling.json; do
+for f in BENCH_runq.json BENCH_hotpath.json BENCH_sampling.json BENCH_sweepreuse.json; do
 	[ -f "$f" ] || { echo "BENCH schema: $f missing" >&2; exit 1; }
 	grep -q '"schema_version": 1' "$f" || {
 		echo "BENCH schema: $f lacks \"schema_version\": 1" >&2; exit 1; }
@@ -172,6 +185,6 @@ for f in BENCH_runq.json BENCH_hotpath.json BENCH_sampling.json; do
 	grep -q '"cores": ' "$f" || {
 		echo "BENCH schema: $f lacks a \"cores\" stamp" >&2; exit 1; }
 done
-echo "BENCH schema: runq/hotpath/sampling records conform"
+echo "BENCH schema: runq/hotpath/sampling/sweepreuse records conform"
 
 printf '\ncheck.sh: all gates passed\n'

@@ -49,6 +49,8 @@ func main() {
 		sample   = flag.Bool("sample", false, "run sweeps in sampled mode (conservative geometry; see EXPERIMENTS.md)")
 		gate     = flag.Bool("sample-gate", false, "run the paired full-vs-sampled gate sweep, write -sample-bench, and exit")
 		gateOut  = flag.String("sample-bench", "BENCH_sampling.json", "where -sample-gate records its measurements")
+		srGate   = flag.Bool("sweepreuse-gate", false, "run the cold-vs-warm sweep-reuse gate, write -sweepreuse-bench, and exit")
+		srOut    = flag.String("sweepreuse-bench", "BENCH_sweepreuse.json", "where -sweepreuse-gate records its measurements")
 	)
 	flag.Parse()
 
@@ -58,6 +60,13 @@ func main() {
 	}
 	if *gate {
 		if err := runSampleGate(os.Stdout, *gateOut); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *srGate {
+		if err := runSweepReuseGate(os.Stdout, *srOut); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}

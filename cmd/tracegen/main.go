@@ -81,8 +81,31 @@ func write(p trace.Profile, n int, path string, compact bool) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// v2 traces get a sidecar seek index so loaders skip the O(n)
+	// index-building pass; v1 files are re-encoded on load, which would
+	// invalidate a sidecar keyed to the file bytes.
+	if compact {
+		writeIndex(path, insts)
+	}
 	fmt.Printf("%s: %d instructions, %.1fKB static code\n",
 		path, len(insts), float64(prog.StaticInsts())*isa.InstBytes/1024)
+}
+
+// writeIndex writes the sidecar seek index next to a v2 trace file.
+func writeIndex(path string, insts []isa.Inst) {
+	idx, err := os.Create(trace.IndexPath(path))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := trace.NewArena(insts).WriteIndex(idx); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := idx.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 func inspectFile(path string) {

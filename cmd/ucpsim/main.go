@@ -32,7 +32,6 @@ import (
 	"ucp"
 	"ucp/internal/runq"
 	"ucp/internal/sim"
-	"ucp/internal/trace"
 )
 
 func main() {
@@ -62,6 +61,8 @@ func main() {
 		hist       = flag.Bool("hist", false, "print stream-length and refill-latency distributions")
 		jobs       = flag.Int("jobs", 0, "concurrent simulations (default GOMAXPROCS); output order is unaffected")
 		cacheDir   = flag.String("cache-dir", "", "content-addressed result cache directory (empty: no on-disk cache)")
+		arena      = flag.Bool("arena", false, "decode each workload once into a shared in-memory arena (results are byte-identical)")
+		ckptDir    = flag.String("ckpt-dir", "", "warm-checkpoint store directory for sampled runs (empty: no checkpoint reuse)")
 		digest     = flag.Bool("digest", false, "print Result.DeterminismDigest instead of the metric table (optimization-neutrality gate)")
 		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
@@ -135,8 +136,14 @@ func main() {
 		cfg.Sampling = sc
 	}
 
+	pool := runq.New(runq.Options{
+		Workers:  *jobs,
+		CacheDir: *cacheDir,
+		UseArena: *arena,
+		CkptDir:  *ckptDir,
+	})
 	if *file != "" {
-		runFile(cfg, *file)
+		runFile(pool, cfg, *file, *warmup, *measure)
 		return
 	}
 	var profiles []ucp.Profile
@@ -157,7 +164,6 @@ func main() {
 		}
 		profiles = []ucp.Profile{p}
 	}
-	pool := runq.New(runq.Options{Workers: *jobs, CacheDir: *cacheDir})
 	if *compare {
 		runCompare(pool, profiles, *warmup, *measure)
 		return
@@ -275,25 +281,18 @@ func safeDiv(a, b uint64) float64 {
 	return float64(a) / float64(b)
 }
 
-func runFile(cfg sim.Config, path string) {
-	f, err := os.Open(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	insts, err := trace.Read(f)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	res, err := sim.Run(cfg, trace.NewSliceSource(insts), nil, path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+// runFile executes cfg over a recorded trace through the pool, which
+// decodes the file once into a shared arena (with O(1) sampled-mode
+// seeking via the tracegen sidecar index when present) and serves any
+// repeat invocation from the result cache.
+func runFile(pool *runq.Pool, cfg sim.Config, path string, warmup, measure uint64) {
+	rs := pool.RunAll([]runq.Job{{Config: cfg, TraceFile: path, Warmup: warmup, Measure: measure}})
+	if rs[0].Err != nil {
+		fmt.Fprintln(os.Stderr, rs[0].Err)
 		os.Exit(1)
 	}
 	header()
-	row(res)
+	row(rs[0].Result)
 }
 
 func header() {

@@ -10,6 +10,7 @@ package btb
 import (
 	"fmt"
 
+	"ucp/internal/ckpt"
 	"ucp/internal/isa"
 )
 
@@ -56,6 +57,11 @@ type TargetBuffer interface {
 	Banks() int
 	// StorageKB is the modeled hardware budget.
 	StorageKB() float64
+	// SaveState / LoadState serialize all mutable state for functional-
+	// warm checkpoints (internal/ckpt); load errors surface on the
+	// reader.
+	SaveState(w *ckpt.Writer)
+	LoadState(r *ckpt.Reader)
 }
 
 // Config sizes a BTB.

@@ -1,0 +1,107 @@
+package btb
+
+import "ucp/internal/ckpt"
+
+// Checkpoint hooks: the sampled fast-forward inserts every taken
+// branch's target (FunctionalCommit), so tags, payloads, LRU clocks,
+// and traffic stats all carry across a checkpoint. Both organizations
+// serialize behind the TargetBuffer interface so the frontend and UCP
+// stay agnostic of which one is configured.
+
+func saveStats(w *ckpt.Writer, s *Stats) {
+	w.Uvarint(s.Lookups)
+	w.Uvarint(s.Hits)
+	w.Uvarint(s.Inserts)
+	w.Uvarint(s.Evictions)
+}
+
+func loadStats(r *ckpt.Reader, s *Stats) {
+	s.Lookups = r.Uvarint()
+	s.Hits = r.Uvarint()
+	s.Inserts = r.Uvarint()
+	s.Evictions = r.Uvarint()
+}
+
+// SaveState implements TargetBuffer.
+func (b *BTB) SaveState(w *ckpt.Writer) {
+	w.Section("btb")
+	w.U64s(b.tags)
+	w.Uvarint(uint64(len(b.data)))
+	for i := range b.data {
+		w.Uvarint(b.data[i].target)
+		w.Byte(byte(b.data[i].kind))
+		w.Uvarint(uint64(b.data[i].lru))
+	}
+	w.Uvarint(uint64(b.clock))
+	saveStats(w, &b.stats)
+}
+
+// LoadState implements TargetBuffer.
+func (b *BTB) LoadState(r *ckpt.Reader) {
+	r.Section("btb")
+	r.U64sInto(b.tags)
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return
+	}
+	if n != uint64(len(b.data)) {
+		r.Failf("btb: %d entries, want %d", n, len(b.data))
+		return
+	}
+	for i := range b.data {
+		b.data[i].target = r.Uvarint()
+		b.data[i].kind = BranchKind(r.Byte())
+		b.data[i].lru = uint32(r.Uvarint())
+	}
+	b.clock = uint32(r.Uvarint())
+	loadStats(r, &b.stats)
+}
+
+// SaveState implements TargetBuffer.
+func (b *BlockBTB) SaveState(w *ckpt.Writer) {
+	w.Section("blockbtb")
+	w.Uvarint(uint64(len(b.data)))
+	for i := range b.data {
+		e := &b.data[i]
+		w.Bool(e.valid)
+		w.Uvarint(e.tag)
+		w.Uvarint(e.lru)
+		for j := range e.branches {
+			br := &e.branches[j]
+			w.Bool(br.valid)
+			w.Byte(br.offset)
+			w.Uvarint(br.target)
+			w.Byte(byte(br.kind))
+		}
+	}
+	w.Uvarint(b.clock)
+	saveStats(w, &b.stats)
+}
+
+// LoadState implements TargetBuffer.
+func (b *BlockBTB) LoadState(r *ckpt.Reader) {
+	r.Section("blockbtb")
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return
+	}
+	if n != uint64(len(b.data)) {
+		r.Failf("blockbtb: %d entries, want %d", n, len(b.data))
+		return
+	}
+	for i := range b.data {
+		e := &b.data[i]
+		e.valid = r.Bool()
+		e.tag = r.Uvarint()
+		e.lru = r.Uvarint()
+		for j := range e.branches {
+			br := &e.branches[j]
+			br.valid = r.Bool()
+			br.offset = r.Byte()
+			br.target = r.Uvarint()
+			br.kind = BranchKind(r.Byte())
+		}
+	}
+	b.clock = r.Uvarint()
+	loadStats(r, &b.stats)
+}

@@ -1,0 +1,111 @@
+package cache
+
+import "ucp/internal/ckpt"
+
+// Checkpoint hooks: the sampled fast-forward routes every fetch line
+// and data reference through the WarmLine path (warm.go), mutating
+// tags, LRU stamps, recency clocks, and stats at every level plus the
+// TLBs and the DRAM access counter. The MSHR files are deliberately not
+// serialized: warming never allocates an MSHR, so at the capture point
+// — the end of the initial fast-forward, before any detailed window —
+// they are empty in the running machine and empty in a freshly
+// constructed one alike.
+
+func saveStats(w *ckpt.Writer, s *Stats) {
+	w.Uvarint(s.Accesses)
+	w.Uvarint(s.Hits)
+	w.Uvarint(s.Misses)
+	w.Uvarint(s.Prefetches)
+	w.Uvarint(s.PrefetchDropped)
+	w.Uvarint(s.Evictions)
+	w.Uvarint(s.MSHRStalls)
+}
+
+func loadStats(r *ckpt.Reader, s *Stats) {
+	s.Accesses = r.Uvarint()
+	s.Hits = r.Uvarint()
+	s.Misses = r.Uvarint()
+	s.Prefetches = r.Uvarint()
+	s.PrefetchDropped = r.Uvarint()
+	s.Evictions = r.Uvarint()
+	s.MSHRStalls = r.Uvarint()
+}
+
+// SaveState serializes one cache level's warm-mutable state.
+func (c *Cache) SaveState(w *ckpt.Writer) {
+	w.Section("cache")
+	w.U64s(c.tags)
+	w.U64s(c.lrus)
+	w.Uvarint(c.clock)
+	saveStats(w, &c.stats)
+}
+
+// LoadState restores state saved by SaveState into an identically
+// configured level. Errors surface on the reader.
+func (c *Cache) LoadState(r *ckpt.Reader) {
+	r.Section("cache")
+	r.U64sInto(c.tags)
+	r.U64sInto(c.lrus)
+	c.clock = r.Uvarint()
+	loadStats(r, &c.stats)
+}
+
+// SaveState serializes one TLB's warm-mutable state.
+func (t *TLB) SaveState(w *ckpt.Writer) {
+	w.Section("tlb")
+	w.U64s(t.tags)
+	w.U64s(t.lrus)
+	w.Uvarint(t.clock)
+	saveStats(w, &t.stats)
+}
+
+// LoadState restores state saved by SaveState.
+func (t *TLB) LoadState(r *ckpt.Reader) {
+	r.Section("tlb")
+	r.U64sInto(t.tags)
+	r.U64sInto(t.lrus)
+	t.clock = r.Uvarint()
+	loadStats(r, &t.stats)
+}
+
+// SaveState serializes the whole hierarchy: the four cache levels, the
+// DRAM access counter, the three TLBs, and the warm-path duplicate
+// filters (part of the functional machine state — dropping them would
+// re-warm one line/page after restore and skew recency).
+func (h *Hierarchy) SaveState(w *ckpt.Writer) {
+	w.Section("hierarchy")
+	h.L1I.SaveState(w)
+	h.L1D.SaveState(w)
+	h.L2.SaveState(w)
+	h.LLC.SaveState(w)
+	w.Uvarint(h.DRAM.Accesses)
+	h.ITLB.SaveState(w)
+	h.DTLB.SaveState(w)
+	h.STLB.SaveState(w)
+	w.Uvarint(h.warmIPage)
+	w.Uvarint(h.warmDPage)
+	w.Uvarint(h.warmDLine)
+	w.Bool(h.warmIValid)
+	w.Bool(h.warmDPValid)
+	w.Bool(h.warmDLValid)
+}
+
+// LoadState restores state saved by SaveState into an identically
+// configured hierarchy. Errors surface on the reader.
+func (h *Hierarchy) LoadState(r *ckpt.Reader) {
+	r.Section("hierarchy")
+	h.L1I.LoadState(r)
+	h.L1D.LoadState(r)
+	h.L2.LoadState(r)
+	h.LLC.LoadState(r)
+	h.DRAM.Accesses = r.Uvarint()
+	h.ITLB.LoadState(r)
+	h.DTLB.LoadState(r)
+	h.STLB.LoadState(r)
+	h.warmIPage = r.Uvarint()
+	h.warmDPage = r.Uvarint()
+	h.warmDLine = r.Uvarint()
+	h.warmIValid = r.Bool()
+	h.warmDPValid = r.Bool()
+	h.warmDLValid = r.Bool()
+}

@@ -1,0 +1,293 @@
+package ckpt
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func sealed(t *testing.T) []byte {
+	t.Helper()
+	w := NewWriter()
+	w.Section("hdr")
+	w.Uvarint(42)
+	w.Varint(-7)
+	w.Byte(0xab)
+	w.Bool(true)
+	w.I8(-3)
+	w.U64s([]uint64{0, 1, 1 << 62, 12345})
+	w.U8s([]uint8{9, 8, 7})
+	w.I8s([]int8{-1, 0, 1})
+	w.Section("tail")
+	return w.Seal()
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	blob := sealed(t)
+	r, err := Open(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Section("hdr")
+	if v := r.Uvarint(); v != 42 {
+		t.Fatalf("Uvarint = %d", v)
+	}
+	if v := r.Varint(); v != -7 {
+		t.Fatalf("Varint = %d", v)
+	}
+	if v := r.Byte(); v != 0xab {
+		t.Fatalf("Byte = %#x", v)
+	}
+	if !r.Bool() {
+		t.Fatal("Bool = false")
+	}
+	if v := r.I8(); v != -3 {
+		t.Fatalf("I8 = %d", v)
+	}
+	u64 := make([]uint64, 4)
+	r.U64sInto(u64)
+	if u64[2] != 1<<62 || u64[3] != 12345 {
+		t.Fatalf("U64sInto = %v", u64)
+	}
+	u8 := make([]uint8, 3)
+	r.U8sInto(u8)
+	if u8[0] != 9 || u8[2] != 7 {
+		t.Fatalf("U8sInto = %v", u8)
+	}
+	i8 := make([]int8, 3)
+	r.I8sInto(i8)
+	if i8[0] != -1 || i8[2] != 1 {
+		t.Fatalf("I8sInto = %v", i8)
+	}
+	r.Section("tail")
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCodecDeterministic pins byte-for-byte reproducibility: identical
+// writes must seal to identical blobs (checkpoint reuse depends on it).
+func TestCodecDeterministic(t *testing.T) {
+	if !bytes.Equal(sealed(t), sealed(t)) {
+		t.Fatal("identical writes sealed to different blobs")
+	}
+}
+
+// TestOpenRejectsCorruption flips every byte of a sealed blob and
+// truncates it at every length: Open must reject all of them (the
+// trailing digest covers the entire envelope and payload).
+func TestOpenRejectsCorruption(t *testing.T) {
+	blob := sealed(t)
+	for i := range blob {
+		bad := append([]byte(nil), blob...)
+		bad[i] ^= 0xff
+		if _, err := Open(bad); err == nil {
+			t.Fatalf("blob with byte %d flipped opened without error", i)
+		}
+	}
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := Open(blob[:cut]); err == nil {
+			t.Fatalf("blob truncated to %d/%d bytes opened without error", cut, len(blob))
+		}
+	}
+}
+
+// TestOpenRejectsVersionSkew rebuilds the envelope with a bumped
+// version (and a correct digest): Open must reject it by version, the
+// way a blob written by a future format revision would present.
+func TestOpenRejectsVersionSkew(t *testing.T) {
+	blob := append([]byte(nil), sealed(t)...)
+	blob[4]++ // version byte (little-endian u32 at offset 4)
+	body := blob[:len(blob)-32]
+	w := &Writer{buf: append([]byte(nil), body...)}
+	reSealed := w.Seal()
+	_, err := Open(reSealed)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version-skewed blob: err = %v", err)
+	}
+}
+
+// TestReaderStickyErrors checks section skew and length mismatches fail
+// descriptively and stick.
+func TestReaderStickyErrors(t *testing.T) {
+	w := NewWriter()
+	w.Section("bp")
+	w.U64s([]uint64{1, 2, 3})
+	r, err := Open(w.Seal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Section("cache") // skew: blob holds "bp"
+	if r.Err() == nil || !strings.Contains(r.Err().Error(), `section "cache"`) {
+		t.Fatalf("section skew err = %v", r.Err())
+	}
+	// Sticky: further reads keep the first error.
+	_ = r.Uvarint()
+	if !strings.Contains(r.Err().Error(), `section "cache"`) {
+		t.Fatalf("error not sticky: %v", r.Err())
+	}
+
+	r2, err := Open(sealedU64s([]uint64{1, 2, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]uint64, 4) // geometry mismatch
+	r2.U64sInto(dst)
+	if r2.Err() == nil || !strings.Contains(r2.Err().Error(), "length 3, want 4") {
+		t.Fatalf("length mismatch err = %v", r2.Err())
+	}
+}
+
+func sealedU64s(v []uint64) []byte {
+	w := NewWriter()
+	w.U64s(v)
+	return w.Seal()
+}
+
+// TestCloseRejectsTrailing pins the exact-consumption contract.
+func TestCloseRejectsTrailing(t *testing.T) {
+	r, err := Open(sealedU64s([]uint64{5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("Close with unread payload: err = %v", err)
+	}
+}
+
+func testKey(i int) string {
+	return fmt.Sprintf("%02x%060x", i, i)
+}
+
+// TestStoreSingleFlight hammers one key from many goroutines: exactly
+// one leader computes, everyone observes the same blob.
+func TestStoreSingleFlight(t *testing.T) {
+	s := NewStore("")
+	key := testKey(1)
+	var computes atomic.Int32
+	const goroutines = 16
+	blobs := make([][]byte, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			blob, ok, release := s.Acquire(key)
+			if !ok {
+				computes.Add(1)
+				w := NewWriter()
+				w.Uvarint(777)
+				blob = w.Seal()
+				release(blob)
+			}
+			blobs[g] = blob
+		}(g)
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("%d leaders computed, want 1", n)
+	}
+	for g := range blobs {
+		if !bytes.Equal(blobs[g], blobs[0]) {
+			t.Fatalf("goroutine %d observed a different blob", g)
+		}
+	}
+	if s.Len() != 1 {
+		t.Fatalf("store holds %d blobs, want 1", s.Len())
+	}
+}
+
+// TestStoreAbortHandsOver: a leader that releases nil must hand
+// leadership to a waiter instead of wedging or caching nothing forever.
+func TestStoreAbortHandsOver(t *testing.T) {
+	s := NewStore("")
+	key := testKey(2)
+
+	_, ok, release := s.Acquire(key)
+	if ok {
+		t.Fatal("fresh store reported a hit")
+	}
+
+	got := make(chan []byte)
+	go func() {
+		blob, ok2, release2 := s.Acquire(key) // blocks until the abort
+		if !ok2 {
+			w := NewWriter()
+			w.Uvarint(1)
+			blob = w.Seal()
+			release2(blob)
+		}
+		got <- blob
+	}()
+
+	release(nil) // abort: the waiter takes over
+	blob := <-got
+	if blob == nil {
+		t.Fatal("successor produced no blob")
+	}
+	if b, ok3, _ := s.Acquire(key); !ok3 || !bytes.Equal(b, blob) {
+		t.Fatal("successor's blob was not published")
+	}
+
+	// Double release must be a no-op, not a double-close panic.
+	release(nil)
+}
+
+// TestStoreDisk checks persistence across Store instances, rejection of
+// corrupt files, and atomic-write file hygiene.
+func TestStoreDisk(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey(3)
+	w := NewWriter()
+	w.Uvarint(99)
+	blob := w.Seal()
+
+	s1 := NewStore(dir)
+	if _, ok, release := s1.Acquire(key); ok {
+		t.Fatal("fresh dir reported a hit")
+	} else {
+		release(blob)
+	}
+
+	// A new store over the same dir must hit from disk.
+	s2 := NewStore(dir)
+	got, ok, _ := s2.Acquire(key)
+	if !ok || !bytes.Equal(got, blob) {
+		t.Fatal("persisted blob not served to a second store")
+	}
+
+	// Corrupt the file: a third store must miss, not serve garbage.
+	path := s2.path(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 1
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3 := NewStore(dir)
+	if _, ok, release := s3.Acquire(key); ok {
+		t.Fatal("corrupt blob served as a hit")
+	} else {
+		release(blob) // heals the file
+	}
+	s4 := NewStore(dir)
+	if _, ok, _ := s4.Acquire(key); !ok {
+		t.Fatal("healed blob not served")
+	}
+
+	// No temp-file litter.
+	entries, err := filepath.Glob(filepath.Join(dir, key[:2], ".*tmp*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+}

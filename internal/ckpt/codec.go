@@ -1,0 +1,320 @@
+// Package ckpt serializes functional-warm simulator state so a sweep
+// can pay each sampling fast-forward once instead of once per config.
+//
+// The codec is deliberately dumb: a flat append-only byte stream of
+// varints (the same encoding family as the trace codec) wrapped in a
+// versioned, digest-stamped envelope. There is no reflection and no
+// schema — each simulator structure writes and reads its own fields in
+// a fixed order, and section tags give corruption and skew errors a
+// name instead of a byte offset. Determinism is load-bearing: the same
+// state must serialize to the same bytes on every run, so nothing here
+// may iterate a map or consult time.
+package ckpt
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	// envMagic brands checkpoint blobs (UCPC = µ-op Cache Prefetching
+	// Checkpoint).
+	envMagic = "UCPC"
+	// envVersion is the blob format version. Bump it whenever any
+	// structure's field order or meaning changes; stale blobs are then
+	// rejected at Open instead of silently misread. (Model-level changes
+	// are already keyed out by sim.ModelVersion in the checkpoint key.)
+	envVersion = 1
+)
+
+// Writer accumulates a checkpoint payload. The zero value is ready to
+// use; Seal wraps the payload in the envelope and returns the blob.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with the envelope header pre-allocated.
+func NewWriter() *Writer {
+	w := &Writer{buf: make([]byte, 0, 1<<16)}
+	w.buf = append(w.buf, envMagic...)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, envVersion)
+	return w
+}
+
+// Section writes a named boundary marker. Readers consume it with the
+// same name, so a writer/reader skew fails with "section X: got Y"
+// instead of decoding garbage numbers.
+func (w *Writer) Section(name string) {
+	w.Uvarint(uint64(len(name)))
+	w.buf = append(w.buf, name...)
+}
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Varint appends a signed (zigzag) varint.
+func (w *Writer) Varint(v int64) { w.buf = binary.AppendVarint(w.buf, v) }
+
+// Byte appends one raw byte.
+func (w *Writer) Byte(b byte) { w.buf = append(w.buf, b) }
+
+// Bool appends a bool as one byte.
+func (w *Writer) Bool(b bool) {
+	if b {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// I8 appends a signed 8-bit counter as one raw byte.
+func (w *Writer) I8(v int8) { w.buf = append(w.buf, byte(v)) }
+
+// U64s appends a length-prefixed []uint64 (each element a uvarint —
+// tag and valid-bit words compress well, dense bitmaps stay bounded).
+func (w *Writer) U64s(s []uint64) {
+	w.Uvarint(uint64(len(s)))
+	for _, v := range s {
+		w.Uvarint(v)
+	}
+}
+
+// U8s appends a length-prefixed []uint8 verbatim.
+func (w *Writer) U8s(s []uint8) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// I8s appends a length-prefixed []int8 verbatim.
+func (w *Writer) I8s(s []int8) {
+	w.Uvarint(uint64(len(s)))
+	for _, v := range s {
+		w.buf = append(w.buf, byte(v))
+	}
+}
+
+// Len returns the current payload size (envelope included).
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Seal stamps the SHA-256 of everything written so far onto the end and
+// returns the finished blob. The Writer must not be used afterwards.
+func (w *Writer) Seal() []byte {
+	sum := sha256.Sum256(w.buf)
+	w.buf = append(w.buf, sum[:]...)
+	blob := w.buf
+	w.buf = nil
+	return blob
+}
+
+// Verify checks a blob's envelope (magic, version, digest) without
+// decoding the payload. It is what the store uses to decide whether an
+// on-disk file is a usable checkpoint or a miss.
+func Verify(blob []byte) error {
+	const hdr = len(envMagic) + 4
+	if len(blob) < hdr+sha256.Size {
+		return errors.New("ckpt: blob truncated")
+	}
+	if string(blob[:4]) != envMagic {
+		return errors.New("ckpt: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(blob[4:8]); v != envVersion {
+		return fmt.Errorf("ckpt: unsupported version %d", v)
+	}
+	body, tail := blob[:len(blob)-sha256.Size], blob[len(blob)-sha256.Size:]
+	if sha256.Sum256(body) != [sha256.Size]byte(tail) {
+		return errors.New("ckpt: digest mismatch")
+	}
+	return nil
+}
+
+// Reader decodes a sealed blob. All read methods are sticky on error:
+// after the first failure every subsequent read returns zero values, so
+// restore code can decode straight through and check Err once.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// Open verifies the envelope and returns a Reader positioned at the
+// first payload byte.
+func Open(blob []byte) (*Reader, error) {
+	if err := Verify(blob); err != nil {
+		return nil, err
+	}
+	return &Reader{data: blob[:len(blob)-sha256.Size], off: len(envMagic) + 4}, nil
+}
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Failf records a caller-detected decode failure (e.g. a geometry
+// mismatch the caller checks itself) with the usual sticky semantics.
+func (r *Reader) Failf(format string, args ...any) {
+	r.fail(fmt.Errorf("ckpt: "+format, args...))
+}
+
+// Section consumes a boundary marker, failing if the stream holds a
+// different name (field-order skew between save and load code).
+func (r *Reader) Section(name string) {
+	n := r.Uvarint()
+	if r.err != nil {
+		return
+	}
+	if n > uint64(len(r.data)-r.off) {
+		r.fail(fmt.Errorf("ckpt: section %q: truncated name", name))
+		return
+	}
+	got := string(r.data[r.off : r.off+int(n)])
+	r.off += int(n)
+	if got != name {
+		r.fail(fmt.Errorf("ckpt: section %q: got %q", name, got))
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail(errors.New("ckpt: truncated uvarint"))
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		r.fail(errors.New("ckpt: truncated varint"))
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Byte reads one raw byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.data) {
+		r.fail(errors.New("ckpt: truncated byte"))
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+// Bool reads a bool, rejecting bytes other than 0/1.
+func (r *Reader) Bool() bool {
+	b := r.Byte()
+	if r.err == nil && b > 1 {
+		r.fail(fmt.Errorf("ckpt: bad bool byte %d", b))
+	}
+	return b == 1
+}
+
+// I8 reads a signed 8-bit counter.
+func (r *Reader) I8() int8 { return int8(r.Byte()) }
+
+// U64sInto fills dst from a length-prefixed []uint64, failing on a
+// length mismatch — the caller's slice length encodes the configured
+// geometry, so a mismatch means the blob belongs to a different config.
+func (r *Reader) U64sInto(dst []uint64) {
+	n := r.Uvarint()
+	if r.err != nil {
+		return
+	}
+	if n != uint64(len(dst)) {
+		r.fail(fmt.Errorf("ckpt: []uint64 length %d, want %d", n, len(dst)))
+		return
+	}
+	// Restore-path hot loop (large tag/target arrays): decode in place
+	// with a single-byte fast path instead of one sticky-error method
+	// call per element.
+	data, off := r.data, r.off
+	for i := range dst {
+		if off < len(data) && data[off] < 0x80 {
+			dst[i] = uint64(data[off])
+			off++
+			continue
+		}
+		v, w := binary.Uvarint(data[off:])
+		if w <= 0 {
+			r.fail(errors.New("ckpt: truncated uvarint"))
+			return
+		}
+		dst[i] = v
+		off += w
+	}
+	r.off = off
+}
+
+// U8sInto fills dst from a length-prefixed []uint8 with the same
+// length check as U64sInto.
+func (r *Reader) U8sInto(dst []uint8) {
+	n := r.Uvarint()
+	if r.err != nil {
+		return
+	}
+	if n != uint64(len(dst)) {
+		r.fail(fmt.Errorf("ckpt: []uint8 length %d, want %d", n, len(dst)))
+		return
+	}
+	if int(n) > len(r.data)-r.off {
+		r.fail(errors.New("ckpt: truncated []uint8"))
+		return
+	}
+	copy(dst, r.data[r.off:r.off+int(n)])
+	r.off += int(n)
+}
+
+// I8sInto fills dst from a length-prefixed []int8 with the same length
+// check as U64sInto.
+func (r *Reader) I8sInto(dst []int8) {
+	n := r.Uvarint()
+	if r.err != nil {
+		return
+	}
+	if n != uint64(len(dst)) {
+		r.fail(fmt.Errorf("ckpt: []int8 length %d, want %d", n, len(dst)))
+		return
+	}
+	if int(n) > len(r.data)-r.off {
+		r.fail(errors.New("ckpt: truncated []int8"))
+		return
+	}
+	for i := range dst {
+		dst[i] = int8(r.data[r.off+i])
+	}
+	r.off += int(n)
+}
+
+// Close fails unless the payload was consumed exactly: trailing bytes
+// mean the reader and writer disagree about the format.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.data) {
+		return fmt.Errorf("ckpt: %d trailing payload bytes", len(r.data)-r.off)
+	}
+	return nil
+}

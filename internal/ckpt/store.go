@@ -1,0 +1,166 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is a content-addressed checkpoint cache with single-flight
+// admission: when N sweep jobs sharing a warm key start together,
+// exactly one runs the fast-forward and publishes the blob; the others
+// block on Acquire until it lands and then restore from it. Blobs are
+// memoized in memory for the life of the Store and, when dir is
+// non-empty, persisted to dir (sharded like the runq result cache) so
+// later processes reuse them.
+//
+// A Store is safe for concurrent use by any number of goroutines.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	mem     map[string][]byte
+	flights map[string]chan struct{}
+	hits    int
+}
+
+// NewStore returns a store persisting to dir; an empty dir keeps
+// checkpoints in memory only (still deduplicated within the process).
+func NewStore(dir string) *Store {
+	return &Store{
+		dir:     dir,
+		mem:     make(map[string][]byte),
+		flights: make(map[string]chan struct{}),
+	}
+}
+
+// path maps a key to its blob file, sharded by the leading digest byte.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".ckpt")
+}
+
+// Acquire looks up key. Three outcomes:
+//
+//   - hit: returns (blob, true, nil) — restore from blob.
+//   - leader: returns (nil, false, release) — the caller must run the
+//     fast-forward, then call release(blob) to publish the sealed blob,
+//     or release(nil) to abort (on error or cancellation) so a waiter
+//     can take over leadership.
+//   - follower: blocks until the leader releases, then resolves to one
+//     of the above.
+//
+// The blob returned on a hit is shared; callers must treat it as
+// read-only (Reader never mutates it).
+func (s *Store) Acquire(key string) (blob []byte, ok bool, release func([]byte)) {
+	for {
+		s.mu.Lock()
+		if b, hit := s.mem[key]; hit {
+			s.hits++
+			s.mu.Unlock()
+			return b, true, nil
+		}
+		if b, hit := s.loadDisk(key); hit {
+			s.mem[key] = b
+			s.hits++
+			s.mu.Unlock()
+			return b, true, nil
+		}
+		flight, inFlight := s.flights[key]
+		if !inFlight {
+			done := make(chan struct{})
+			s.flights[key] = done
+			s.mu.Unlock()
+			var once sync.Once
+			return nil, false, func(b []byte) {
+				once.Do(func() { s.release(key, done, b) })
+			}
+		}
+		s.mu.Unlock()
+		<-flight
+	}
+}
+
+// release publishes the leader's blob (or aborts on nil) and wakes all
+// waiters. Waiters re-run the Acquire loop: after a publish they hit
+// the memo; after an abort one of them becomes the new leader.
+func (s *Store) release(key string, done chan struct{}, blob []byte) {
+	s.mu.Lock()
+	if blob != nil {
+		s.mem[key] = blob
+	}
+	delete(s.flights, key)
+	s.mu.Unlock()
+	close(done)
+	if blob != nil {
+		// Persist outside the lock: disk latency must not serialize
+		// unrelated keys. Write failures are non-fatal — the in-memory
+		// memo already serves this process.
+		s.storeDisk(key, blob)
+	}
+}
+
+// loadDisk fetches a persisted blob, verifying the envelope; corrupt or
+// foreign files are misses (and later overwritten). Called with s.mu
+// held — file reads under the lock are acceptable here because misses
+// are the common case and hits immediately memoize.
+func (s *Store) loadDisk(key string) ([]byte, bool) {
+	if s.dir == "" || len(key) < 2 {
+		return nil, false
+	}
+	b, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	if Verify(b) != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// storeDisk persists a blob atomically (temp + rename) so concurrent
+// readers — or a second process sharing the directory — never observe a
+// torn checkpoint.
+func (s *Store) storeDisk(key string, blob []byte) {
+	if s.dir == "" || len(key) < 2 {
+		return
+	}
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key+".tmp-")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// Len reports how many checkpoints are memoized in memory (testing and
+// progress reporting).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}
+
+// Hits reports how many Acquire calls resolved to an existing blob
+// (memory or disk) over the store's lifetime.
+func (s *Store) Hits() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}
+
+// KeyError annotates a checkpoint failure with its key for diagnostics.
+func KeyError(key string, err error) error {
+	return fmt.Errorf("ckpt %s: %w", key[:min(12, len(key))], err)
+}

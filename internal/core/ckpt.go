@@ -1,0 +1,40 @@
+package core
+
+import "ucp/internal/ckpt"
+
+// Checkpoint hooks: during the sampled fast-forward the engine only
+// shadow-trains (FunctionalObserve / WarmCond) — Alt-BP with its
+// demand-path history (altBPHist is the predictor's own history, so
+// saving the predictor covers it) and Alt-Ind with its own history.
+// Walk state (altHist, altIndWalk, the Alt-FTQ, counters) is touched
+// only when a walk starts on the detailed path, so at the capture
+// point it equals freshly constructed state.
+
+// SaveWarmState serializes the alternate-path predictor state the
+// functional fast-forward mutates.
+func (e *Engine) SaveWarmState(w *ckpt.Writer) {
+	w.Section("ucp-engine")
+	e.altBP.SaveState(w)
+	w.Bool(e.altInd != nil)
+	if e.altInd != nil {
+		e.altInd.SaveState(w)
+	}
+}
+
+// LoadWarmState restores state saved by SaveWarmState into an
+// identically configured engine. Errors surface on the reader.
+func (e *Engine) LoadWarmState(r *ckpt.Reader) {
+	r.Section("ucp-engine")
+	e.altBP.LoadState(r)
+	has := r.Bool()
+	if r.Err() != nil {
+		return
+	}
+	if has != (e.altInd != nil) {
+		r.Failf("ucp-engine: checkpoint altInd presence %v, machine %v", has, e.altInd != nil)
+		return
+	}
+	if e.altInd != nil {
+		e.altInd.LoadState(r)
+	}
+}

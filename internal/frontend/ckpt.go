@@ -1,0 +1,40 @@
+package frontend
+
+import "ucp/internal/ckpt"
+
+// Checkpoint hooks: the functional-commit path (functional.go) touches
+// the owned predictors and caches, the µ-op cache builder, and the
+// once-per-line fill filter — and nothing else. Frontend counters, the
+// stream/refill histograms, the FTQ/µ-op queue, and all fetch-engine
+// state are untouched during a fast-forward, so a freshly constructed
+// frontend already holds their checkpoint values.
+
+// SaveWarmState serializes every structure the functional fast-forward
+// mutates, in a fixed order.
+func (f *Frontend) SaveWarmState(w *ckpt.Writer) {
+	w.Section("frontend")
+	f.Pred.SaveState(w)
+	f.BTB.SaveState(w)
+	f.RAS.SaveState(w)
+	f.Ind.SaveState(w)
+	f.Uop.SaveState(w)
+	f.Mem.SaveState(w)
+	f.builder.SaveState(w)
+	w.Uvarint(f.ffLastLine)
+	w.Bool(f.ffLineValid)
+}
+
+// LoadWarmState restores state saved by SaveWarmState into an
+// identically configured frontend. Errors surface on the reader.
+func (f *Frontend) LoadWarmState(r *ckpt.Reader) {
+	r.Section("frontend")
+	f.Pred.LoadState(r)
+	f.BTB.LoadState(r)
+	f.RAS.LoadState(r)
+	f.Ind.LoadState(r)
+	f.Uop.LoadState(r)
+	f.Mem.LoadState(r)
+	f.builder.LoadState(r)
+	f.ffLastLine = r.Uvarint()
+	f.ffLineValid = r.Bool()
+}

@@ -39,6 +39,15 @@ type Options struct {
 	Jobs int
 	// CacheDir enables runq's content-addressed on-disk result cache.
 	CacheDir string
+	// UseArena decodes each workload once per pool into a shared
+	// trace.Arena instead of walking the generator per job (runq
+	// Options.UseArena); results are byte-identical either way.
+	UseArena bool
+	// Checkpoints enables warm-checkpoint reuse across sampled jobs
+	// sharing a warm key (runq Options.Checkpoints); CkptDir persists
+	// the checkpoints on disk and implies Checkpoints.
+	Checkpoints bool
+	CkptDir     string
 	// Clock supplies elapsed time for progress/ETA lines (nil: none).
 	// Wire a real clock only from cmd/ — internal packages must stay
 	// wall-clock-free (ucplint wallclock rule).
@@ -74,10 +83,13 @@ func NewRunner(opts Options) *Runner {
 	return &Runner{
 		opts: opts,
 		pool: runq.New(runq.Options{
-			Workers:  opts.Jobs,
-			CacheDir: opts.CacheDir,
-			Clock:    opts.Clock,
-			Progress: opts.Progress,
+			Workers:     opts.Jobs,
+			CacheDir:    opts.CacheDir,
+			Clock:       opts.Clock,
+			Progress:    opts.Progress,
+			UseArena:    opts.UseArena,
+			Checkpoints: opts.Checkpoints,
+			CkptDir:     opts.CkptDir,
 		}),
 	}
 }

@@ -1,0 +1,58 @@
+package ittage
+
+import "ucp/internal/ckpt"
+
+// Checkpoint hooks: the fast-forward trains indirect targets on every
+// indirect transfer (Predict + Update + history pushes), so the base
+// table, tagged tables, usefulness tick, allocation LFSR, and the
+// history context all carry across a checkpoint.
+
+// SaveState serializes all mutable predictor state.
+func (p *Predictor) SaveState(w *ckpt.Writer) {
+	w.Section("ittage")
+	w.U64s(p.base)
+	for _, tbl := range p.tables {
+		w.Uvarint(uint64(len(tbl)))
+		for i := range tbl {
+			e := &tbl[i]
+			w.Bool(e.valid)
+			w.Uvarint(uint64(e.tag))
+			w.Uvarint(e.target)
+			w.Byte(e.ctr)
+			w.Byte(e.u)
+		}
+	}
+	w.Uvarint(p.hist.ghr)
+	w.Uvarint(p.hist.path)
+	w.Uvarint(uint64(p.tick))
+	w.Uvarint(uint64(p.lfsr))
+}
+
+// LoadState restores state saved by SaveState into an identically
+// configured predictor. Errors surface on the reader.
+func (p *Predictor) LoadState(r *ckpt.Reader) {
+	r.Section("ittage")
+	r.U64sInto(p.base)
+	for ti, tbl := range p.tables {
+		n := r.Uvarint()
+		if r.Err() != nil {
+			return
+		}
+		if n != uint64(len(tbl)) {
+			r.Failf("ittage table %d: %d entries, want %d", ti, n, len(tbl))
+			return
+		}
+		for i := range tbl {
+			e := &tbl[i]
+			e.valid = r.Bool()
+			e.tag = uint16(r.Uvarint())
+			e.target = r.Uvarint()
+			e.ctr = r.Byte()
+			e.u = r.Byte()
+		}
+	}
+	p.hist.ghr = r.Uvarint()
+	p.hist.path = r.Uvarint()
+	p.tick = int(r.Uvarint())
+	p.lfsr = uint32(r.Uvarint())
+}

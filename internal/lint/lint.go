@@ -5,8 +5,10 @@
 // the invariants reviewers would otherwise have to police by hand:
 // no wall-clock or global-randomness sources, no map-iteration-ordered
 // output, saturating counters staying inside their declared bit widths,
-// globally unique statistics names, and config structs whose Validate
-// methods cover every numeric field.
+// globally unique statistics names, config structs whose Validate
+// methods cover every numeric field, and no direct trace decoding
+// outside the arena/codec entry points (sweep paths share one decoded
+// arena per batch).
 //
 // The implementation is deliberately stdlib-only (go/ast, go/parser,
 // go/token, go/types): the repository must keep building with nothing
@@ -156,6 +158,7 @@ func NewAnalyzers() []*Analyzer {
 		newStatNameAnalyzer(),
 		newConfigBoundsAnalyzer(),
 		newPprofImportAnalyzer(),
+		newTraceOpenAnalyzer(),
 	}
 }
 

@@ -14,41 +14,59 @@ import (
 // sim.ModelVersion, which is folded into every key alongside it)
 // orphans all previously written records: they are simply never looked
 // up again, so no explicit invalidation pass is needed.
-const SchemaVersion = "runq-1"
+const SchemaVersion = "runq-2"
 
 // keyPayload is the canonical serialized identity of a job. It contains
 // everything that determines a run's measured numbers: the full machine
-// configuration (not just its display name), the complete synthetic
-// workload parameterization, the instruction budgets, and the model +
-// schema version stamps. Two jobs share a cache entry exactly when all
-// of it matches — same-named configs with different contents, or the
-// same sweep at different instruction counts, hash apart.
+// configuration (not just its display name), the complete workload
+// identity — the synthetic parameterization, or a recorded trace's
+// content digest — the instruction budgets, and the model + schema
+// version stamps. Two jobs share a cache entry exactly when all of it
+// matches — same-named configs with different contents, or the same
+// sweep at different instruction counts, hash apart. Recorded traces
+// are keyed by content, never by path, so a renamed (or re-recorded)
+// file behaves correctly.
 type keyPayload struct {
-	Schema  string
-	Model   string
-	Config  sim.Config
-	Profile trace.Profile
-	Warmup  uint64
-	Measure uint64
+	Schema      string
+	Model       string
+	Config      sim.Config
+	Profile     trace.Profile
+	TraceDigest string
+	Warmup      uint64
+	Measure     uint64
 }
 
 // Key returns the hex SHA-256 content digest addressing job's result.
 // The digest is computed over the deterministic JSON encoding of the
 // job's full identity; encoding/json emits struct fields in declaration
 // order and contains no maps here, so the bytes are stable.
+//
+// Recorded-trace jobs cannot be keyed without reading the file (their
+// identity is the trace content); submit them through Pool.RunAll,
+// which resolves the digest against the pool's shared arena.
 func Key(job Job) (string, error) {
+	if job.TraceFile != "" {
+		return "", fmt.Errorf("runq: %s: recorded-trace jobs are keyed by content; submit through Pool.RunAll", job.TraceFile)
+	}
+	return keyWith(job, "")
+}
+
+// keyWith computes the digest with the job's trace-content identity
+// already resolved ("" for synthetic-profile jobs).
+func keyWith(job Job, traceDigest string) (string, error) {
 	cfg := job.Config
 	cfg.WarmupInsts, cfg.MeasureInsts = job.Warmup, job.Measure
 	b, err := json.Marshal(keyPayload{
-		Schema:  SchemaVersion,
-		Model:   sim.ModelVersion,
-		Config:  cfg,
-		Profile: job.Profile,
-		Warmup:  job.Warmup,
-		Measure: job.Measure,
+		Schema:      SchemaVersion,
+		Model:       sim.ModelVersion,
+		Config:      cfg,
+		Profile:     job.Profile,
+		TraceDigest: traceDigest,
+		Warmup:      job.Warmup,
+		Measure:     job.Measure,
 	})
 	if err != nil {
-		return "", fmt.Errorf("runq: hashing %s/%s: %w", job.Config.Name, job.Profile.Name, err)
+		return "", fmt.Errorf("runq: hashing %s/%s: %w", job.Config.Name, job.traceLabel(), err)
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:]), nil

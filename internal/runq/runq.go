@@ -24,18 +24,32 @@ import (
 	"sync"
 	"time"
 
+	"ucp/internal/ckpt"
+	"ucp/internal/core"
 	"ucp/internal/sim"
 	"ucp/internal/trace"
 )
 
-// Job is one simulation to run: cfg over the synthetic workload prof at
-// the given instruction budgets. Warmup/Measure override the config's
-// own WarmupInsts/MeasureInsts fields.
+// Job is one simulation to run: cfg over a workload at the given
+// instruction budgets. The workload is the synthetic Profile, or — when
+// TraceFile is non-empty — a recorded .ucpt trace, which the pool
+// decodes once into a shared trace.Arena regardless of how many jobs
+// reference it. Warmup/Measure override the config's own
+// WarmupInsts/MeasureInsts fields.
 type Job struct {
-	Config  sim.Config
-	Profile trace.Profile
-	Warmup  uint64
-	Measure uint64
+	Config    sim.Config
+	Profile   trace.Profile
+	TraceFile string
+	Warmup    uint64
+	Measure   uint64
+}
+
+// traceLabel names the job's workload in errors and reports.
+func (j Job) traceLabel() string {
+	if j.TraceFile != "" {
+		return j.TraceFile
+	}
+	return j.Profile.Name
 }
 
 // Result provenance values for JobResult.Source.
@@ -81,6 +95,20 @@ type Options struct {
 	// not alias the report writer: progress output is nondeterministic
 	// by nature (completion-ordered, timed).
 	Progress io.Writer
+	// UseArena decodes each synthetic workload once per (profile,
+	// budget) into a shared trace.Arena and runs jobs over cheap
+	// cursors, instead of walking the generator per job. Recorded-trace
+	// jobs always go through a shared arena. Results are byte-identical
+	// either way.
+	UseArena bool
+	// Checkpoints enables functional-warm checkpoint reuse for sampled
+	// jobs (sim.WarmCheckpoints): jobs sharing a warm key pay the
+	// sampling fast-forward once per pool instead of once per job, with
+	// byte-identical results. In-memory unless CkptDir is also set.
+	Checkpoints bool
+	// CkptDir persists checkpoints next to the result cache so later
+	// processes reuse them (implies Checkpoints).
+	CkptDir string
 }
 
 // Stats counts what the pool did, cumulatively over its lifetime.
@@ -104,11 +132,16 @@ type Stats struct {
 type Pool struct {
 	opts Options
 
-	mu    sync.Mutex
-	memo  map[string]memoEntry
-	progs map[string]*progEntry
-	stats Stats
-	done  int // jobs completed in the current RunAll, for progress
+	mu     sync.Mutex
+	memo   map[string]memoEntry
+	progs  map[string]*progEntry
+	arenas map[string]*arenaEntry
+	stats  Stats
+	done   int // jobs completed in the current RunAll, for progress
+
+	// ckpts is the warm-checkpoint store shared by every sampled job
+	// (nil when checkpoints are disabled).
+	ckpts *ckpt.Store
 
 	// runJob is the execution seam; tests substitute failure modes.
 	runJob func(Job) (sim.Result, error)
@@ -125,12 +158,22 @@ type progEntry struct {
 	err  error
 }
 
+type arenaEntry struct {
+	once  sync.Once
+	arena *trace.Arena
+	err   error
+}
+
 // New builds a pool.
 func New(opts Options) *Pool {
 	p := &Pool{
-		opts:  opts,
-		memo:  make(map[string]memoEntry),
-		progs: make(map[string]*progEntry),
+		opts:   opts,
+		memo:   make(map[string]memoEntry),
+		progs:  make(map[string]*progEntry),
+		arenas: make(map[string]*arenaEntry),
+	}
+	if opts.Checkpoints || opts.CkptDir != "" {
+		p.ckpts = ckpt.NewStore(opts.CkptDir)
 	}
 	p.runJob = p.simulate
 	return p
@@ -141,6 +184,16 @@ func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.stats
+}
+
+// CheckpointStats reports warm-checkpoint store activity: blobs held
+// (one per distinct warm key exercised) and restore hits. Both are zero
+// when checkpoints are disabled.
+func (p *Pool) CheckpointStats() (captured, restored int) {
+	if p.ckpts == nil {
+		return 0, 0
+	}
+	return p.ckpts.Len(), p.ckpts.Hits()
 }
 
 func (p *Pool) workers() int {
@@ -170,6 +223,58 @@ func (p *Pool) Program(prof trace.Profile) (*trace.Program, error) {
 	return e.prog, e.err
 }
 
+// arena returns the once-guarded entry for an arena cache key.
+func (p *Pool) arena(key string, build func() (*trace.Arena, error)) (*trace.Arena, error) {
+	p.mu.Lock()
+	e := p.arenas[key]
+	if e == nil {
+		e = &arenaEntry{}
+		p.arenas[key] = e
+	}
+	p.mu.Unlock()
+	e.once.Do(func() { e.arena, e.err = build() })
+	return e.arena, e.err
+}
+
+// FileArena returns the shared decoded arena for a recorded trace file,
+// reading and decoding it at most once per pool however many jobs
+// reference it. Cursors handed out by the arena are independent, so
+// concurrent workers share one copy of the decoded stream.
+func (p *Pool) FileArena(path string) (*trace.Arena, error) {
+	return p.arena("file\x00"+path, func() (*trace.Arena, error) {
+		return trace.LoadArena(path)
+	})
+}
+
+// profileArena materializes a synthetic workload's stream into a shared
+// arena, once per (profile parameterization, budget).
+func (p *Pool) profileArena(prof trace.Profile, budget int) (*trace.Arena, error) {
+	pk, err := profileKey(prof)
+	if err != nil {
+		return nil, err
+	}
+	return p.arena(fmt.Sprintf("prof\x00%s\x00%d", pk, budget), func() (*trace.Arena, error) {
+		prog, err := p.Program(prof)
+		if err != nil {
+			return nil, err
+		}
+		return trace.ArenaFromSource(trace.NewLimit(trace.NewWalker(prog), budget), budget), nil
+	})
+}
+
+// jobKey resolves a job's cache key, reading the trace file's content
+// digest through the shared arena for recorded-trace jobs.
+func (p *Pool) jobKey(job Job) (string, error) {
+	if job.TraceFile == "" {
+		return keyWith(job, "")
+	}
+	a, err := p.FileArena(job.TraceFile)
+	if err != nil {
+		return "", err
+	}
+	return keyWith(job, a.ID())
+}
+
 // RunAll executes the batch and returns one JobResult per job, in
 // submission order regardless of completion order or worker count.
 // Jobs with identical keys are executed once; duplicates receive a copy
@@ -185,7 +290,7 @@ func (p *Pool) RunAll(jobs []Job) []JobResult {
 	for i, j := range jobs {
 		dupOf[i] = -1
 		results[i] = JobResult{Job: j}
-		key, err := Key(j)
+		key, err := p.jobKey(j)
 		if err != nil {
 			results[i].Err = err
 			continue
@@ -268,7 +373,7 @@ func (p *Pool) execute(jr JobResult) JobResult {
 	}
 	jr.Source = SourceRun
 	if err != nil {
-		jr.Err = fmt.Errorf("%s on %s: %w", jr.Job.Config.Name, jr.Job.Profile.Name, err)
+		jr.Err = fmt.Errorf("%s on %s: %w", jr.Job.Config.Name, jr.Job.traceLabel(), err)
 	} else {
 		jr.Result = res
 		if serr := p.storeDisk(jr.Key, jr.Job, res); serr != nil && p.opts.Progress != nil {
@@ -296,17 +401,54 @@ func recoverRun(run func(Job) (sim.Result, error), job Job) (res sim.Result, err
 	return run(job)
 }
 
-// simulate is the real job body: build (or reuse) the program, apply
-// the instruction budgets, and run the machine.
+// simulate is the real job body: resolve the workload stream (shared
+// arena or per-job walker), apply the instruction budgets, and run the
+// machine, with warm-checkpoint reuse when the pool has a store.
 func (p *Pool) simulate(job Job) (sim.Result, error) {
-	prog, err := p.Program(job.Profile)
-	if err != nil {
-		return sim.Result{}, err
-	}
 	cfg := job.Config
 	cfg.WarmupInsts, cfg.MeasureInsts = job.Warmup, job.Measure
-	src := trace.NewLimit(trace.NewWalker(prog), int(cfg.WarmupInsts+cfg.MeasureInsts)+200_000)
-	return sim.Run(cfg, src, prog, job.Profile.Name)
+	budget := int(cfg.WarmupInsts+cfg.MeasureInsts) + 200_000
+
+	var (
+		src     trace.Source
+		code    core.CodeInfo
+		traceID string
+	)
+	if job.TraceFile != "" {
+		a, err := p.FileArena(job.TraceFile)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		src, traceID = a.Cursor(), "file:"+a.ID()
+	} else {
+		prog, err := p.Program(job.Profile)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		code = prog
+		pk, err := profileKey(job.Profile)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		// The warm-checkpoint trace identity deliberately excludes the
+		// budget: the stream prefix a checkpoint replays is independent
+		// of where the run's limit lies.
+		traceID = "profile:" + pk
+		if p.opts.UseArena {
+			a, err := p.profileArena(job.Profile, budget)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			src = a.Cursor()
+		} else {
+			src = trace.NewLimit(trace.NewWalker(prog), budget)
+		}
+	}
+	var wc *sim.WarmCheckpoints
+	if p.ckpts != nil {
+		wc = &sim.WarmCheckpoints{Store: p.ckpts, TraceID: traceID}
+	}
+	return sim.RunCkpt(cfg, src, code, job.traceLabel(), wc)
 }
 
 // noteProgress emits a progress/ETA line roughly every 5% of the batch

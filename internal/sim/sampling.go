@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"ucp/internal/ckpt"
 	"ucp/internal/core"
 	"ucp/internal/stats"
 	"ucp/internal/trace"
@@ -236,7 +237,7 @@ func (w condWarmer) WarmCond(pc uint64, taken bool) { machineWarmer(w).WarmCond(
 // instructions never reach the backend, so the absolute stream position
 // is skipped + be.Committed; drain overshoot past a window boundary
 // simply shortens the next period's fast-forward gap.
-func runSampled(cfg Config, src trace.Source, code core.CodeInfo, traceName string) (Result, error) {
+func runSampled(cfg Config, src trace.Source, code core.CodeInfo, traceName string, wc *WarmCheckpoints) (Result, error) {
 	m := NewMachine(cfg, src, code)
 	s := cfg.Sampling
 	periods := cfg.MeasureInsts / s.PeriodInsts
@@ -304,8 +305,31 @@ func runSampled(cfg Config, src trace.Source, code core.CodeInfo, traceName stri
 	)
 
 	// Warmup region: fast-forwarded entirely (bounded functional
-	// warming); the per-window WarmInsts restore timing state.
-	if err := ffwd(cfg.WarmupInsts); err != nil {
+	// warming); the per-window WarmInsts restore timing state. With a
+	// checkpoint store attached (ckpt.go) the fast-forward runs at most
+	// once per warm key: the first run to finish it publishes the end
+	// state and every other run — later, or a concurrent sweep sibling
+	// blocked on the same key — restores it instead.
+	if wc != nil && wc.Store != nil && cfg.WarmupInsts > 0 {
+		key := WarmKey(cfg, wc.TraceID)
+		blob, hit, release := wc.Store.Acquire(key)
+		if hit {
+			var err error
+			if skipped, ffTotal, err = m.restoreWarm(blob); err != nil {
+				return Result{}, ckpt.KeyError(key, err)
+			}
+		} else {
+			// Leader: pay the fast-forward and publish. The deferred
+			// abort is once-guarded, so after a successful publish it is
+			// a no-op; on any error path it hands leadership to a waiter
+			// instead of deadlocking the flight.
+			defer release(nil)
+			if err := ffwd(cfg.WarmupInsts); err != nil {
+				return Result{}, err
+			}
+			release(m.captureWarm(skipped, ffTotal))
+		}
+	} else if err := ffwd(cfg.WarmupInsts); err != nil {
 		return Result{}, err
 	}
 

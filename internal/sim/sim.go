@@ -336,11 +336,20 @@ func (m *Machine) snap() snapshot {
 
 // Run executes the configured warmup + measurement phases over src.
 func Run(cfg Config, src trace.Source, code core.CodeInfo, traceName string) (Result, error) {
+	return RunCkpt(cfg, src, code, traceName, nil)
+}
+
+// RunCkpt is Run with an optional warm-checkpoint store (ckpt.go): in
+// sampled mode the initial fast-forward is captured once per warm key
+// and restored on every later run sharing it, with byte-identical
+// results either way. A nil wc (or a full-detail config) behaves
+// exactly like Run.
+func RunCkpt(cfg Config, src trace.Source, code core.CodeInfo, traceName string, wc *WarmCheckpoints) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
 	if cfg.Sampling.Enabled {
-		return runSampled(cfg, src, code, traceName)
+		return runSampled(cfg, src, code, traceName, wc)
 	}
 	m := NewMachine(cfg, src, code)
 	target := cfg.WarmupInsts

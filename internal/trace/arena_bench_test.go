@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"ucp/internal/isa"
+)
+
+// benchInsts is sized so decode throughput dominates setup noise while
+// keeping -benchtime=1x smokes fast.
+const benchInsts = 200_000
+
+func benchStream(b *testing.B) []isa.Inst {
+	b.Helper()
+	prog, err := BuildProgram(QuickProfiles()[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	return Collect(NewWalker(prog), benchInsts)
+}
+
+// BenchmarkTraceDecode measures raw v2 file ingest (ReadAny), the cost
+// every runq job used to pay per job before the shared arena.
+func BenchmarkTraceDecode(b *testing.B) {
+	insts := benchStream(b)
+	var buf bytes.Buffer
+	if err := WriteCompact(&buf, insts); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := ReadAny(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != len(insts) {
+			b.Fatalf("decoded %d insts, want %d", len(got), len(insts))
+		}
+	}
+	b.ReportMetric(float64(b.N)*float64(len(insts))/b.Elapsed().Seconds(), "insts/s")
+}
+
+// BenchmarkArenaCursor measures the steady-state cursor drain over a
+// shared arena — what each runq job pays instead of a full ReadAny. The
+// drain itself must be allocation-free.
+func BenchmarkArenaCursor(b *testing.B) {
+	a := NewArena(benchStream(b))
+	batch := make([]isa.Inst, 512)
+	c := a.Cursor()
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		c.Reset()
+		for {
+			n := c.NextBatch(batch)
+			if n == 0 {
+				break
+			}
+			total += n
+		}
+	}
+	if total != b.N*a.Len() {
+		b.Fatalf("drained %d insts, want %d", total, b.N*a.Len())
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// BenchmarkArenaSkip measures the seek-index fast path: each iteration
+// performs a long Skip that would otherwise decode millions of records.
+func BenchmarkArenaSkip(b *testing.B) {
+	a := NewArena(benchStream(b))
+	c := a.Cursor()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Reset()
+		if got := c.Skip(a.Len() - 1); got != a.Len()-1 {
+			b.Fatalf("Skip = %d", got)
+		}
+	}
+}

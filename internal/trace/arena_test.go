@@ -1,0 +1,370 @@
+package trace
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ucp/internal/isa"
+)
+
+// arenaInsts is a control-flow-consistent stream long enough to cross
+// several seek-index snapshot boundaries.
+func arenaInsts(t *testing.T, n int) []isa.Inst {
+	t.Helper()
+	prog, err := BuildProgram(QuickProfiles()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Collect(NewWalker(prog), n)
+}
+
+// semSame compares streams under the compact codec's documented loss:
+// the target of a not-taken branch is not serialized (and never consumed
+// by the simulator), so arena streams are compared semantically.
+func semSame(a, b []isa.Inst) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !semanticallyEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compile-time pin: a Cursor must slot into every consumer seam.
+var _ Source = (*Cursor)(nil)
+var _ BatchSource = (*Cursor)(nil)
+var _ Skipper = (*Cursor)(nil)
+var _ WarmSkipper = (*Cursor)(nil)
+
+func TestArenaCursorMatchesSlice(t *testing.T) {
+	insts := arenaInsts(t, 3*ArenaIndexPeriod+117)
+	a := NewArena(insts)
+	if a.Len() != len(insts) {
+		t.Fatalf("Len = %d, want %d", a.Len(), len(insts))
+	}
+
+	if got := drainScalar(a.Cursor(), len(insts)+10); !semSame(insts, got) {
+		t.Fatalf("scalar drain diverges (%d vs %d insts)", len(got), len(insts))
+	}
+
+	// Batch drain with an awkward batch size so batches straddle
+	// snapshot boundaries.
+	c := a.Cursor()
+	var got []isa.Inst
+	buf := make([]isa.Inst, 193)
+	for {
+		n := c.NextBatch(buf)
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if !semSame(insts, got) {
+		t.Fatalf("batch drain diverges (%d vs %d insts)", len(got), len(insts))
+	}
+
+	// Reset rewinds fully.
+	c.Reset()
+	if got := drainScalar(c, len(insts)+10); !semSame(insts, got) {
+		t.Fatal("stream diverges after Reset")
+	}
+}
+
+// TestArenaCursorSkip pins Skip against the SliceSource reference across
+// snapshot boundaries: same skip count, identical stream afterwards.
+func TestArenaCursorSkip(t *testing.T) {
+	insts := arenaInsts(t, 2*ArenaIndexPeriod+500)
+	a := NewArena(insts)
+	const tail = 600
+	for _, n := range []int{0, 1, 100, ArenaIndexPeriod - 1, ArenaIndexPeriod,
+		ArenaIndexPeriod + 1, 2 * ArenaIndexPeriod, len(insts), len(insts) + 5} {
+		ref := NewSliceSource(insts)
+		refSkipped := ref.Skip(n)
+		want := drainScalar(ref, tail)
+
+		c := a.Cursor()
+		if got := c.Skip(n); got != refSkipped {
+			t.Fatalf("Skip(%d) = %d, want %d", n, got, refSkipped)
+		}
+		if got := drainScalar(c, tail); !semSame(want, got) {
+			t.Fatalf("stream diverges after Skip(%d)", n)
+		}
+	}
+
+	// Consecutive skips from a non-zero position must land identically.
+	ref := NewSliceSource(insts)
+	c := a.Cursor()
+	for _, n := range []int{37, ArenaIndexPeriod, 2000, 9} {
+		ref.Skip(n)
+		c.Skip(n)
+		wi, wok := ref.Next()
+		gi, gok := c.Next()
+		if wok != gok || !semanticallyEqual(wi, gi) {
+			t.Fatalf("consecutive skips diverge at n=%d", n)
+		}
+	}
+}
+
+// TestArenaCursorSkipWarm pins SkipWarm callback parity against the
+// materializing fallback, plus the post-skip stream position.
+func TestArenaCursorSkipWarm(t *testing.T) {
+	insts := arenaInsts(t, ArenaIndexPeriod+777)
+	a := NewArena(insts)
+	for _, n := range []int{0, 1, 500, ArenaIndexPeriod + 1, len(insts) + 3} {
+		var want condRec
+		refSkipped := SkipWarmN(scalarOnly{NewSliceSource(insts)}, n, &want)
+		wantTail := drainScalar(scalarOnlyAt(insts, refSkipped), 400)
+
+		var rec condRec
+		c := a.Cursor()
+		if got := c.SkipWarm(n, &rec); got != refSkipped {
+			t.Fatalf("SkipWarm(%d) = %d, want %d", n, got, refSkipped)
+		}
+		if !sameEvents(want.events, rec.events) {
+			t.Fatalf("SkipWarm(%d): warm event sequence diverges (%d vs %d events)",
+				n, len(rec.events), len(want.events))
+		}
+		if got := drainScalar(c, 400); !semSame(wantTail, got) {
+			t.Fatalf("stream diverges after SkipWarm(%d)", n)
+		}
+	}
+}
+
+// scalarOnlyAt is a slice source already advanced past pos instructions.
+func scalarOnlyAt(insts []isa.Inst, pos int) Source {
+	s := NewSliceSource(insts)
+	s.Skip(pos)
+	return s
+}
+
+// instDigest folds a full instruction stream into a comparable hash
+// (not-taken branch targets excluded — the compact codec drops them).
+func instDigest(src Source) [sha256.Size]byte {
+	h := sha256.New()
+	var rec [32]byte
+	for {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		if !in.Taken {
+			in.Target = 0
+		}
+		binary.LittleEndian.PutUint64(rec[0:8], in.PC)
+		binary.LittleEndian.PutUint64(rec[8:16], in.Target)
+		binary.LittleEndian.PutUint64(rec[16:24], in.MemAddr)
+		rec[24] = byte(in.Class)
+		rec[25] = 0
+		if in.Taken {
+			rec[25] = 1
+		}
+		rec[26], rec[27], rec[28] = in.Dst, in.Src1, in.Src2
+		h.Write(rec[:])
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+// TestArenaConcurrentCursors runs many cursors over one arena on
+// separate goroutines (meaningful under -race): every cursor must
+// produce a byte-identical stream digest, interleaving skips to stress
+// the shared seek index.
+func TestArenaConcurrentCursors(t *testing.T) {
+	insts := arenaInsts(t, 2*ArenaIndexPeriod+901)
+	a := NewArena(insts)
+	want := instDigest(NewSliceSource(insts))
+
+	const goroutines = 8
+	digests := make([][sha256.Size]byte, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := a.Cursor()
+			// Perturb the cursor with a goroutine-specific skip pattern
+			// first, then rewind and digest the full stream.
+			c.Skip(g * 1001)
+			c.Next()
+			c.Reset()
+			digests[g] = instDigest(c)
+		}(g)
+	}
+	wg.Wait()
+	for g, d := range digests {
+		if d != want {
+			t.Fatalf("cursor on goroutine %d produced a divergent stream digest", g)
+		}
+	}
+}
+
+// TestLoadArena checks both file versions load into identical arenas:
+// same identity, same stream.
+func TestLoadArena(t *testing.T) {
+	insts := arenaInsts(t, 5000)
+	dir := t.TempDir()
+	v1 := filepath.Join(dir, "t1.trace")
+	v2 := filepath.Join(dir, "t2.trace")
+	var b1, b2 bytes.Buffer
+	if err := Write(&b1, insts); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCompact(&b2, insts); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(v1, b1.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(v2, b2.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := NewArena(insts)
+	for name, path := range map[string]string{"v1": v1, "v2": v2} {
+		a, err := LoadArena(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.ID() != ref.ID() {
+			t.Fatalf("%s: ID %s differs from in-memory arena %s", name, a.ID(), ref.ID())
+		}
+		if got := drainScalar(a.Cursor(), len(insts)+10); !semSame(insts, got) {
+			t.Fatalf("%s: stream diverges", name)
+		}
+	}
+}
+
+// TestArenaSidecar pins the sidecar index round trip: a written index
+// must be accepted and produce an arena whose skips behave identically,
+// and every corruption (flipped byte, truncation, digest mismatch) must
+// fall back to scanning rather than trusting the sidecar.
+func TestArenaSidecar(t *testing.T) {
+	insts := arenaInsts(t, 2*ArenaIndexPeriod+333)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	var buf bytes.Buffer
+	if err := WriteCompact(&buf, insts); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ref := NewArena(insts)
+	var idx bytes.Buffer
+	if err := ref.WriteIndex(&idx); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(IndexPath(path), idx.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Valid sidecar: must be adopted (observable as identical snaps) and
+	// skips must still match the reference.
+	a, err := LoadArena(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.snaps) != len(ref.snaps) {
+		t.Fatalf("sidecar arena has %d snaps, want %d", len(a.snaps), len(ref.snaps))
+	}
+	for i := range a.snaps {
+		if a.snaps[i] != ref.snaps[i] {
+			t.Fatalf("snap %d differs: %+v vs %+v", i, a.snaps[i], ref.snaps[i])
+		}
+	}
+	c := a.Cursor()
+	c.Skip(ArenaIndexPeriod + 17)
+	s := NewSliceSource(insts)
+	s.Skip(ArenaIndexPeriod + 17)
+	if got := drainScalar(c, 200); !semSame(drainScalar(s, 200), got) {
+		t.Fatal("sidecar-indexed arena diverges after Skip")
+	}
+
+	// Corrupt sidecars: flip one byte at a few offsets, truncate, and
+	// pair with a different trace. All must be rejected (ok=false) while
+	// LoadArena still succeeds by scanning.
+	good := idx.Bytes()
+	for _, cut := range []int{0, 5, 10, 30, len(good) / 2, len(good) - 1} {
+		bad := append([]byte(nil), good...)
+		bad[cut] ^= 0xff
+		if _, ok := readSidecar(writeTemp(t, dir, bad), ref.digest, ref.count); ok {
+			t.Fatalf("sidecar with byte %d flipped was accepted", cut)
+		}
+	}
+	for _, cut := range []int{0, 3, 20, len(good) - 1} {
+		if _, ok := readSidecar(writeTemp(t, dir, good[:cut]), ref.digest, ref.count); ok {
+			t.Fatalf("sidecar truncated to %d bytes was accepted", cut)
+		}
+	}
+	other := NewArena(arenaInsts(t, 100))
+	if _, ok := readSidecar(writeTemp(t, dir, good), other.digest, other.count); ok {
+		t.Fatal("sidecar for a different trace was accepted")
+	}
+	bad := filepath.Join(dir, "corrupt.trace")
+	if err := os.WriteFile(bad, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 1
+	if err := os.WriteFile(IndexPath(bad), flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ac, err := LoadArena(bad)
+	if err != nil {
+		t.Fatalf("LoadArena with corrupt sidecar: %v", err)
+	}
+	if got := drainScalar(ac.Cursor(), len(insts)+10); !semSame(insts, got) {
+		t.Fatal("corrupt-sidecar fallback produced a divergent stream")
+	}
+}
+
+var tempSeq int
+
+func writeTemp(t *testing.T, dir string, data []byte) string {
+	t.Helper()
+	tempSeq++
+	p := filepath.Join(dir, fmt.Sprintf("side-%d.idx", tempSeq))
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestLoadArenaCorrupt truncates a v2 trace file at every byte: every
+// prefix must fail cleanly (the index-building scan validates records),
+// never panic or succeed.
+func TestLoadArenaCorrupt(t *testing.T) {
+	insts := corruptInsts()
+	var buf bytes.Buffer
+	if err := WriteCompact(&buf, insts); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	for cut := 0; cut < len(full); cut++ {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadArena(path); err == nil {
+			t.Fatalf("prefix of %d/%d bytes loaded without error", cut, len(full))
+		}
+	}
+	// Trailing garbage after the declared records must also be rejected.
+	if err := os.WriteFile(path, append(append([]byte(nil), full...), 0x00), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadArena(path); err == nil {
+		t.Fatal("trailing garbage loaded without error")
+	}
+}

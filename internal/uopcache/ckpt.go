@@ -1,0 +1,87 @@
+package uopcache
+
+import "ucp/internal/ckpt"
+
+// Checkpoint hooks: the fast-forward's functional commit path feeds the
+// demand entry builder, which inserts into the µ-op cache — so tags,
+// LRU stamps, entry payloads, stats, and the builder's open-entry
+// accumulator all carry across a checkpoint.
+
+// SaveState serializes all mutable cache state.
+func (u *UopCache) SaveState(w *ckpt.Writer) {
+	w.Section("uopcache")
+	w.U64s(u.tags)
+	w.U64s(u.lrus)
+	w.Uvarint(uint64(len(u.data)))
+	for i := range u.data {
+		e := &u.data[i]
+		w.Byte(e.Ops)
+		w.Byte(e.Branches)
+		w.Bool(e.EndsTaken)
+		w.Bool(e.Prefetched)
+		w.Bool(e.Used)
+	}
+	w.Uvarint(u.clock)
+	w.Uvarint(u.stats.Lookups)
+	w.Uvarint(u.stats.Hits)
+	w.Uvarint(u.stats.Inserts)
+	w.Uvarint(u.stats.Evictions)
+	w.Uvarint(u.stats.PrefetchInserts)
+	w.Uvarint(u.stats.PrefetchUsed)
+	w.Uvarint(u.stats.PrefetchEvictUnused)
+	w.Uvarint(u.stats.Invalidations)
+}
+
+// LoadState restores state saved by SaveState into an identically
+// configured cache. Errors surface on the reader.
+func (u *UopCache) LoadState(r *ckpt.Reader) {
+	r.Section("uopcache")
+	r.U64sInto(u.tags)
+	r.U64sInto(u.lrus)
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return
+	}
+	if n != uint64(len(u.data)) {
+		r.Failf("uopcache: %d entries, want %d", n, len(u.data))
+		return
+	}
+	for i := range u.data {
+		e := &u.data[i]
+		e.Ops = r.Byte()
+		e.Branches = r.Byte()
+		e.EndsTaken = r.Bool()
+		e.Prefetched = r.Bool()
+		e.Used = r.Bool()
+	}
+	u.clock = r.Uvarint()
+	u.stats.Lookups = r.Uvarint()
+	u.stats.Hits = r.Uvarint()
+	u.stats.Inserts = r.Uvarint()
+	u.stats.Evictions = r.Uvarint()
+	u.stats.PrefetchInserts = r.Uvarint()
+	u.stats.PrefetchUsed = r.Uvarint()
+	u.stats.PrefetchEvictUnused = r.Uvarint()
+	u.stats.Invalidations = r.Uvarint()
+}
+
+// SaveState serializes the builder's open-entry accumulator (the cache
+// it inserts into is serialized separately).
+func (b *Builder) SaveState(w *ckpt.Writer) {
+	w.Section("uopbuilder")
+	w.Bool(b.open)
+	w.Uvarint(b.startPC)
+	w.Uvarint(b.nextPC)
+	w.Byte(b.ops)
+	w.Byte(b.branches)
+}
+
+// LoadState restores state saved by SaveState.
+func (b *Builder) LoadState(r *ckpt.Reader) {
+	r.Section("uopbuilder")
+	b.open = r.Bool()
+	b.startPC = r.Uvarint()
+	b.nextPC = r.Uvarint()
+	b.ops = r.Byte()
+	b.branches = r.Byte()
+}
