@@ -1,11 +1,24 @@
 #!/bin/sh
 # check.sh — the tier-1+ verification gate (see ROADMAP.md).
 #
+# Usage: ./check.sh [-fast]
+#
+#   -fast   skip the fuzz smoke and sweep-reuse gates (the two slowest);
+#           everything else runs. Use for inner-loop iteration; CI and
+#           pre-merge runs use the full gate.
+#
+# Each gate's wall-clock time is printed when the next gate starts.
+#
 # Runs, in order:
 #   1. gofmt -l            (no unformatted files)
 #   2. go vet ./...        (stdlib vet)
 #   3. go build ./...      (everything compiles)
-#   4. ucplint ./...       (custom determinism / hardware-invariant lints)
+#   4. ucplint ./...       (custom determinism / hardware-invariant
+#                           lints, including the interprocedural
+#                           seedflow/mergeorder/sharedstate/mapemit/
+#                           hotalloc dataflow rules; runs with -json
+#                           against .ucplint-baseline.json — exit 0
+#                           clean, 1 findings, 2 load error)
 #   5. ucplint -determinism (two seeded runs must byte-match)
 #   6. go test -race ./... (full suite under the race detector)
 #   7. fuzz smoke          (each internal/trace fuzz target, 5s)
@@ -37,7 +50,31 @@ set -eu
 
 cd "$(dirname "$0")"
 
-step() { printf '\n== %s ==\n' "$*"; }
+FAST=0
+for arg in "$@"; do
+	case "$arg" in
+	-fast) FAST=1 ;;
+	*) echo "check.sh: unknown argument $arg (usage: ./check.sh [-fast])" >&2; exit 2 ;;
+	esac
+done
+
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+# step prints the previous gate's wall-clock time, then opens the next.
+STEP_NAME=""
+STEP_T0=0
+step() {
+	_now=$(now_ms)
+	if [ -n "$STEP_NAME" ]; then
+		printf '   [%s: %sms]\n' "$STEP_NAME" $((_now - STEP_T0))
+	fi
+	STEP_NAME="$*"
+	STEP_T0=$_now
+	printf '\n== %s ==\n' "$*"
+}
+
+RUNQ_TMP=$(mktemp -d)
+trap 'rm -rf "$RUNQ_TMP"' EXIT
 
 step "gofmt"
 UNFMT=$(gofmt -l .)
@@ -54,27 +91,46 @@ step "go build"
 go build ./...
 
 step "ucplint"
-go run ./cmd/ucplint ./...
+# The lint gate covers the whole module (./... includes cmd/) and runs
+# in JSON mode against the committed baseline. Exit codes are stable:
+# 0 clean, 1 findings, 2 load error — run the built binary, not
+# `go run`, which collapses any nonzero child status to 1.
+go build -o "$RUNQ_TMP/ucplint" ./cmd/ucplint
+if "$RUNQ_TMP/ucplint" -json -baseline .ucplint-baseline.json ./... > "$RUNQ_TMP/lint.json"; then
+	echo "ucplint: clean (no findings outside .ucplint-baseline.json)"
+else
+	rc=$?
+	if [ "$rc" -eq 1 ]; then
+		cat "$RUNQ_TMP/lint.json" >&2
+		N=$(grep -c '"rule":' "$RUNQ_TMP/lint.json" || true)
+		echo "ucplint: $N finding(s) outside the baseline" >&2
+	else
+		echo "ucplint: load error (exit $rc)" >&2
+	fi
+	exit 1
+fi
 
 step "ucplint -determinism"
-go run ./cmd/ucplint -determinism -determinism-insts 60000
+"$RUNQ_TMP/ucplint" -determinism -determinism-insts 60000
 
 step "go test -race"
 go test -race ./...
 
 # `go test -fuzz` accepts a single target at a time, so smoke each one.
-step "fuzz smoke (internal/trace)"
-go test -fuzz=FuzzReadAny -fuzztime=5s -run='^$' ./internal/trace
-go test -fuzz=FuzzValidate -fuzztime=5s -run='^$' ./internal/trace
+if [ "$FAST" -eq 0 ]; then
+	step "fuzz smoke (internal/trace)"
+	go test -fuzz=FuzzReadAny -fuzztime=5s -run='^$' ./internal/trace
+	go test -fuzz=FuzzValidate -fuzztime=5s -run='^$' ./internal/trace
+else
+	step "fuzz smoke (internal/trace)"
+	echo "skipped (-fast)"
+fi
 
 step "runq parallel determinism"
 # The report must be byte-identical whether runs execute serially, on 8
 # workers, or replay from a warm on-disk cache. Timings go to
 # BENCH_runq.json as a record; cmp is the only gate.
-RUNQ_TMP=$(mktemp -d)
-trap 'rm -rf "$RUNQ_TMP"' EXIT
 go build -o "$RUNQ_TMP/experiments" ./cmd/experiments
-now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
 
 T0=$(now_ms)
 "$RUNQ_TMP/experiments" -all -quick -warmup 60000 -measure 60000 \
@@ -167,16 +223,25 @@ step "sampling gate"
 "$RUNQ_TMP/experiments" -sample-gate -sample-bench BENCH_sampling.json
 
 step "sweep-reuse gate"
-# Cold pool (per-job fast-forward) vs a fresh arena+checkpoint pool over
-# one warm-key-sharing sampled sweep, in one process. Gated: digests
-# byte-identical cold vs warm, one checkpoint captured + N-1 restored,
-# wall-clock speedup >= 3x.
-"$RUNQ_TMP/experiments" -sweepreuse-gate -sweepreuse-bench BENCH_sweepreuse.json
+if [ "$FAST" -eq 0 ]; then
+	# Cold pool (per-job fast-forward) vs a fresh arena+checkpoint pool
+	# over one warm-key-sharing sampled sweep, in one process. Gated:
+	# digests byte-identical cold vs warm, one checkpoint captured + N-1
+	# restored, wall-clock speedup >= 3x.
+	"$RUNQ_TMP/experiments" -sweepreuse-gate -sweepreuse-bench BENCH_sweepreuse.json
+else
+	echo "skipped (-fast)"
+fi
 
 step "BENCH schema"
 # Every benchmark record shares the same envelope so downstream tooling
-# can discover and parse them uniformly.
-for f in BENCH_runq.json BENCH_hotpath.json BENCH_sampling.json BENCH_sweepreuse.json; do
+# can discover and parse them uniformly. In -fast mode the sweep-reuse
+# record may be stale or absent; only gate it on full runs.
+SCHEMA_FILES="BENCH_runq.json BENCH_hotpath.json BENCH_sampling.json"
+if [ "$FAST" -eq 0 ]; then
+	SCHEMA_FILES="$SCHEMA_FILES BENCH_sweepreuse.json"
+fi
+for f in $SCHEMA_FILES; do
 	[ -f "$f" ] || { echo "BENCH schema: $f missing" >&2; exit 1; }
 	grep -q '"schema_version": 1' "$f" || {
 		echo "BENCH schema: $f lacks \"schema_version\": 1" >&2; exit 1; }
@@ -185,6 +250,7 @@ for f in BENCH_runq.json BENCH_hotpath.json BENCH_sampling.json BENCH_sweepreuse
 	grep -q '"cores": ' "$f" || {
 		echo "BENCH schema: $f lacks a \"cores\" stamp" >&2; exit 1; }
 done
-echo "BENCH schema: runq/hotpath/sampling/sweepreuse records conform"
+echo "BENCH schema: records conform ($SCHEMA_FILES)"
 
-printf '\ncheck.sh: all gates passed\n'
+step "done"
+printf 'check.sh: all gates passed\n'

@@ -40,6 +40,8 @@ func (s *lineSet) slotOf(line uint64) uint32 {
 }
 
 // Add inserts line and reports whether it was newly inserted.
+//
+//ucplint:hotpath
 func (s *lineSet) Add(line uint64) bool {
 	if line == 0 {
 		if s.hasZero {
@@ -49,6 +51,7 @@ func (s *lineSet) Add(line uint64) bool {
 		return true
 	}
 	if len(s.filled) >= len(s.keys)/2 {
+		//ucplint:ignore hotalloc // cold branch: amortized doubling, load factor ≤ 1/2
 		s.grow()
 	}
 	i := s.slotOf(line)
@@ -59,6 +62,7 @@ func (s *lineSet) Add(line uint64) bool {
 		}
 		if k == 0 {
 			s.keys[i] = line
+			//ucplint:ignore hotalloc // never grows: filled has cap len(keys)/2 and grow() just ran
 			s.filled = append(s.filled, i)
 			return true
 		}
@@ -67,6 +71,8 @@ func (s *lineSet) Add(line uint64) bool {
 }
 
 // Has reports whether line is in the set.
+//
+//ucplint:hotpath
 func (s *lineSet) Has(line uint64) bool {
 	if line == 0 {
 		return s.hasZero

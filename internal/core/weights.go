@@ -18,7 +18,10 @@ const (
 )
 
 // condWeight maps an alternate-path conditional prediction to its
-// Table I weight.
+// Table I weight. It runs for every branch on every alternate-path
+// walk.
+//
+//ucplint:hotpath
 func condWeight(p *bpred.Prediction) int {
 	switch p.Source {
 	case bpred.SrcLoop:

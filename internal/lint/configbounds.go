@@ -3,7 +3,6 @@ package lint
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 )
 
 // newConfigBoundsAnalyzer proves that configuration structs are
@@ -36,15 +35,7 @@ func newConfigBoundsAnalyzer() *Analyzer {
 func markedConfigSpecs(p *Package) []*ast.TypeSpec {
 	var out []*ast.TypeSpec
 	hasMarker := func(cg *ast.CommentGroup) bool {
-		if cg == nil {
-			return false
-		}
-		for _, c := range cg.List {
-			if strings.Contains(c.Text, "ucplint:config") {
-				return true
-			}
-		}
-		return false
+		return hasDirective("config", cg)
 	}
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {

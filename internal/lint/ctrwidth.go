@@ -5,8 +5,6 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
-	"regexp"
-	"strconv"
 )
 
 // newCtrWidthAnalyzer enforces declared saturating-counter widths.
@@ -44,25 +42,6 @@ type bitRange struct {
 	min, max int64
 }
 
-var nbitsRe = regexp.MustCompile(`nbits:\s*(\d+)`)
-
-// nbitsMarker extracts an nbits: marker from a field's doc or line
-// comment.
-func nbitsMarker(field *ast.Field) (int, bool) {
-	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
-		if cg == nil {
-			continue
-		}
-		if m := nbitsRe.FindStringSubmatch(cg.Text()); m != nil {
-			n, err := strconv.Atoi(m[1])
-			if err == nil && n > 0 {
-				return n, true
-			}
-		}
-	}
-	return 0, false
-}
-
 // collectNbitsFields finds every struct field in the package annotated
 // with an nbits: marker and computes its allowed range from the marker
 // width and the field type's signedness.
@@ -76,7 +55,7 @@ func collectNbitsFields(p *Package, r *Reporter) map[types.Object]bitRange {
 				return true
 			}
 			for _, field := range st.Fields.List {
-				bits, ok := nbitsMarker(field)
+				bits, ok := fieldMarker(field, "nbits")
 				if !ok {
 					continue
 				}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/types"
+
+	"ucp/internal/lint/dataflow"
+)
+
+// newHotAllocAnalyzer protects the cycle-engine hot path won in the
+// 2.2x optimization PR: functions annotated //ucplint:hotpath are
+// promises that the per-cycle inner loop stays allocation-free, and
+// this rule turns the promise into a build gate. A hotpath function
+// may not, in its own body:
+//
+//   - build map or slice composite literals,
+//   - call make/new, or append without guaranteed capacity
+//     (any append counts — proving capacity statically is out of
+//     scope, so hot paths pre-size in setup code instead),
+//   - define closures (the FuncLit itself allocates when it captures),
+//   - box a concrete value into an interface parameter,
+//   - call into allocating stdlib packages (fmt, sort, strings, ...),
+//
+// nor may it call a module function whose transitive closure does any
+// of the above. The escape hatch for a deliberate cold branch inside a
+// hot function (error paths, lazy growth) is a named line-level
+// //ucplint:ignore hotalloc.
+func newHotAllocAnalyzer() *Analyzer {
+	const rule = "hotalloc"
+	return &Analyzer{
+		Name: rule,
+		Doc:  "//ucplint:hotpath functions must not allocate, directly or through any module callee",
+		CheckModule: func(u *Universe, r *Reporter) {
+			g := u.Graph
+			allocs := g.AllocSummaries()
+
+			for _, n := range g.Nodes() {
+				if !funcMarked(n.Decl, "hotpath") {
+					continue
+				}
+				// Own-body allocation sites, reported individually so
+				// the fix target is exact.
+				for _, a := range allocs[n.Fn] {
+					u.Report(r, a.Pos, rule,
+						"allocation in //ucplint:hotpath function %s: %s", n.Fn.Name(), a.What)
+				}
+				// Calls whose transitive closure allocates. Walk this
+				// function's call sites; for each module callee, ask
+				// the graph for a chain to an allocation.
+				for _, c := range n.Calls {
+					cn := g.NodeOf(c.Callee)
+					if cn == nil {
+						continue // external callees covered by allocPkgs in own-body pass
+					}
+					if funcMarked(cn.Decl, "hotpath") {
+						continue // callee is independently gated; avoid double reports
+					}
+					if chain := allocChain(g, allocs, c.Callee); chain != "" {
+						u.Report(r, c.Pos, rule,
+							"//ucplint:hotpath function %s calls %s, which allocates: %s",
+							n.Fn.Name(), c.Callee.Name(), chain)
+					}
+				}
+			}
+		},
+	}
+}
+
+// allocChain returns a human-readable call chain from fn to its
+// nearest transitive allocation site, or "" if fn's closure is
+// allocation-free. Results come from a reverse-reachability pass over
+// the graph seeded at directly-allocating functions.
+func allocChain(g *dataflow.Graph, allocs map[*types.Func][]dataflow.Alloc, fn *types.Func) string {
+	t := g.AllocReach(allocs)[fn]
+	if t == nil {
+		return ""
+	}
+	return t.Chain(g.Fset)
+}

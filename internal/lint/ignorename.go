@@ -1,0 +1,41 @@
+package lint
+
+// newIgnoreNameAnalyzer polices the escape hatch itself. An ignore
+// directive must name the rule(s) it suppresses: a bare
+// //ucplint:ignore is a blanket waiver that silently swallows findings
+// of rules added later, so it suppresses nothing and is reported. An
+// ignore naming a rule that does not exist is a typo that suppresses
+// nothing the author intended, so it is reported too.
+func newIgnoreNameAnalyzer(known []string) *Analyzer {
+	const rule = "ignorename"
+	valid := make(map[string]bool, len(known))
+	for _, n := range known {
+		valid[n] = true
+	}
+	return &Analyzer{
+		Name: rule,
+		Doc:  "ucplint:ignore directives must name existing rules (bare ignores suppress nothing)",
+		CheckPackage: func(p *Package, r *Reporter) {
+			for _, f := range p.Files {
+				for _, cg := range f.Comments {
+					for _, d := range directives(cg) {
+						if d.Name != "ignore" {
+							continue
+						}
+						if len(d.Args) == 0 {
+							r.Report(p, d.Pos, rule,
+								"bare //ucplint:ignore suppresses nothing: name the rule(s) it waives")
+							continue
+						}
+						for _, arg := range d.Args {
+							if !valid[arg] {
+								r.Report(p, d.Pos, rule,
+									"//ucplint:ignore names unknown rule %q", arg)
+							}
+						}
+					}
+				}
+			}
+		},
+	}
+}

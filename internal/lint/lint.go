@@ -10,6 +10,19 @@
 // outside the arena/codec entry points (sweep paths share one decoded
 // arena per batch).
 //
+// Since the interprocedural engine landed (internal/lint/dataflow), the
+// pass also proves module-wide dataflow invariants: every random value
+// derives from a config seed (seedflow), merge methods on the
+// result-aggregation paths are order-insensitive or dynamically proven
+// commutative (mergeorder), goroutine fan-out never shares unguarded
+// mutable state (sharedstate), map-iteration order cannot taint a
+// digest or report through any call chain (mapemit), and
+// //ucplint:hotpath functions stay allocation-free (hotalloc). These
+// are exactly the preconditions the time-parallel single-run refactor
+// (ROADMAP item 1) needs: a cross-worker merge the linter cannot prove
+// order-independent is a merge that will eventually produce two
+// different reports from one seed.
+//
 // The implementation is deliberately stdlib-only (go/ast, go/parser,
 // go/token, go/types): the repository must keep building with nothing
 // but the Go toolchain.
@@ -18,7 +31,10 @@
 // line or the line directly above it:
 //
 //	//ucplint:ignore <rule> [<rule>...]   suppress the named rules
-//	//ucplint:ignore                      suppress every rule
+//
+// A bare //ucplint:ignore (no rule names) suppresses nothing and is
+// itself a finding (rule ignorename): blanket suppressions hide future
+// findings of rules that did not exist when they were written.
 package lint
 
 import (
@@ -27,7 +43,8 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
-	"strings"
+
+	"ucp/internal/lint/dataflow"
 )
 
 // Package is one type-checked package under analysis.
@@ -50,28 +67,23 @@ type Package struct {
 // buildIgnores scans the package's comments for //ucplint:ignore
 // directives. A directive suppresses findings reported on its own line
 // and on the line immediately below it (so it can trail a statement or
-// sit above one).
+// sit above one). A bare ignore with no rule names suppresses nothing;
+// the ignorename analyzer reports it.
 func (p *Package) buildIgnores() {
 	p.ignores = make(map[string]map[int][]string)
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, "ucplint:ignore") {
+			for _, d := range directives(cg) {
+				if d.Name != "ignore" || len(d.Args) == 0 {
 					continue
 				}
-				rules := strings.Fields(strings.TrimPrefix(text, "ucplint:ignore"))
-				if len(rules) == 0 {
-					rules = []string{"*"}
-				}
-				pos := p.Fset.Position(c.Pos())
+				pos := p.Fset.Position(d.Pos)
 				m := p.ignores[pos.Filename]
 				if m == nil {
 					m = make(map[int][]string)
 					p.ignores[pos.Filename] = m
 				}
-				m[pos.Line] = append(m[pos.Line], rules...)
+				m[pos.Line] = append(m[pos.Line], d.Args...)
 			}
 		}
 	}
@@ -86,7 +98,7 @@ func (p *Package) suppressed(pos token.Position, rule string) bool {
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
 		for _, r := range m[line] {
-			if r == "*" || r == rule {
+			if r == rule {
 				return true
 			}
 		}
@@ -140,18 +152,86 @@ func (r *Reporter) Findings() []Finding {
 
 // Analyzer is one ucplint rule. Some analyzers carry cross-package
 // state (e.g. repo-wide stat-name uniqueness), so a fresh set from
-// NewAnalyzers must be used for each run.
+// NewAnalyzers must be used for each run. A rule implements
+// CheckPackage (intraprocedural, called once per package),
+// CheckModule (interprocedural, called once over the whole Universe
+// after the call graph is built), or both.
 type Analyzer struct {
 	Name string
 	Doc  string
 	// CheckPackage inspects one package. Packages are presented in
 	// sorted import-path order, so cross-package state is deterministic.
 	CheckPackage func(p *Package, r *Reporter)
+	// CheckModule inspects the whole loaded package set at once, with
+	// the module call graph available. It runs after every
+	// CheckPackage pass.
+	CheckModule func(u *Universe, r *Reporter)
+}
+
+// Universe is the full loaded package set plus the interprocedural
+// machinery built over it: the call graph and file-to-package index
+// that module-wide rules report through.
+type Universe struct {
+	// Pkgs is sorted by import path.
+	Pkgs  []*Package
+	Graph *dataflow.Graph
+
+	byFile map[string]*Package
+	byPath map[string]*Package
+}
+
+// newUniverse builds the graph over the sorted package set.
+func newUniverse(pkgs []*Package) *Universe {
+	u := &Universe{
+		Pkgs:   pkgs,
+		byFile: make(map[string]*Package),
+		byPath: make(map[string]*Package),
+	}
+	var srcs []*dataflow.Source
+	var fset *token.FileSet
+	for _, p := range pkgs {
+		fset = p.Fset
+		srcs = append(srcs, &dataflow.Source{
+			Path:  p.Path,
+			Files: p.Files,
+			Info:  p.Info,
+			Pkg:   p.Types,
+		})
+		u.byPath[p.Path] = p
+		for _, f := range p.Files {
+			u.byFile[p.Fset.Position(f.Pos()).Filename] = p
+		}
+	}
+	if fset == nil {
+		fset = token.NewFileSet()
+	}
+	u.Graph = dataflow.Build(fset, srcs)
+	return u
+}
+
+// PkgAt resolves the package owning a source position, so graph-level
+// rules can report findings with per-line suppression intact. Returns
+// nil for positions outside the loaded set.
+func (u *Universe) PkgAt(pos token.Pos) *Package {
+	if len(u.Pkgs) == 0 {
+		return nil
+	}
+	return u.byFile[u.Pkgs[0].Fset.Position(pos).Filename]
+}
+
+// Report files a finding at pos through the owning package's
+// suppression table. Findings at unresolvable positions are dropped —
+// every rule reports at AST nodes of loaded files, so this only guards
+// against bugs.
+func (u *Universe) Report(r *Reporter, pos token.Pos, rule, format string, args ...any) {
+	if p := u.PkgAt(pos); p != nil {
+		r.Report(p, pos, rule, format, args...)
+	}
 }
 
 // NewAnalyzers returns a fresh instance of every ucplint rule.
 func NewAnalyzers() []*Analyzer {
-	return []*Analyzer{
+	as := []*Analyzer{
 		newWallclockAnalyzer(),
 		newMapEmitAnalyzer(),
 		newCtrWidthAnalyzer(),
@@ -159,12 +239,23 @@ func NewAnalyzers() []*Analyzer {
 		newConfigBoundsAnalyzer(),
 		newPprofImportAnalyzer(),
 		newTraceOpenAnalyzer(),
+		newSeedflowAnalyzer(),
+		newMergeOrderAnalyzer(),
+		newSharedStateAnalyzer(),
+		newHotAllocAnalyzer(),
 	}
+	names := make([]string, 0, len(as)+1)
+	for _, a := range as {
+		names = append(names, a.Name)
+	}
+	names = append(names, "ignorename")
+	return append(as, newIgnoreNameAnalyzer(names))
 }
 
 // Run applies the analyzers to every package and returns the sorted
 // findings. Packages are sorted by import path first so analyzers with
-// cross-package state behave deterministically.
+// cross-package state behave deterministically; module-wide analyzers
+// then run over the call graph built from the same sorted set.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	sorted := make([]*Package, len(pkgs))
 	copy(sorted, pkgs)
@@ -172,7 +263,15 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	r := &Reporter{}
 	for _, p := range sorted {
 		for _, a := range analyzers {
-			a.CheckPackage(p, r)
+			if a.CheckPackage != nil {
+				a.CheckPackage(p, r)
+			}
+		}
+	}
+	u := newUniverse(sorted)
+	for _, a := range analyzers {
+		if a.CheckModule != nil {
+			a.CheckModule(u, r)
 		}
 	}
 	return r.Findings()

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"bufio"
+	"go/ast"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -137,6 +138,66 @@ func TestFixturesCoverEveryRule(t *testing.T) {
 	sort.Strings(missing)
 	if len(missing) > 0 {
 		t.Fatalf("analyzers without a golden fixture dir: %v", missing)
+	}
+}
+
+// TestCommutativeAnnotationsAreShuffleTested pins the set of
+// //ucplint:commutative annotations in the module to the set of merges
+// the dynamic shuffle-merge harness (stats.CheckCommutative) actually
+// verifies. Annotating a new merge method makes this test fail until
+// the method is added here — alongside a shuffle-merge test backing the
+// claim.
+func TestCommutativeAnnotationsAreShuffleTested(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	verified := map[string]bool{
+		// stats.TestHistogramMergeCommutes
+		"ucp/internal/stats.Histogram.Merge": true,
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(wd)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	annotated := map[string]bool{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !funcMarked(fd, "commutative") {
+					continue
+				}
+				name := fd.Name.Name
+				if fd.Recv != nil && len(fd.Recv.List) == 1 {
+					rt := fd.Recv.List[0].Type
+					if star, ok := rt.(*ast.StarExpr); ok {
+						rt = star.X
+					}
+					if id, ok := rt.(*ast.Ident); ok {
+						name = id.Name + "." + name
+					}
+				}
+				annotated[p.Path+"."+name] = true
+			}
+		}
+	}
+	for name := range annotated {
+		if !verified[name] {
+			t.Errorf("%s is annotated //ucplint:commutative but has no shuffle-merge test registered here", name)
+		}
+	}
+	for name := range verified {
+		if !annotated[name] {
+			t.Errorf("%s is listed as shuffle-verified but carries no //ucplint:commutative annotation", name)
+		}
 	}
 }
 

@@ -245,11 +245,47 @@ func (l *Loader) LoadModule() ([]*Package, error) {
 
 // LoadFixture loads a standalone directory (typically under testdata)
 // as a synthetic package. Imports of the enclosing module resolve
-// normally, so fixtures may import e.g. ucp/internal/stats.
+// normally, so fixtures may import e.g. ucp/internal/stats. By default
+// the package path is "fixture/<dirname>"; a fixture exercising a rule
+// that keys on import paths (seedflow's internal/rng purity, the
+// mergeorder aggregation roots) can declare its own with a
+//
+//	//ucplint:importpath ucp/internal/rng
+//
+// directive in any of its files.
 func (l *Loader) LoadFixture(dir string) (*Package, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
 	}
-	return l.loadDir(abs, "fixture/"+filepath.Base(abs))
+	path := "fixture/" + filepath.Base(abs)
+	if declared, ok := l.fixtureImportPath(abs); ok {
+		path = declared
+	}
+	return l.loadDir(abs, path)
+}
+
+// fixtureImportPath pre-scans a fixture directory for a
+// //ucplint:importpath directive. The sniff parse uses a throwaway
+// FileSet so the real load still owns the positions.
+func (l *Loader) fixtureImportPath(dir string) (string, bool) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", false
+	}
+	sniff := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(sniff, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			continue
+		}
+		if d, ok := fileDirective(f, "importpath"); ok && len(d.Args) == 1 {
+			return d.Args[0], true
+		}
+	}
+	return "", false
 }

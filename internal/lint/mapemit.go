@@ -2,24 +2,41 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
+
+	"ucp/internal/lint/dataflow"
 )
 
 // newMapEmitAnalyzer flags `for … range` loops over maps whose bodies
-// emit output (fmt printing, strings.Builder writes) or accumulate into
-// a slice that outlives the loop without a subsequent sort. Go's map
-// iteration order is deliberately randomized, so any report or stat
-// emission driven directly by it differs between runs.
+// let Go's randomized iteration order reach anything that outlives the
+// loop. The local layer (inherited from ucplint v1) catches direct
+// emission in the loop body: fmt printing, strings.Builder writes, and
+// appends into a slice that escapes the loop without a subsequent sort.
+// The interprocedural layer closes the laundering hole: a loop body
+// that calls a helper — in this or any other package — whose emit
+// summary says output lands somewhere that outlives the iteration
+// (stdout, package state, a receiver, or a caller-supplied buffer
+// declared outside the loop) is just as order-tainted as one that
+// prints directly. Helpers that only fill function-local buffers stay
+// clean, as does accumulation into loop-local state.
 func newMapEmitAnalyzer() *Analyzer {
 	const rule = "mapemit"
 	return &Analyzer{
 		Name: rule,
-		Doc:  "flag map iteration that emits output or accumulates unsorted results",
-		CheckPackage: func(p *Package, r *Reporter) {
-			for _, f := range p.Files {
-				walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
-					rs, ok := n.(*ast.RangeStmt)
+		Doc:  "map iteration must not order emitted output or accumulated results, through any call chain",
+		CheckModule: func(u *Universe, r *Reporter) {
+			g := u.Graph
+			emits := g.EmitSummaries()
+			for _, n := range g.Nodes() {
+				p := u.PkgAt(n.Decl.Pos())
+				if p == nil {
+					continue
+				}
+				decl := n.Decl
+				walkWithStack(decl.Body, func(x ast.Node, stack []ast.Node) bool {
+					rs, ok := x.(*ast.RangeStmt)
 					if !ok {
 						return true
 					}
@@ -31,15 +48,91 @@ func newMapEmitAnalyzer() *Analyzer {
 						return true
 					}
 					fn := enclosingFunc(stack)
+					if fn == nil {
+						fn = decl
+					}
 					if reason := mapEmitReason(p, rs, fn); reason != "" {
 						r.Report(p, rs.Pos(), rule,
 							"map iteration order is nondeterministic but the body %s; sort the keys first", reason)
 					}
+					reportEmittingCallees(u, r, g, n, p, rs, emits)
 					return true
 				})
 			}
 		},
 	}
+}
+
+// reportEmittingCallees flags calls, inside a map-range body, to module
+// functions whose transitive emit summary escapes the loop.
+func reportEmittingCallees(u *Universe, r *Reporter, g *dataflow.Graph, n *dataflow.Node, p *Package, rs *ast.RangeStmt, emits map[*types.Func]dataflow.EmitMask) {
+	const rule = "mapemit"
+	loopLocal := func(e ast.Expr) bool {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.UnaryExpr:
+				if x.Op != token.AND {
+					return false
+				}
+				e = x.X
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.Ident:
+				obj := p.Info.Uses[x]
+				if obj == nil {
+					obj = p.Info.Defs[x]
+				}
+				return obj != nil && obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()
+			default:
+				return false
+			}
+		}
+	}
+	ast.Inspect(rs.Body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(p.Info, call)
+		if callee == nil || g.NodeOf(callee) == nil {
+			return true // direct stdlib emission is the local layer's job
+		}
+		m := emits[callee]
+		if m == 0 {
+			return true
+		}
+		switch {
+		case m&dataflow.EmitStdout != 0:
+			u.Report(r, call.Pos(), rule,
+				"map iteration order is nondeterministic but the body calls %s, which emits to stdout through its call chain; sort the keys first",
+				callee.Name())
+		case m&dataflow.EmitGlobal != 0:
+			u.Report(r, call.Pos(), rule,
+				"map iteration order is nondeterministic but the body calls %s, which writes package state through its call chain; sort the keys first",
+				callee.Name())
+		case m&dataflow.EmitReceiver != 0:
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if ok && !loopLocal(sel.X) {
+				u.Report(r, call.Pos(), rule,
+					"map iteration order is nondeterministic but the body calls %s, which writes into its receiver, and the receiver outlives the loop; sort the keys first",
+					callee.Name())
+			}
+		default:
+			for i, arg := range call.Args {
+				if m.Param(i) && !loopLocal(arg) {
+					u.Report(r, call.Pos(), rule,
+						"map iteration order is nondeterministic but the body calls %s, which writes into argument %d, and that value outlives the loop; sort the keys first",
+						callee.Name(), i)
+					break
+				}
+			}
+		}
+		return true
+	})
 }
 
 // enclosingFunc returns the innermost function literal or declaration

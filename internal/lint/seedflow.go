@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ucp/internal/lint/dataflow"
+)
+
+// newSeedflowAnalyzer proves, interprocedurally, that every random
+// value in the module derives from a configuration seed through
+// internal/rng. The wallclock rule already forbids importing math/rand
+// and calling time.Now at the use site; seedflow closes the two holes
+// an intraprocedural rule cannot see:
+//
+//  1. A seed laundered through a call chain: rng.New(helper()) where
+//     helper — possibly in another package — bottoms out in the wall
+//     clock, crypto/rand, or math/rand's global state. The taint
+//     closure over the call graph follows the chain however deep.
+//  2. internal/rng itself, which is exempt from wallclock (it is the
+//     sanctioned randomness provider): any function in it that can
+//     reach a wall-clock or ambient-randomness source would silently
+//     unseed every consumer, so seedflow pins the package seed-pure.
+//
+// The invariant this preserves is the paper's: a trace-driven
+// evaluation is only comparable across configurations because every
+// stream regenerates bit-identically from its seed.
+func newSeedflowAnalyzer() *Analyzer {
+	const rule = "seedflow"
+	return &Analyzer{
+		Name: rule,
+		Doc:  "rng seeds must not derive from wall-clock or ambient randomness, through any call chain",
+		CheckModule: func(u *Universe, r *Reporter) {
+			g := u.Graph
+			tainted := g.ReachesSink(unseededBase)
+			// Hole 2: internal/rng must stay seed-pure.
+			for _, n := range g.Nodes() {
+				if !strings.HasSuffix(n.PkgPath, "internal/rng") {
+					continue
+				}
+				if t, ok := tainted[n.Fn]; ok {
+					u.Report(r, n.Decl.Pos(), rule,
+						"internal/rng must stay seed-pure: %s reaches ambient randomness (%s)",
+						n.Fn.Name(), t.Chain(g.Fset))
+				}
+			}
+			// Hole 1: seeds flowing into rng constructors.
+			for _, n := range g.Nodes() {
+				checkSeedArgs(u, r, g, n, tainted)
+			}
+		},
+	}
+}
+
+// unseededBase classifies functions that produce values not derived
+// from a config seed.
+func unseededBase(fn *types.Func) (string, bool) {
+	switch pkgPathOfFunc(fn) {
+	case "math/rand", "math/rand/v2":
+		return "math/rand's global or unseeded state", true
+	case "crypto/rand":
+		return "crypto/rand is ambient randomness", true
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "reads the wall clock", true
+		}
+	}
+	return "", false
+}
+
+func pkgPathOfFunc(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isRNGConstructor reports whether fn is internal/rng's seed-taking
+// entry point.
+func isRNGConstructor(fn *types.Func) bool {
+	return fn != nil && fn.Name() == "New" &&
+		strings.HasSuffix(pkgPathOfFunc(fn), "internal/rng")
+}
+
+// checkSeedArgs walks one function body looking for rng.New calls whose
+// seed expression contains a tainted call — directly, or via a local
+// variable assigned from one earlier in the same function.
+func checkSeedArgs(u *Universe, r *Reporter, g *dataflow.Graph, n *dataflow.Node, tainted map[*types.Func]*dataflow.Taint) {
+	const rule = "seedflow"
+	info := n.Src.Info
+
+	// taintOfExpr finds the first tainted (or base-unseeded) call
+	// inside e.
+	taintOfExpr := func(e ast.Expr) *dataflow.Taint {
+		var found *dataflow.Taint
+		ast.Inspect(e, func(x ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(info, call)
+			if callee == nil {
+				return true
+			}
+			if t, ok := tainted[callee]; ok {
+				found = t
+				return false
+			}
+			if why, ok := unseededBase(callee); ok {
+				found = &dataflow.Taint{Fn: callee, Why: why}
+				return false
+			}
+			return true
+		})
+		return found
+	}
+
+	// localDefs maps local objects to the expressions assigned to them,
+	// so a seed staged through a local is still traced one level back.
+	localDefs := make(map[types.Object][]ast.Expr)
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, lhs := range x.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						obj := info.Defs[id]
+						if obj == nil {
+							obj = info.Uses[id]
+						}
+						if obj != nil {
+							localDefs[obj] = append(localDefs[obj], x.Rhs[i])
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isRNGConstructor(calleeFunc(info, call)) || len(call.Args) == 0 {
+			return true
+		}
+		seed := call.Args[0]
+		t := taintOfExpr(seed)
+		if t == nil {
+			// One level through locals: rng.New(seed) where
+			// seed := taintedCall().
+			ast.Inspect(seed, func(y ast.Node) bool {
+				if t != nil {
+					return false
+				}
+				id, ok := y.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				for _, def := range localDefs[info.Uses[id]] {
+					if dt := taintOfExpr(def); dt != nil {
+						t = dt
+						return false
+					}
+				}
+				return true
+			})
+		}
+		if t != nil {
+			u.Report(r, seed.Pos(), rule,
+				"seed for rng.New derives from ambient randomness: %s; seeds must come from the experiment config",
+				t.Chain(g.Fset))
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves a call's static callee (shared with dataflow's
+// resolution rules).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"ucp/internal/lint/dataflow"
+)
+
+// newSharedStateAnalyzer is the guardrail for goroutine fan-out — the
+// pattern the time-parallel segment workers (ROADMAP item 1) will lean
+// on. It flags mutable state reachable from more than one goroutine
+// instance without a synchronization handoff:
+//
+//   - A variable captured by a goroutine launched in a loop (or by two
+//     distinct go statements) and written inside a goroutine body —
+//     directly (v = …, v.f = …, v++) — races with its siblings.
+//   - A method called on such a captured value races if it (or
+//     anything it transitively calls in the module) mutates receiver
+//     fields or package-level variables.
+//
+// Sanctioned patterns stay silent by construction:
+//
+//   - Channels and sync/atomic values are exempt: they ARE the handoff.
+//   - Element writes through an index (results[i] = …) are exempt:
+//     index-disjoint sharding is the sanctioned fan-out shape, and the
+//     check.sh race-detector gate covers accidental overlap.
+//   - Methods annotated //ucplint:guarded are trusted to serialize
+//     internally; the annotation is verified — a guarded method whose
+//     body never acquires a sync primitive is itself a finding.
+func newSharedStateAnalyzer() *Analyzer {
+	const rule = "sharedstate"
+	return &Analyzer{
+		Name: rule,
+		Doc:  "no unguarded mutable state shared across goroutine instances; //ucplint:guarded escape is verified",
+		CheckModule: func(u *Universe, r *Reporter) {
+			g := u.Graph
+			state := g.StateSummaries()
+
+			// Verify every guarded annotation actually guards.
+			guarded := make(map[*types.Func]bool)
+			for _, n := range g.Nodes() {
+				if !funcMarked(n.Decl, "guarded") {
+					continue
+				}
+				guarded[n.Fn] = true
+				if s := state[n.Fn]; s == nil || !s.Locks {
+					u.Report(r, n.Decl.Pos(), rule,
+						"%s is annotated //ucplint:guarded but never acquires a sync primitive", n.Fn.Name())
+				}
+			}
+
+			// unsafe[fn] is the chain by which fn (transitively)
+			// mutates receiver fields or globals, with chains that
+			// cross a verified guarded function dropped.
+			unsafe := reachesUnguarded(g, state, guarded)
+
+			for _, n := range g.Nodes() {
+				checkSpawns(u, r, g, n, unsafe)
+			}
+		},
+	}
+}
+
+// reachesUnguarded is ReachesSink over "mutates outliving state", with
+// guarded functions removed from the graph entirely: a call that goes
+// through a verified lock acquisition is a handoff, not a race.
+func reachesUnguarded(g *dataflow.Graph, state map[*types.Func]*dataflow.StateSummary, guarded map[*types.Func]bool) map[*types.Func]*dataflow.Taint {
+	base := g.ReachesSink(func(fn *types.Func) (string, bool) {
+		if guarded[fn] {
+			return "", false
+		}
+		s := state[fn]
+		if s == nil {
+			return "", false
+		}
+		if s.MutatesReceiver {
+			return "writes receiver fields", true
+		}
+		if len(s.Globals) > 0 {
+			return "writes package-level " + s.Globals[0].Name(), true
+		}
+		return "", false
+	})
+	// Remove functions whose taint chain crosses a guarded hop: walk
+	// each chain; if any hop is guarded the mutation is serialized.
+	out := make(map[*types.Func]*dataflow.Taint, len(base))
+	for fn, t := range base {
+		crossesGuard := false
+		for cur := t; cur != nil; cur = cur.From {
+			if guarded[cur.Fn] {
+				crossesGuard = true
+				break
+			}
+		}
+		if !crossesGuard {
+			out[fn] = t
+		}
+	}
+	return out
+}
+
+// checkSpawns inspects one function's go statements.
+func checkSpawns(u *Universe, r *Reporter, g *dataflow.Graph, n *dataflow.Node, unsafe map[*types.Func]*dataflow.Taint) {
+	const rule = "sharedstate"
+	info := n.Src.Info
+
+	type spawn struct {
+		stmt *ast.GoStmt
+		loop bool
+	}
+	var spawns []spawn
+	walkWithStack(n.Decl.Body, func(x ast.Node, stack []ast.Node) bool {
+		gs, ok := x.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		loop := false
+		for _, anc := range stack {
+			switch anc.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loop = true
+			}
+		}
+		spawns = append(spawns, spawn{stmt: gs, loop: loop})
+		return true
+	})
+	if len(spawns) == 0 {
+		return
+	}
+
+	// capturesOf collects the enclosing function's variables a
+	// goroutine literal captures (objects declared outside the literal).
+	capturesOf := func(lit *ast.FuncLit) map[*types.Var][]ast.Expr {
+		caps := make(map[*types.Var][]ast.Expr)
+		ast.Inspect(lit.Body, func(x ast.Node) bool {
+			id, ok := x.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok || v.IsField() {
+				return true
+			}
+			// Declared inside the literal (including params): not a capture.
+			if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+				return true
+			}
+			// Package-level variables are handled via summaries.
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return true
+			}
+			caps[v] = append(caps[v], id)
+			return true
+		})
+		return caps
+	}
+
+	// Count how many spawn sites capture each variable; a loop spawn
+	// counts as many.
+	capCount := make(map[*types.Var]int)
+	litOf := make(map[*ast.GoStmt]*ast.FuncLit)
+	for _, sp := range spawns {
+		lit, ok := ast.Unparen(sp.stmt.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		litOf[sp.stmt] = lit
+		for v := range capturesOf(lit) {
+			capCount[v]++
+			if sp.loop {
+				capCount[v]++ // loop spawn alone makes it multi-instance
+			}
+		}
+	}
+
+	for _, sp := range spawns {
+		lit := litOf[sp.stmt]
+		if lit == nil {
+			// go f(args): a named spawn shares only globals.
+			callee := calleeFunc(info, sp.stmt.Call)
+			if callee == nil || !sp.loop {
+				continue
+			}
+			if t, bad := unsafe[callee]; bad {
+				u.Report(r, sp.stmt.Pos(), rule,
+					"loop-spawned goroutine mutates shared state without synchronization: %s", t.Chain(g.Fset))
+			}
+			continue
+		}
+		caps := capturesOf(lit)
+		for _, v := range sortedVars(caps) {
+			if capCount[v] < 2 {
+				continue // single goroutine instance: host handoff via wg etc.
+			}
+			if dataflow.IsSyncType(v.Type()) {
+				continue
+			}
+			reportCaptureWrites(u, r, g, n, lit, v, caps[v], unsafe)
+		}
+	}
+}
+
+// sortedVars returns the captured variables in source-position order so
+// findings are deterministic.
+func sortedVars(caps map[*types.Var][]ast.Expr) []*types.Var {
+	out := make([]*types.Var, 0, len(caps))
+	for v := range caps {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// reportCaptureWrites flags writes to (and unguarded mutating calls on)
+// one shared captured variable inside a goroutine body.
+func reportCaptureWrites(u *Universe, r *Reporter, g *dataflow.Graph, n *dataflow.Node, lit *ast.FuncLit, v *types.Var, _ []ast.Expr, unsafe map[*types.Func]*dataflow.Taint) {
+	const rule = "sharedstate"
+	info := n.Src.Info
+	rootVar := func(e ast.Expr) *types.Var {
+		for {
+			switch x := e.(type) {
+			case *ast.Ident:
+				rv, _ := info.Uses[x].(*types.Var)
+				return rv
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			default:
+				return nil // index writes (v[i] = …) are sanctioned sharding
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if rootVar(lhs) == v {
+					u.Report(r, x.Pos(), rule,
+						"write to %s, which is shared across goroutine instances without synchronization", v.Name())
+				}
+			}
+		case *ast.IncDecStmt:
+			if rootVar(x.X) == v {
+				u.Report(r, x.Pos(), rule,
+					"write to %s, which is shared across goroutine instances without synchronization", v.Name())
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok || rootVar(sel.X) != v {
+				return true
+			}
+			callee := calleeFunc(info, x)
+			if callee == nil {
+				return true
+			}
+			if t, bad := unsafe[callee]; bad {
+				u.Report(r, x.Pos(), rule,
+					"call on shared %s mutates state without synchronization: %s; serialize it or annotate the method //ucplint:guarded",
+					v.Name(), t.Chain(g.Fset))
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,31 @@
+// Package fixture exercises the ignorename analyzer: ignore directives
+// must name real rules, and bare ignores suppress nothing.
+package fixture
+
+import "fmt"
+
+// BareIgnore shows that a blanket waiver does not waive: the mapemit
+// finding below still fires.
+func BareIgnore(m map[string]int) {
+	//ucplint:ignore // want "bare //ucplint:ignore suppresses nothing"
+	for k, v := range m { // want "calls fmt.Println"
+		fmt.Println(k, v)
+	}
+}
+
+// Typo names a rule that does not exist, so nothing is suppressed.
+func Typo(m map[string]int) {
+	//ucplint:ignore mapemits // want "names unknown rule \"mapemits\""
+	for k, v := range m { // want "calls fmt.Println"
+		fmt.Println(k, v)
+	}
+}
+
+// Valid names the rule it waives; the directive itself is clean and the
+// finding below is suppressed.
+func Valid(m map[string]int) {
+	//ucplint:ignore mapemit
+	for k := range m {
+		fmt.Println(k)
+	}
+}

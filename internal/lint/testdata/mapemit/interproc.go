@@ -1,0 +1,58 @@
+package fixture
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file exercises the interprocedural layer of mapemit: helpers
+// that launder emission through a call chain.
+
+// BadHelperStdout prints through a two-hop helper chain; the emit
+// summary follows it to stdout.
+func BadHelperStdout(m map[string]int) {
+	for k := range m {
+		printKey(k) // want "calls printKey, which emits to stdout through its call chain"
+	}
+}
+
+func printKey(k string) { emitLine(k) }
+
+func emitLine(s string) { fmt.Println(s) }
+
+// BadHelperBuffer writes into a caller-owned buffer that outlives the
+// loop.
+func BadHelperBuffer(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		appendTo(&sb, k) // want "calls appendTo, which writes into argument 0"
+	}
+	return sb.String()
+}
+
+func appendTo(b *strings.Builder, s string) { b.WriteString(s) }
+
+// GoodHelperLocal calls a helper whose emission never leaves its own
+// frame: order cannot leak.
+func GoodHelperLocal(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += localOnly(v)
+	}
+	return total
+}
+
+func localOnly(v int) int {
+	var b strings.Builder
+	b.WriteString("x")
+	return v + b.Len()
+}
+
+// GoodLoopLocalSink hands the helper a buffer created inside the loop
+// body; the ordered content dies with each iteration.
+func GoodLoopLocalSink(m map[string]int) {
+	for k := range m {
+		var b strings.Builder
+		appendTo(&b, k)
+	}
+}

@@ -1,0 +1,49 @@
+// Package fixture exercises the mergeorder analyzer. The importpath
+// directive plants it in internal/runq, one of the two aggregation
+// roots, so every merge-shaped method here is on the cross-worker
+// combine path.
+//
+//ucplint:importpath ucp/internal/runq
+package fixture
+
+// floaty accumulates a float sum the order-sensitive way.
+type floaty struct {
+	n   uint64
+	sum float64
+}
+
+// Merge combines two floaty aggregates.
+func (a *floaty) Merge(b *floaty) {
+	a.n += b.n
+	a.sum += b.sum // want "order-sensitive float accumulation in merge method Merge"
+}
+
+// exact only accumulates integers; integer addition commutes exactly.
+type exact struct{ n uint64 }
+
+// Merge combines two exact aggregates.
+func (e *exact) Merge(o *exact) { e.n += o.n }
+
+// blessed carries a float sum that is exact in practice (integer-valued
+// samples below 2^53), asserted by annotation and a shuffle-merge test.
+type blessed struct{ sum float64 }
+
+// Merge combines two blessed aggregates.
+//
+//ucplint:commutative
+func (b *blessed) Merge(o *blessed) { b.sum += o.sum }
+
+// rebind exercises the x = x + y spelling of accumulation.
+type rebind struct{ mean float64 }
+
+// Merge combines two rebind aggregates.
+func (r *rebind) Merge(o *rebind) {
+	r.mean = r.mean + o.mean // want "order-sensitive float accumulation in merge method Merge"
+}
+
+// scalarAdd is Add-shaped but takes a sample, not a peer aggregate, so
+// it is not a merge method and stays out of scope.
+type scalarAdd struct{ sum float64 }
+
+// Add records one sample.
+func (s *scalarAdd) Add(v float64) { s.sum += v }

@@ -1,0 +1,39 @@
+// Package fixture exercises the seedflow analyzer. The importpath
+// directive makes this package pose as internal/rng itself: wallclock
+// exempts the sanctioned randomness provider, and seedflow takes over —
+// the package must stay seed-pure, and seeds handed to its constructor
+// must not derive from ambient randomness.
+//
+//ucplint:importpath ucp/internal/rng
+package fixture
+
+import "time"
+
+// New is the seeded constructor shape seedflow keys on.
+func New(seed uint64) uint64 { return seed*6364136223846793005 + 1442695040888963407 }
+
+// GoodDerived threads a config seed straight through: clean.
+func GoodDerived(configSeed uint64) uint64 {
+	return New(configSeed)
+}
+
+// clockSeed bottoms out in the wall clock.
+func clockSeed() uint64 { // want "internal/rng must stay seed-pure: clockSeed reaches ambient randomness"
+	return uint64(time.Now().UnixNano())
+}
+
+// laundered hides the clock behind one more hop.
+func laundered() uint64 { // want "internal/rng must stay seed-pure: laundered reaches ambient randomness"
+	return clockSeed()
+}
+
+// BadDirect seeds the constructor from the laundering chain.
+func BadDirect() uint64 { // want "internal/rng must stay seed-pure: BadDirect reaches ambient randomness"
+	return New(laundered()) // want "seed for rng.New derives from ambient randomness"
+}
+
+// BadStaged stages the tainted seed through a local first.
+func BadStaged() uint64 { // want "internal/rng must stay seed-pure: BadStaged reaches ambient randomness"
+	seed := clockSeed()
+	return New(seed) // want "seed for rng.New derives from ambient randomness"
+}

@@ -1,0 +1,84 @@
+// Package fixture exercises the sharedstate analyzer: mutable values
+// reachable from more than one goroutine instance without a
+// synchronization handoff.
+package fixture
+
+import "sync"
+
+// counter mutates its receiver with no internal serialization.
+type counter struct{ n int }
+
+func (c *counter) bump() { c.n++ }
+
+// guardedCounter serializes internally and says so.
+type guardedCounter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bump is serialized by mu.
+//
+//ucplint:guarded
+func (g *guardedCounter) bump() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+// lies claims to guard but never acquires anything.
+//
+//ucplint:guarded
+func (g *guardedCounter) lies() { // want "annotated //ucplint:guarded but never acquires a sync primitive"
+	g.n++
+}
+
+// FanOut is the worker-pool shape: some captures race, some are
+// sanctioned.
+func FanOut() int {
+	var wg sync.WaitGroup
+	total := 0
+	c := &counter{}
+	g := &guardedCounter{}
+	results := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			total++        // want "write to total, which is shared across goroutine instances"
+			c.bump()       // want "call on shared c mutates state without synchronization"
+			g.bump()       // clean: verified guarded
+			results[i] = i // clean: index-disjoint sharding
+		}(i)
+	}
+	wg.Wait()
+	return total
+}
+
+// hits is package state a named spawn mutates.
+var hits int
+
+func work() { hits++ }
+
+// NamedSpawn launches an unguarded global-mutating worker per loop
+// iteration.
+func NamedSpawn() {
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go work() // want "loop-spawned goroutine mutates shared state without synchronization"
+	}
+}
+
+// SingleWorker spawns exactly one goroutine; the host handoff (wg.Wait)
+// makes its captures single-owner, so writes are clean.
+func SingleWorker() int {
+	var wg sync.WaitGroup
+	sum := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sum = 42
+	}()
+	wg.Wait()
+	return sum
+}

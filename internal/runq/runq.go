@@ -337,7 +337,10 @@ func (p *Pool) RunAll(jobs []Job) []JobResult {
 }
 
 // execute resolves one unique job: memo, then disk, then simulation
-// with panic recovery and a single retry.
+// with panic recovery and a single retry. Loop-spawned workers call it
+// concurrently; every touch of shared pool state is under p.mu.
+//
+//ucplint:guarded
 func (p *Pool) execute(jr JobResult) JobResult {
 	p.mu.Lock()
 	if e, ok := p.memo[jr.Key]; ok {
@@ -453,7 +456,10 @@ func (p *Pool) simulate(job Job) (sim.Result, error) {
 
 // noteProgress emits a progress/ETA line roughly every 5% of the batch
 // (and at the end). Progress is observability only — it goes to the
-// injected writer, never the report, and needs no determinism.
+// injected writer, never the report, and needs no determinism. Workers
+// call it concurrently; the whole body runs under p.mu.
+//
+//ucplint:guarded
 func (p *Pool) noteProgress(total int) {
 	if p.opts.Progress == nil || total == 0 {
 		return

@@ -1,0 +1,47 @@
+package stats
+
+import (
+	"fmt"
+
+	"ucp/internal/rng"
+)
+
+// CheckCommutative is the dynamic half of ucplint's mergeorder rule:
+// every merge method annotated //ucplint:commutative must be backed by
+// a test that calls this helper. It merges parts into a fresh
+// accumulator in `rounds` seeded random orders and fails on the first
+// order whose digest differs from the reference (identity) order — the
+// exact property time-parallel aggregation needs, since segment results
+// arrive in worker-completion order.
+//
+// digest must capture every merged field bit-exactly (use
+// math.Float64bits for floats); a digest that rounds would hide exactly
+// the low-bit divergence this check exists to catch.
+func CheckCommutative[T any](newAcc func() T, merge func(dst, src T), digest func(T) string, parts []T, seed uint64, rounds int) error {
+	combine := func(order []int) string {
+		acc := newAcc()
+		for _, i := range order {
+			merge(acc, parts[i])
+		}
+		return digest(acc)
+	}
+	order := make([]int, len(parts))
+	for i := range order {
+		order[i] = i
+	}
+	want := combine(order)
+	r := rng.New(seed)
+	for round := 0; round < rounds; round++ {
+		// Fisher–Yates over the index slice, seeded: reproducible
+		// failures, no ambient randomness.
+		for i := len(order) - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		if got := combine(order); got != want {
+			return fmt.Errorf("merge is order-sensitive: round %d (seed %d) produced\n  %s\nwant (identity order)\n  %s",
+				round, seed, got, want)
+		}
+	}
+	return nil
+}

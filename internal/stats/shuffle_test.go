@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"ucp/internal/rng"
+)
+
+// histDigest renders every merged Histogram field bit-exactly: the
+// float sum goes through Float64bits so a single ULP of divergence
+// fails the check.
+func histDigest(h *Histogram) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "count=%d sum=%016x min=%d max=%d buckets=%v",
+		h.count, math.Float64bits(h.sum), h.min, h.max, h.buckets)
+	return sb.String()
+}
+
+// TestHistogramMergeCommutes backs the //ucplint:commutative annotation
+// on Histogram.Merge: merging per-segment histograms in seeded random
+// orders must be bit-identical to the identity order. This holds
+// because every sample enters via Add(uint64) — the float sum is a
+// total of integer-valued float64 terms, exact below 2^53.
+func TestHistogramMergeCommutes(t *testing.T) {
+	r := rng.New(0xC0FFEE)
+	parts := make([]*Histogram, 16)
+	for i := range parts {
+		parts[i] = NewHistogram("seg")
+		// Skewed sizes and magnitudes: small counts merged after huge
+		// sums is where a float accumulation would round if it could.
+		n := 1 + r.Intn(200)
+		for j := 0; j < n; j++ {
+			parts[i].Add(r.Uint64n(1 << uint(4+i)))
+		}
+	}
+	err := CheckCommutative(
+		func() *Histogram { return NewHistogram("seg") },
+		func(dst, src *Histogram) { dst.Merge(src) },
+		histDigest,
+		parts, 0xD1CE, 64,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckCommutativeCatchesOrderSensitivity proves the harness has
+// teeth: a deliberately order-sensitive merge (float division chain)
+// must be rejected.
+func TestCheckCommutativeCatchesOrderSensitivity(t *testing.T) {
+	type frac struct{ v float64 }
+	r := rng.New(7)
+	parts := make([]*frac, 12)
+	for i := range parts {
+		parts[i] = &frac{v: 1 + r.Float64()}
+	}
+	err := CheckCommutative(
+		func() *frac { return &frac{v: 1} },
+		func(dst, src *frac) { dst.v = dst.v/3 + src.v }, // order-sensitive on purpose
+		func(f *frac) string { return fmt.Sprintf("%016x", math.Float64bits(f.v)) },
+		parts, 99, 64,
+	)
+	if err == nil {
+		t.Fatal("CheckCommutative accepted an order-sensitive merge")
+	}
+}

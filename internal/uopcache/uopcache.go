@@ -184,7 +184,10 @@ func (u *UopCache) BankOf(pc uint64) int {
 }
 
 // Lookup finds the entry starting exactly at pc. It updates LRU and hit
-// statistics (demand lookups only — use Probe for tag checks).
+// statistics (demand lookups only — use Probe for tag checks). It runs
+// once per fetched entry in the cycle engine's inner loop.
+//
+//ucplint:hotpath
 func (u *UopCache) Lookup(pc uint64) (*Entry, bool) {
 	u.stats.Lookups++
 	u.clock++
@@ -207,7 +210,10 @@ func (u *UopCache) Lookup(pc uint64) (*Entry, bool) {
 }
 
 // Probe is a tag check with no statistics or LRU side effects (used by
-// UCP's Alt-FTQ filtering, §IV-D).
+// UCP's Alt-FTQ filtering, §IV-D). Like Lookup it sits on the per-cycle
+// path.
+//
+//ucplint:hotpath
 func (u *UopCache) Probe(pc uint64) bool {
 	base := u.setOf(pc) * u.cfg.Ways
 	want := validBit | u.tagOf(pc)
