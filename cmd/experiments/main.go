@@ -26,8 +26,10 @@ import (
 	"strings"
 	"time"
 
+	"ucp/internal/buildinfo"
 	"ucp/internal/harness"
 	"ucp/internal/sim"
+	"ucp/internal/sweepd/client"
 	"ucp/internal/trace"
 )
 
@@ -45,17 +47,35 @@ func main() {
 		progress = flag.Bool("progress", true, "print scheduler progress/ETA lines to stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
-		numCPU   = flag.Bool("numcpu", false, "print runtime.NumCPU() and exit (used by check.sh to stamp BENCH_runq.json)")
+		numCPU   = flag.Bool("numcpu", false, "print the worker pool's core count (GOMAXPROCS) and exit (used by check.sh to stamp BENCH_runq.json)")
 		sample   = flag.Bool("sample", false, "run sweeps in sampled mode (conservative geometry; see EXPERIMENTS.md)")
 		gate     = flag.Bool("sample-gate", false, "run the paired full-vs-sampled gate sweep, write -sample-bench, and exit")
 		gateOut  = flag.String("sample-bench", "BENCH_sampling.json", "where -sample-gate records its measurements")
 		srGate   = flag.Bool("sweepreuse-gate", false, "run the cold-vs-warm sweep-reuse gate, write -sweepreuse-bench, and exit")
 		srOut    = flag.String("sweepreuse-bench", "BENCH_sweepreuse.json", "where -sweepreuse-gate records its measurements")
+		server   = flag.String("server", "", "run sweeps against a sweepd server at this URL instead of in-process (reports are byte-identical)")
+		sdGate   = flag.Bool("sweepd-gate", false, "run the local-vs-remote sweepd gate, write -sweepd-bench, and exit")
+		sdOut    = flag.String("sweepd-bench", "BENCH_sweepd.json", "where -sweepd-gate records its measurements")
+		version  = flag.Bool("version", false, "print model/schema/protocol versions and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		buildinfo.Fprint(os.Stdout, "experiments")
+		return
+	}
 	if *numCPU {
-		fmt.Println(runtime.NumCPU())
+		// GOMAXPROCS, not NumCPU: a container CPU quota caps what the
+		// worker pool actually schedules on, and the benchmark records
+		// should describe that machine, not the host's package count.
+		fmt.Println(runtime.GOMAXPROCS(0))
+		return
+	}
+	if *sdGate {
+		if err := runSweepdGate(os.Stdout, *sdOut); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *gate {
@@ -129,6 +149,13 @@ func main() {
 	}
 	if *sample {
 		opts.Sampling = sim.ConservativeSampling()
+	}
+	if *server != "" {
+		c := client.New(*server)
+		if *progress {
+			c.Progress = os.Stderr
+		}
+		opts.Exec = c
 	}
 	r := harness.NewRunner(opts)
 

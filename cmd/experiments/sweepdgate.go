@@ -1,0 +1,177 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"ucp/internal/runq"
+	"ucp/internal/sweepd"
+	"ucp/internal/sweepd/client"
+)
+
+// The sweepd gate: the same crypto01 threshold-ablation sweep the
+// sweep-reuse gate uses, run three ways in this one process —
+// in-process on a local pool, remotely through a sweepd server on a
+// loopback listener (cold: the server executes every job), and
+// remotely again (warm: every submission coalesces onto the server's
+// finished jobs, nothing re-executes). Local and remote passes use
+// identical pool tiers (shared arena + warm checkpoints).
+//
+// Gated bounds, also documented in EXPERIMENTS.md:
+//   - wire neutrality: every config's determinism digest must be
+//     byte-identical local vs remote (the JSON round-trip over the
+//     API is lossless);
+//   - the server executes each distinct job exactly once across both
+//     remote passes (fleet-wide dedup), with the whole second pass
+//     served from its caches;
+//   - the server's checkpoint tier behaves like the local one:
+//     exactly one capture, every other execution restored from it.
+const sweepdGateTrace = sweepReuseTrace
+
+// runSweepdGate executes the three passes, writes benchPath, and
+// returns an error when any bound is violated.
+func runSweepdGate(w io.Writer, benchPath string) error {
+	jobs, err := sweepReuseJobs()
+	if err != nil {
+		return fmt.Errorf("sweepd gate: %v", err)
+	}
+	fmt.Fprintf(w, "sweepd gate: %s, %d configs, local pool vs loopback sweepd server\n",
+		sweepdGateTrace, len(jobs))
+
+	tiers := runq.Options{UseArena: true, Checkpoints: true}
+
+	// Local pass: the reference digests.
+	localStart := time.Now() //ucplint:ignore wallclock
+	localRes := runq.New(tiers).RunAll(jobs)
+	localDur := time.Since(localStart) //ucplint:ignore wallclock
+	local := make([]string, len(localRes))
+	for i, jr := range localRes {
+		if jr.Err != nil {
+			return fmt.Errorf("sweepd gate: local pass: %s: %v", jobs[i].Config.Name, jr.Err)
+		}
+		local[i] = jr.Result.DeterminismDigest()
+	}
+
+	// The server, on a real loopback listener — the same HTTP path any
+	// remote client takes, minus only the physical network.
+	clockStart := time.Now() //ucplint:ignore wallclock
+	srv := sweepd.New(sweepd.Config{
+		Pool: tiers,
+		Clock: func() time.Duration {
+			return time.Since(clockStart) //ucplint:ignore wallclock
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("sweepd gate: %v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	defer srv.Shutdown(nil)
+	cl := client.New("http://" + ln.Addr().String())
+
+	remotePass := func() ([]string, time.Duration, error) {
+		t0 := time.Now() //ucplint:ignore wallclock
+		res := cl.RunAll(jobs)
+		dur := time.Since(t0) //ucplint:ignore wallclock
+		digests := make([]string, len(res))
+		for i, jr := range res {
+			if jr.Err != nil {
+				return nil, 0, fmt.Errorf("%s: %v", jobs[i].Config.Name, jr.Err)
+			}
+			digests[i] = jr.Result.DeterminismDigest()
+		}
+		return digests, dur, nil
+	}
+	cold, coldDur, err := remotePass()
+	if err != nil {
+		return fmt.Errorf("sweepd gate: remote cold pass: %v", err)
+	}
+	warm, warmDur, err := remotePass()
+	if err != nil {
+		return fmt.Errorf("sweepd gate: remote warm pass: %v", err)
+	}
+
+	st, err := cl.Statz()
+	if err != nil {
+		return fmt.Errorf("sweepd gate: statz: %v", err)
+	}
+
+	var violations []string
+	identical := true
+	for i := range jobs {
+		if cold[i] != local[i] || warm[i] != local[i] {
+			identical = false
+			violations = append(violations, fmt.Sprintf(
+				"%s: remote digest diverges from local digest", jobs[i].Config.Name))
+		}
+	}
+	if st.Pool.Runs != len(jobs) {
+		violations = append(violations, fmt.Sprintf(
+			"server executed %d jobs across both passes, want exactly %d (dedup broken)",
+			st.Pool.Runs, len(jobs)))
+	}
+	if st.JobsCoalesced < len(jobs) {
+		violations = append(violations, fmt.Sprintf(
+			"only %d submissions coalesced, want >= %d (the whole warm pass)",
+			st.JobsCoalesced, len(jobs)))
+	}
+	if st.JobsFailed != 0 {
+		violations = append(violations, fmt.Sprintf("%d job(s) failed server-side", st.JobsFailed))
+	}
+	if st.CkptCaptured != 1 || st.CkptRestored != len(jobs)-1 {
+		violations = append(violations, fmt.Sprintf(
+			"server checkpoint tier captured %d / restored %d, want 1 and %d",
+			st.CkptCaptured, st.CkptRestored, len(jobs)-1))
+	}
+
+	fmt.Fprintf(w, "  local %dms  remote cold %dms  remote warm %dms (all %d resubmissions coalesced)\n",
+		localDur.Milliseconds(), coldDur.Milliseconds(), warmDur.Milliseconds(), len(jobs))
+	fmt.Fprintf(w, "  digests: %d/%d byte-identical local vs remote; server ran %d jobs, captured %d ckpt, restored %d\n",
+		identicalCount(local, cold), len(local), st.Pool.Runs, st.CkptCaptured, st.CkptRestored)
+
+	if err := writeSweepdBench(benchPath, len(jobs), localDur, coldDur, warmDur, st, identical); err != nil {
+		return err
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "sweepd gate: %s\n", v)
+		}
+		return fmt.Errorf("sweepd gate: %d bound violation(s)", len(violations))
+	}
+	return nil
+}
+
+// writeSweepdBench records the gate's measurements in the shared
+// BENCH_*.json schema (schema_version / bench / cores + payload).
+func writeSweepdBench(path string, configs int, localDur, coldDur, warmDur time.Duration, st sweepd.Statz, identical bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("sweepd gate: %v", err)
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "{\n")
+	fmt.Fprintf(f, "  \"schema_version\": 1,\n")
+	fmt.Fprintf(f, "  \"bench\": \"sweepd gate (%s, %d-config ablation, local pool vs loopback server, cold+warm remote passes)\",\n",
+		sweepdGateTrace, configs)
+	fmt.Fprintf(f, "  \"cores\": %d,\n", runtime.NumCPU())
+	fmt.Fprintf(f, "  \"configs\": %d,\n", configs)
+	fmt.Fprintf(f, "  \"protocol\": %q,\n", sweepd.ProtocolVersion)
+	fmt.Fprintf(f, "  \"local_ms\": %d,\n", localDur.Milliseconds())
+	fmt.Fprintf(f, "  \"remote_cold_ms\": %d,\n", coldDur.Milliseconds())
+	fmt.Fprintf(f, "  \"remote_warm_ms\": %d,\n", warmDur.Milliseconds())
+	fmt.Fprintf(f, "  \"server_runs\": %d,\n", st.Pool.Runs)
+	fmt.Fprintf(f, "  \"jobs_submitted\": %d,\n", st.JobsSubmitted)
+	fmt.Fprintf(f, "  \"jobs_coalesced\": %d,\n", st.JobsCoalesced)
+	fmt.Fprintf(f, "  \"ckpt_captured\": %d,\n", st.CkptCaptured)
+	fmt.Fprintf(f, "  \"ckpt_restored\": %d,\n", st.CkptRestored)
+	fmt.Fprintf(f, "  \"digests_identical\": %v\n", identical)
+	fmt.Fprintf(f, "}\n")
+	return nil
+}

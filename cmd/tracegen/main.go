@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"ucp/internal/buildinfo"
 	"ucp/internal/isa"
 	"ucp/internal/trace"
 )
@@ -28,9 +29,14 @@ func main() {
 		dir     = flag.String("dir", ".", "output directory for -all")
 		inspect = flag.String("inspect", "", "validate and summarize a trace file")
 		compact = flag.Bool("compact", true, "write the varint v2 format (5x smaller; -compact=false for fixed-width v1)")
+		version = flag.Bool("version", false, "print model/schema/protocol versions and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		buildinfo.Fprint(os.Stdout, "tracegen")
+		return
+	}
 	if *inspect != "" {
 		inspectFile(*inspect)
 		return

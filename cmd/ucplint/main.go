@@ -29,6 +29,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"ucp/internal/buildinfo"
 	"ucp/internal/core"
 	"ucp/internal/lint"
 	"ucp/internal/sim"
@@ -44,9 +45,14 @@ func main() {
 		jsonOut     = flag.Bool("json", false, "emit findings as a JSON array on stdout")
 		baseline    = flag.String("baseline", "", "baseline file of accepted findings to subtract")
 		writeBase   = flag.String("write-baseline", "", "write the current findings to this baseline file and exit 0")
+		version     = flag.Bool("version", false, "print model/schema/protocol versions and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		buildinfo.Fprint(os.Stdout, "ucplint")
+		return
+	}
 	if *rulesOnly {
 		for _, a := range lint.NewAnalyzers() {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)

@@ -30,8 +30,10 @@ import (
 	"runtime/pprof"
 
 	"ucp"
+	"ucp/internal/buildinfo"
 	"ucp/internal/runq"
 	"ucp/internal/sim"
+	"ucp/internal/sweepd/client"
 )
 
 func main() {
@@ -64,11 +66,17 @@ func main() {
 		arena      = flag.Bool("arena", false, "decode each workload once into a shared in-memory arena (results are byte-identical)")
 		ckptDir    = flag.String("ckpt-dir", "", "warm-checkpoint store directory for sampled runs (empty: no checkpoint reuse)")
 		digest     = flag.Bool("digest", false, "print Result.DeterminismDigest instead of the metric table (optimization-neutrality gate)")
+		server     = flag.String("server", "", "run simulations against a sweepd server at this URL instead of in-process")
+		version    = flag.Bool("version", false, "print model/schema/protocol versions and exit")
 		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf    = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 	)
 	flag.Parse()
 
+	if *version {
+		buildinfo.Fprint(os.Stdout, "ucpsim")
+		return
+	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -142,6 +150,16 @@ func main() {
 		UseArena: *arena,
 		CkptDir:  *ckptDir,
 	})
+	var exec runq.Runner = pool
+	if *server != "" {
+		if *file != "" {
+			// A recorded trace is local state; its content digest cannot be
+			// resolved against a remote server's filesystem.
+			fmt.Fprintln(os.Stderr, "ucpsim: -file and -server are incompatible; recorded traces run in-process")
+			os.Exit(1)
+		}
+		exec = client.New(*server)
+	}
 	if *file != "" {
 		runFile(pool, cfg, *file, *warmup, *measure)
 		return
@@ -165,14 +183,14 @@ func main() {
 		profiles = []ucp.Profile{p}
 	}
 	if *compare {
-		runCompare(pool, profiles, *warmup, *measure)
+		runCompare(exec, profiles, *warmup, *measure)
 		return
 	}
 	jobList := make([]runq.Job, len(profiles))
 	for i, p := range profiles {
 		jobList[i] = runq.Job{Config: cfg, Profile: p, Warmup: *warmup, Measure: *measure}
 	}
-	results := pool.RunAll(jobList)
+	results := exec.RunAll(jobList)
 	if !*jsonOut && !*digest {
 		header()
 	}
@@ -189,9 +207,9 @@ func main() {
 	}
 }
 
-// runCompare runs the baseline and UCP over each profile on the pool
+// runCompare runs the baseline and UCP over each profile
 // (interleaved base/UCP job pairs) and reports the per-trace speedup.
-func runCompare(pool *runq.Pool, profiles []ucp.Profile, warmup, measure uint64) {
+func runCompare(exec runq.Runner, profiles []ucp.Profile, warmup, measure uint64) {
 	base := ucp.Baseline()
 	withUCP := ucp.WithUCP(ucp.DefaultUCP())
 	jobList := make([]runq.Job, 0, 2*len(profiles))
@@ -200,7 +218,7 @@ func runCompare(pool *runq.Pool, profiles []ucp.Profile, warmup, measure uint64)
 			runq.Job{Config: base, Profile: p, Warmup: warmup, Measure: measure},
 			runq.Job{Config: withUCP, Profile: p, Warmup: warmup, Measure: measure})
 	}
-	results := pool.RunAll(jobList)
+	results := exec.RunAll(jobList)
 	fmt.Printf("%-10s %10s %10s %10s %9s %9s\n",
 		"trace", "base IPC", "UCP IPC", "speedup%", "HR base%", "HR UCP%")
 	for i, p := range profiles {

@@ -23,6 +23,7 @@ type Store struct {
 	mem     map[string][]byte
 	flights map[string]chan struct{}
 	hits    int
+	misses  int
 }
 
 // NewStore returns a store persisting to dir; an empty dir keeps
@@ -70,6 +71,7 @@ func (s *Store) Acquire(key string) (blob []byte, ok bool, release func([]byte))
 		if !inFlight {
 			done := make(chan struct{})
 			s.flights[key] = done
+			s.misses++
 			s.mu.Unlock()
 			var once sync.Once
 			return nil, false, func(b []byte) {
@@ -158,6 +160,16 @@ func (s *Store) Hits() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.hits
+}
+
+// Misses reports how many Acquire calls found no blob and elected a
+// leader to compute one (aborted flights count once per re-election).
+// Together with Hits it is the shared-tier hit-rate surface sweepd's
+// /v1/statz reports.
+func (s *Store) Misses() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.misses
 }
 
 // KeyError annotates a checkpoint failure with its key for diagnostics.

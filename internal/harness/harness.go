@@ -56,6 +56,12 @@ type Options struct {
 	// not alias Out: progress output is completion-ordered and timed,
 	// so it would break report determinism.
 	Progress io.Writer
+	// Exec, when non-nil, executes sweeps instead of the local pool —
+	// the sweepd client implements it, which is how every figure runs
+	// against a remote server behind -server with byte-identical
+	// reports. Figures that walk programs locally (predictor profiling)
+	// still use the local pool, so the trace set is built either way.
+	Exec runq.Runner
 }
 
 // DefaultOptions returns a laptop-scale sweep: the full trace set at
@@ -73,6 +79,7 @@ func DefaultOptions(out io.Writer) Options {
 type Runner struct {
 	opts Options
 	pool *runq.Pool
+	exec runq.Runner
 }
 
 // NewRunner builds a runner; programs are constructed lazily.
@@ -80,7 +87,7 @@ func NewRunner(opts Options) *Runner {
 	if len(opts.Profiles) == 0 {
 		opts.Profiles = trace.DefaultProfiles()
 	}
-	return &Runner{
+	r := &Runner{
 		opts: opts,
 		pool: runq.New(runq.Options{
 			Workers:     opts.Jobs,
@@ -92,6 +99,11 @@ func NewRunner(opts Options) *Runner {
 			CkptDir:     opts.CkptDir,
 		}),
 	}
+	r.exec = r.pool
+	if opts.Exec != nil {
+		r.exec = opts.Exec
+	}
+	return r
 }
 
 // Out returns the report writer.
@@ -131,7 +143,7 @@ func (r *Runner) sweep(cfg sim.Config, profs []trace.Profile) ([]sim.Result, err
 		jobs[i] = runq.Job{Config: cfg, Profile: p, Warmup: r.opts.Warmup, Measure: r.opts.Measure}
 	}
 	out := make([]sim.Result, len(jobs))
-	for i, jr := range r.pool.RunAll(jobs) {
+	for i, jr := range r.exec.RunAll(jobs) {
 		if jr.Err != nil {
 			return nil, fmt.Errorf("harness: %w", jr.Err)
 		}

@@ -1,0 +1,92 @@
+// Package fixture pins the lint contract the sweepd server code is
+// written against: a simulation service mutates one registry from
+// executor goroutines and HTTP handler goroutines at once, and it
+// reports elapsed time — the two easiest ways for a server to break
+// the repository's determinism rules. The dirty shapes here are the
+// bugs sharedstate/wallclock must keep catching; the clean shapes are
+// the idiom internal/sweepd actually uses (guarded methods acquiring
+// the mutex directly, an injected Clock instead of time.Now).
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+// clock is the injected-elapsed-time seam (runq.Clock's shape): the
+// server reports ETAs without ever reading the wall clock itself.
+type clock func() time.Duration
+
+// job is one queued simulation's lifecycle record.
+type job struct {
+	id    string
+	state string
+}
+
+// badServer is the naive shape: executors mutate the registry with no
+// serialization, and progress timestamps come straight from the wall
+// clock.
+type badServer struct {
+	jobs map[string]*job
+	done int
+}
+
+// finish mutates shared registry state with no synchronization.
+func (s *badServer) finish(j *job) {
+	j.state = "done"
+	s.done++
+}
+
+// Serve fans jobs out to executor goroutines, each mutating the
+// registry concurrently.
+func (s *badServer) Serve(queue []*job) time.Duration {
+	start := time.Now() // want "time.Now reads the wall clock"
+	var wg sync.WaitGroup
+	for _, j := range queue {
+		wg.Add(1)
+		go func(j *job) {
+			defer wg.Done()
+			s.finish(j) // want "call on shared s mutates state without synchronization"
+			s.done++    // want "write to s, which is shared across goroutine instances"
+		}(j)
+	}
+	wg.Wait()
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// server is the shape internal/sweepd uses: every registry touch goes
+// through a guarded method that acquires the mutex in its own body,
+// and elapsed time comes from the injected clock.
+type server struct {
+	now clock
+
+	mu   sync.Mutex
+	jobs map[string]*job
+	done int
+}
+
+// finish is serialized by mu.
+//
+//ucplint:guarded
+func (s *server) finish(j *job, elapsed time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.state = "done"
+	s.done++
+}
+
+// Serve is the clean executor fan-out: guarded mutation, injected
+// elapsed-time readings.
+func (s *server) Serve(queue []*job) time.Duration {
+	start := s.now()
+	var wg sync.WaitGroup
+	for _, j := range queue {
+		wg.Add(1)
+		go func(j *job) {
+			defer wg.Done()
+			s.finish(j, s.now()-start)
+		}(j)
+	}
+	wg.Wait()
+	return s.now() - start
+}

@@ -109,6 +109,11 @@ type Options struct {
 	// CkptDir persists checkpoints next to the result cache so later
 	// processes reuse them (implies Checkpoints).
 	CkptDir string
+	// RunJob overrides the job execution body (nil: the real
+	// simulation). It is the seam sweepd's tests use to inject slow,
+	// failing, or panicking jobs; the pool still wraps it with panic
+	// recovery, the retry, the memo, and the caches.
+	RunJob func(Job, sim.ProgressFunc) (sim.Result, error)
 }
 
 // Stats counts what the pool did, cumulatively over its lifetime.
@@ -126,25 +131,29 @@ type Stats struct {
 	Failures int
 }
 
-// Pool executes jobs. Safe for use from one goroutine at a time
-// (RunAll is not reentrant); the workers it spawns synchronize
-// internally.
+// Pool executes jobs. RunAll is not reentrant — call it from one
+// goroutine at a time — but RunOne is safe from any number of
+// goroutines concurrently (the sweepd server's executors lean on
+// this), and either may run while the other is in flight: every key is
+// still executed at most once, enforced by the per-key single-flight.
 type Pool struct {
 	opts Options
 
-	mu     sync.Mutex
-	memo   map[string]memoEntry
-	progs  map[string]*progEntry
-	arenas map[string]*arenaEntry
-	stats  Stats
-	done   int // jobs completed in the current RunAll, for progress
+	mu      sync.Mutex
+	memo    map[string]memoEntry
+	flights map[string]chan struct{}
+	progs   map[string]*progEntry
+	arenas  map[string]*arenaEntry
+	stats   Stats
+	done    int // jobs completed in the current RunAll, for progress
 
 	// ckpts is the warm-checkpoint store shared by every sampled job
 	// (nil when checkpoints are disabled).
 	ckpts *ckpt.Store
 
-	// runJob is the execution seam; tests substitute failure modes.
-	runJob func(Job) (sim.Result, error)
+	// runJob is the execution seam; Options.RunJob (or tests)
+	// substitute failure modes.
+	runJob func(Job, sim.ProgressFunc) (sim.Result, error)
 }
 
 type memoEntry struct {
@@ -167,16 +176,29 @@ type arenaEntry struct {
 // New builds a pool.
 func New(opts Options) *Pool {
 	p := &Pool{
-		opts:   opts,
-		memo:   make(map[string]memoEntry),
-		progs:  make(map[string]*progEntry),
-		arenas: make(map[string]*arenaEntry),
+		opts:    opts,
+		memo:    make(map[string]memoEntry),
+		flights: make(map[string]chan struct{}),
+		progs:   make(map[string]*progEntry),
+		arenas:  make(map[string]*arenaEntry),
 	}
 	if opts.Checkpoints || opts.CkptDir != "" {
 		p.ckpts = ckpt.NewStore(opts.CkptDir)
 	}
 	p.runJob = p.simulate
+	if opts.RunJob != nil {
+		p.runJob = opts.RunJob
+	}
 	return p
+}
+
+// Runner is the job-execution surface the experiment harness depends
+// on. A local *Pool implements it; so does the sweepd client, which is
+// how every existing sweep runs remote behind a -server flag.
+type Runner interface {
+	// RunAll executes the batch and returns one JobResult per job in
+	// submission order (see Pool.RunAll for the contract).
+	RunAll(jobs []Job) []JobResult
 }
 
 // Stats returns a snapshot of the pool's counters.
@@ -194,6 +216,16 @@ func (p *Pool) CheckpointStats() (captured, restored int) {
 		return 0, 0
 	}
 	return p.ckpts.Len(), p.ckpts.Hits()
+}
+
+// ArenaCount reports how many shared decoded trace arenas the pool
+// holds (one per distinct recorded file or materialized synthetic
+// workload) — the sweepd statz surface exposes it as the shared-tier
+// footprint.
+func (p *Pool) ArenaCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.arenas)
 }
 
 func (p *Pool) workers() int {
@@ -336,20 +368,66 @@ func (p *Pool) RunAll(jobs []Job) []JobResult {
 	return results
 }
 
-// execute resolves one unique job: memo, then disk, then simulation
-// with panic recovery and a single retry. Loop-spawned workers call it
-// concurrently; every touch of shared pool state is under p.mu.
-//
-//ucplint:guarded
-func (p *Pool) execute(jr JobResult) JobResult {
-	p.mu.Lock()
-	if e, ok := p.memo[jr.Key]; ok {
-		p.stats.MemoHits++
-		p.mu.Unlock()
-		jr.Result, jr.Err, jr.Source = e.res, e.err, SourceMemo
+// RunOne resolves a single job with an optional per-run progress hook.
+// Unlike RunAll it is safe to call from any number of goroutines
+// concurrently: callers racing on the same key coalesce onto one
+// execution through the pool's single-flight, and every later call is
+// a memo hit. The hook observes the winning execution only — a
+// coalesced caller returns when the leader publishes, without
+// re-observing its stages.
+func (p *Pool) RunOne(job Job, hook sim.ProgressFunc) JobResult {
+	jr := JobResult{Job: job}
+	key, err := p.jobKey(job)
+	if err != nil {
+		jr.Err = err
 		return jr
 	}
-	p.mu.Unlock()
+	jr.Key = key
+	return p.executeHooked(jr, hook)
+}
+
+// execute resolves one unique job on the RunAll path (no hook).
+func (p *Pool) execute(jr JobResult) JobResult {
+	return p.executeHooked(jr, nil)
+}
+
+// executeHooked resolves one job: memo, then the per-key single-flight
+// gate, then disk, then simulation with panic recovery and a single
+// retry. RunAll's loop-spawned workers and any number of concurrent
+// RunOne callers go through it; every touch of shared pool state is
+// under p.mu. The single-flight extends ckpt.Store's admission pattern
+// to whole jobs: the first arrival for a key becomes the leader and
+// executes; everyone else blocks until the leader publishes the memo
+// entry (result or error), then returns it as a memo hit.
+//
+//ucplint:guarded
+func (p *Pool) executeHooked(jr JobResult, hook sim.ProgressFunc) JobResult {
+	for {
+		p.mu.Lock()
+		if e, ok := p.memo[jr.Key]; ok {
+			p.stats.MemoHits++
+			p.mu.Unlock()
+			jr.Result, jr.Err, jr.Source = e.res, e.err, SourceMemo
+			return jr
+		}
+		flight, inFlight := p.flights[jr.Key]
+		if !inFlight {
+			p.flights[jr.Key] = make(chan struct{})
+			p.mu.Unlock()
+			break // leader: this call executes the job
+		}
+		p.mu.Unlock()
+		<-flight
+		// The leader always publishes a memo entry (even on failure)
+		// before closing the flight, so the next lap resolves.
+	}
+	defer func() {
+		p.mu.Lock()
+		done := p.flights[jr.Key]
+		delete(p.flights, jr.Key)
+		p.mu.Unlock()
+		close(done)
+	}()
 
 	if res, ok := p.loadDisk(jr.Key); ok {
 		jr.Result, jr.Source = res, SourceDisk
@@ -364,7 +442,7 @@ func (p *Pool) execute(jr JobResult) JobResult {
 	var err error
 	for attempt := 1; attempt <= 2; attempt++ {
 		jr.Attempts = attempt
-		res, err = recoverRun(p.runJob, jr.Job)
+		res, err = recoverRun(p.runJob, jr.Job, hook)
 		if err == nil {
 			break
 		}
@@ -395,19 +473,19 @@ func (p *Pool) execute(jr JobResult) JobResult {
 
 // recoverRun invokes run, converting a panic into an error so one bad
 // configuration cannot take down the process.
-func recoverRun(run func(Job) (sim.Result, error), job Job) (res sim.Result, err error) {
+func recoverRun(run func(Job, sim.ProgressFunc) (sim.Result, error), job Job, hook sim.ProgressFunc) (res sim.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
-	return run(job)
+	return run(job, hook)
 }
 
 // simulate is the real job body: resolve the workload stream (shared
 // arena or per-job walker), apply the instruction budgets, and run the
 // machine, with warm-checkpoint reuse when the pool has a store.
-func (p *Pool) simulate(job Job) (sim.Result, error) {
+func (p *Pool) simulate(job Job, hook sim.ProgressFunc) (sim.Result, error) {
 	cfg := job.Config
 	cfg.WarmupInsts, cfg.MeasureInsts = job.Warmup, job.Measure
 	budget := int(cfg.WarmupInsts+cfg.MeasureInsts) + 200_000
@@ -451,7 +529,7 @@ func (p *Pool) simulate(job Job) (sim.Result, error) {
 	if p.ckpts != nil {
 		wc = &sim.WarmCheckpoints{Store: p.ckpts, TraceID: traceID}
 	}
-	return sim.RunCkpt(cfg, src, code, job.traceLabel(), wc)
+	return sim.RunHooked(cfg, src, code, job.traceLabel(), wc, hook)
 }
 
 // noteProgress emits a progress/ETA line roughly every 5% of the batch

@@ -175,12 +175,12 @@ func TestPanicRecoveryAndRetry(t *testing.T) {
 	p := New(Options{Workers: 1})
 	real := p.runJob
 	calls := 0
-	p.runJob = func(j Job) (sim.Result, error) {
+	p.runJob = func(j Job, hook sim.ProgressFunc) (sim.Result, error) {
 		calls++
 		if calls == 1 {
 			panic("transient fault")
 		}
-		return real(j)
+		return real(j, hook)
 	}
 	rs := p.RunAll(jobs)
 	if rs[0].Err != nil {
@@ -195,7 +195,7 @@ func TestPanicRecoveryAndRetry(t *testing.T) {
 
 	// Panic on both attempts: a per-job error, not a process crash.
 	p2 := New(Options{Workers: 1})
-	p2.runJob = func(Job) (sim.Result, error) { panic("hard fault") }
+	p2.runJob = func(Job, sim.ProgressFunc) (sim.Result, error) { panic("hard fault") }
 	rs2 := p2.RunAll(jobs)
 	if rs2[0].Err == nil || !strings.Contains(rs2[0].Err.Error(), "panic: hard fault") {
 		t.Fatalf("panic not converted to error: %v", rs2[0].Err)
@@ -213,7 +213,7 @@ func TestProgressReporting(t *testing.T) {
 		Clock:    func() time.Duration { fake += time.Second; return fake },
 		Progress: &sb,
 	})
-	p.runJob = func(Job) (sim.Result, error) { return sim.Result{Name: "x"}, nil }
+	p.runJob = func(Job, sim.ProgressFunc) (sim.Result, error) { return sim.Result{Name: "x"}, nil }
 	profs := trace.QuickProfiles()
 	var jobs []Job
 	for i := 0; i < 4; i++ {
@@ -237,7 +237,7 @@ func TestErrorMemoization(t *testing.T) {
 	p := New(Options{Workers: 1})
 	calls := 0
 	wantErr := errors.New("boom")
-	p.runJob = func(Job) (sim.Result, error) { calls++; return sim.Result{}, wantErr }
+	p.runJob = func(Job, sim.ProgressFunc) (sim.Result, error) { calls++; return sim.Result{}, wantErr }
 	jobs := quickJobs(10, 10)[:1]
 	first := p.RunAll(jobs)
 	second := p.RunAll(jobs)

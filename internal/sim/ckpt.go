@@ -32,10 +32,12 @@ type WarmCheckpoints struct {
 	TraceID string
 }
 
-// warmKeySchema versions the key derivation itself. Bump it when the
-// normalization below changes, so old on-disk checkpoints become
-// unreachable rather than wrongly shared.
-const warmKeySchema = "ucp-ckpt-1"
+// WarmKeySchema versions the warm-checkpoint key derivation itself.
+// Bump it when the normalization below changes, so old on-disk
+// checkpoints become unreachable rather than wrongly shared. Exported
+// so the cmd binaries' -version output can stamp it (debugging
+// checkpoint compatibility across sweepd servers and clients).
+const WarmKeySchema = "ucp-ckpt-1"
 
 // warmConfig strips cfg down to the fields the initial fast-forward can
 // observe. Everything zeroed here is provably untouched on the
@@ -82,7 +84,7 @@ func WarmKey(cfg Config, traceID string) string {
 		Model  string
 		Trace  string
 		Config Config
-	}{warmKeySchema, ModelVersion, traceID, warmConfig(cfg)}
+	}{WarmKeySchema, ModelVersion, traceID, warmConfig(cfg)}
 	b, err := json.Marshal(env)
 	if err != nil {
 		// Config is a plain data struct; Marshal cannot fail on it.

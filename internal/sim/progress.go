@@ -1,0 +1,42 @@
+package sim
+
+// Run-stage names reported through ProgressFunc. A run moves
+// warming → measuring; schedulers layer their own queued/done states
+// around it (internal/sweepd's job lifecycle).
+const (
+	// StageWarming covers the warmup region: the initial fast-forward
+	// in sampled mode, the detailed warmup loop in full-detail mode.
+	StageWarming = "warming"
+	// StageMeasuring covers the measured region. In sampled mode the
+	// window counters advance once per completed measurement window;
+	// full-detail runs report a single 0/1 → 1/1 window.
+	StageMeasuring = "measuring"
+)
+
+// Progress is one observability-only stage notification from a running
+// simulation. It carries no measured quantities: hooks must never feed
+// back into simulated outcomes (runs are byte-identical with and
+// without a hook), they exist so long-running jobs can stream
+// queued → warming → measuring transitions and window counts to a
+// caller (progress bars, the sweepd event stream).
+type Progress struct {
+	// Stage is StageWarming or StageMeasuring.
+	Stage string
+	// WindowsDone / WindowsTotal count completed measurement windows.
+	// Full-detail runs report totals of 1; sampled runs report the
+	// period count from the sampling geometry.
+	WindowsDone int
+	// WindowsTotal is 0 while it cannot be known yet.
+	WindowsTotal int
+}
+
+// ProgressFunc receives stage notifications. Hooks run synchronously on
+// the simulating goroutine — keep them cheap and never block.
+type ProgressFunc func(Progress)
+
+// note emits a notification through a possibly-nil hook.
+func (hook ProgressFunc) note(stage string, done, total int) {
+	if hook != nil {
+		hook(Progress{Stage: stage, WindowsDone: done, WindowsTotal: total})
+	}
+}

@@ -237,10 +237,11 @@ func (w condWarmer) WarmCond(pc uint64, taken bool) { machineWarmer(w).WarmCond(
 // instructions never reach the backend, so the absolute stream position
 // is skipped + be.Committed; drain overshoot past a window boundary
 // simply shortens the next period's fast-forward gap.
-func runSampled(cfg Config, src trace.Source, code core.CodeInfo, traceName string, wc *WarmCheckpoints) (Result, error) {
+func runSampled(cfg Config, src trace.Source, code core.CodeInfo, traceName string, wc *WarmCheckpoints, hook ProgressFunc) (Result, error) {
 	m := NewMachine(cfg, src, code)
 	s := cfg.Sampling
 	periods := cfg.MeasureInsts / s.PeriodInsts
+	hook.note(StageWarming, 0, int(periods))
 
 	var skipped, ffTotal uint64
 	pos := func() uint64 { return skipped + m.be.Committed }
@@ -332,6 +333,7 @@ func runSampled(cfg Config, src trace.Source, code core.CodeInfo, traceName stri
 	} else if err := ffwd(cfg.WarmupInsts); err != nil {
 		return Result{}, err
 	}
+	hook.note(StageMeasuring, 0, int(periods))
 
 	for k := uint64(0); k < periods; k++ {
 		measureEnd := cfg.WarmupInsts + (k+1)*s.PeriodInsts
@@ -387,6 +389,7 @@ func runSampled(cfg Config, src trace.Source, code core.CodeInfo, traceName stri
 		if err := m.drainQuiet(); err != nil {
 			return Result{}, err
 		}
+		hook.note(StageMeasuring, int(k+1), int(periods))
 	}
 
 	end := m.snap()

@@ -345,12 +345,20 @@ func Run(cfg Config, src trace.Source, code core.CodeInfo, traceName string) (Re
 // results either way. A nil wc (or a full-detail config) behaves
 // exactly like Run.
 func RunCkpt(cfg Config, src trace.Source, code core.CodeInfo, traceName string, wc *WarmCheckpoints) (Result, error) {
+	return RunHooked(cfg, src, code, traceName, wc, nil)
+}
+
+// RunHooked is RunCkpt with an optional progress hook (progress.go).
+// The hook is observability only: results are byte-identical with and
+// without one.
+func RunHooked(cfg Config, src trace.Source, code core.CodeInfo, traceName string, wc *WarmCheckpoints, hook ProgressFunc) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
 	if cfg.Sampling.Enabled {
-		return runSampled(cfg, src, code, traceName, wc)
+		return runSampled(cfg, src, code, traceName, wc, hook)
 	}
+	hook.note(StageWarming, 0, 1)
 	m := NewMachine(cfg, src, code)
 	target := cfg.WarmupInsts
 	var start snapshot
@@ -373,6 +381,7 @@ func RunCkpt(cfg Config, src trace.Source, code core.CodeInfo, traceName string,
 			start = m.snap()
 			m.fe.ResetHistograms()
 			target = cfg.WarmupInsts + cfg.MeasureInsts
+			hook.note(StageMeasuring, 0, 1)
 		}
 		if warm && m.be.Committed >= target {
 			break
@@ -385,6 +394,7 @@ func RunCkpt(cfg Config, src trace.Source, code core.CodeInfo, traceName string,
 		}
 	}
 	end := m.snap()
+	hook.note(StageMeasuring, 1, 1)
 	return buildResult(cfg, traceName, m, start, end), nil
 }
 

@@ -1,0 +1,347 @@
+// Package client is the sweepd wire client: submission with
+// retry/backoff against 503 backpressure, event streaming with
+// resume-on-reconnect, and a runq.Runner implementation so the
+// experiment harness (and cmd/ucpsim) can run every existing sweep
+// against a remote server behind a -server flag with byte-identical
+// reports.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"ucp/internal/runq"
+	"ucp/internal/sim"
+	"ucp/internal/sweepd"
+)
+
+// Client talks to one sweepd server. The zero value is not usable;
+// call New.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8344".
+	BaseURL string
+	// HTTP is the transport; New installs http.DefaultClient. Streams
+	// hold connections open for the life of a job, so do not set a
+	// global Timeout on it — bound individual calls with MaxRetries
+	// and the server's own request deadlines instead.
+	HTTP *http.Client
+	// MaxRetries bounds per-request retry attempts after the first try
+	// (default 5). Retries apply to transport errors, 5xx, and 503
+	// backpressure; 4xx errors are permanent and never retried.
+	MaxRetries int
+	// Backoff is the base delay between retries (default 250ms),
+	// doubled per attempt — deterministic, no jitter: randomness is
+	// banned outside internal/rng, and lockstep clients resolve
+	// through the server's single-flight anyway. A 503's Retry-After
+	// overrides the computed delay when longer.
+	Backoff time.Duration
+	// Progress receives one line per job state change (nil: silent).
+	Progress io.Writer
+}
+
+// New builds a client with defaults.
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL:    strings.TrimRight(baseURL, "/"),
+		HTTP:       http.DefaultClient,
+		MaxRetries: 5,
+		Backoff:    250 * time.Millisecond,
+	}
+}
+
+// apiError is a non-2xx reply: permanent for 4xx, retryable otherwise.
+type apiError struct {
+	code       int
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("sweepd server: %s (HTTP %d)", e.msg, e.code)
+}
+
+func (e *apiError) permanent() bool { return e.code >= 400 && e.code < 500 }
+
+// do performs one HTTP exchange, decoding a 2xx JSON body into out
+// (when non-nil) and non-2xx bodies into an apiError.
+func (c *Client) do(method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	if err != nil {
+		return fmt.Errorf("sweepd client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return fmt.Errorf("sweepd client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("sweepd client: decoding %s reply: %w", path, err)
+	}
+	return nil
+}
+
+func decodeError(resp *http.Response) error {
+	e := &apiError{code: resp.StatusCode}
+	var reply sweepd.ErrorReply
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&reply); err == nil && reply.Error != "" {
+		e.msg = reply.Error
+	} else {
+		e.msg = resp.Status
+	}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if sec, err := strconv.Atoi(v); err == nil && sec > 0 {
+			e.retryAfter = time.Duration(sec) * time.Second
+		}
+	}
+	return e
+}
+
+// retry runs op under the client's backoff policy.
+func (c *Client) retry(op func() error) error {
+	delay := c.Backoff
+	if delay <= 0 {
+		delay = 250 * time.Millisecond
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil {
+			return nil
+		}
+		var ae *apiError
+		if errors.As(err, &ae) && ae.permanent() {
+			return err
+		}
+		if attempt >= c.MaxRetries {
+			return err
+		}
+		wait := delay
+		if ae != nil && ae.retryAfter > wait {
+			wait = ae.retryAfter
+		}
+		if c.Progress != nil {
+			fmt.Fprintf(c.Progress, "sweepd client: %v — retrying in %s (%d/%d)\n",
+				err, wait, attempt+1, c.MaxRetries)
+		}
+		time.Sleep(wait)
+		delay *= 2
+	}
+}
+
+// Submit sends a batch and returns the job IDs in submission order.
+// 503 backpressure is retried with the server's Retry-After hint.
+func (c *Client) Submit(specs []sweepd.JobSpec) ([]string, error) {
+	body, err := json.Marshal(sweepd.SubmitRequest{
+		Protocol: sweepd.ProtocolVersion,
+		Model:    sim.ModelVersion,
+		Jobs:     specs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sweepd client: encoding submit: %w", err)
+	}
+	var resp sweepd.SubmitResponse
+	if err := c.retry(func() error { return c.do(http.MethodPost, "/v1/jobs", body, &resp) }); err != nil {
+		return nil, err
+	}
+	if len(resp.IDs) != len(specs) {
+		return nil, fmt.Errorf("sweepd client: server admitted %d of %d jobs", len(resp.IDs), len(specs))
+	}
+	return resp.IDs, nil
+}
+
+// Status fetches a job's current status.
+func (c *Client) Status(id string) (sweepd.JobStatus, error) {
+	var st sweepd.JobStatus
+	err := c.retry(func() error { return c.do(http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &st) })
+	return st, err
+}
+
+// Statz fetches the server's ops counters.
+func (c *Client) Statz() (sweepd.Statz, error) {
+	var st sweepd.Statz
+	err := c.retry(func() error { return c.do(http.MethodGet, "/v1/statz", nil, &st) })
+	return st, err
+}
+
+// Health fetches liveness.
+func (c *Client) Health() (sweepd.Health, error) {
+	var h sweepd.Health
+	err := c.retry(func() error { return c.do(http.MethodGet, "/v1/healthz", nil, &h) })
+	return h, err
+}
+
+// Wait follows a job's event stream until the terminal event, then
+// returns the final status (with the result). onEvent, when non-nil,
+// observes every event exactly once, in order — across reconnects the
+// stream resumes from the last seen sequence number, so a dropped
+// connection costs a reconnect, not duplicate or lost events.
+func (c *Client) Wait(id string, onEvent func(sweepd.Event)) (sweepd.JobStatus, error) {
+	lastSeq := 0
+	attempts := 0
+	for {
+		seqBefore := lastSeq
+		terminal, err := c.streamOnce(id, &lastSeq, onEvent)
+		if terminal {
+			return c.Status(id)
+		}
+		if lastSeq > seqBefore {
+			attempts = 0 // forward progress resets the reconnect budget
+		}
+		if err == nil {
+			// Clean EOF without a terminal event: the server ended the
+			// response early. Resume — but meter it like a drop, or an
+			// unhealthy server would spin us at line rate.
+			err = errors.New("stream ended before the terminal event")
+		}
+		var ae *apiError
+		if errors.As(err, &ae) && ae.permanent() {
+			return sweepd.JobStatus{}, err
+		}
+		attempts++
+		if attempts > c.MaxRetries {
+			return sweepd.JobStatus{}, fmt.Errorf("sweepd client: event stream for %.12s: %w", id, err)
+		}
+		wait := c.Backoff
+		if wait <= 0 {
+			wait = 250 * time.Millisecond
+		}
+		for i := 1; i < attempts; i++ {
+			wait *= 2
+		}
+		if c.Progress != nil {
+			fmt.Fprintf(c.Progress, "sweepd client: stream %.12s dropped (%v) — resuming after seq %d in %s\n",
+				id, err, lastSeq, wait)
+		}
+		time.Sleep(wait)
+	}
+}
+
+// streamOnce opens one events connection from lastSeq and consumes it
+// until EOF, updating lastSeq per event. Returns terminal=true once a
+// done/failed event was seen.
+func (c *Client) streamOnce(id string, lastSeq *int, onEvent func(sweepd.Event)) (bool, error) {
+	path := fmt.Sprintf("%s/v1/jobs/%s/events?after=%d", c.BaseURL, url.PathEscape(id), *lastSeq)
+	resp, err := c.HTTP.Get(path)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev sweepd.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return false, fmt.Errorf("bad event line: %w", err)
+		}
+		if ev.Seq <= *lastSeq {
+			continue // duplicate on reconnect overlap; drop
+		}
+		*lastSeq = ev.Seq
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		if c.Progress != nil {
+			fmt.Fprintf(c.Progress, "sweepd client: job %.12s %s %d/%d\n",
+				ev.ID, ev.State, ev.WindowsDone, ev.WindowsTotal)
+		}
+		if ev.State == sweepd.StateDone || ev.State == sweepd.StateFailed {
+			return true, nil
+		}
+	}
+	return false, sc.Err()
+}
+
+// RunAll implements runq.Runner over the wire: submit the whole batch
+// (the server dedups by key, against this batch, every other client,
+// and its own history), wait for every job, and return results in
+// submission order — the same contract as a local pool, which is what
+// makes remote reports byte-identical to in-process ones.
+func (c *Client) RunAll(jobs []runq.Job) []runq.JobResult {
+	results := make([]runq.JobResult, len(jobs))
+	specs := make([]sweepd.JobSpec, 0, len(jobs))
+	idx := make([]int, 0, len(jobs)) // submitted index -> jobs index
+	for i, j := range jobs {
+		results[i] = runq.JobResult{Job: j}
+		spec, err := sweepd.Spec(j)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		specs = append(specs, spec)
+		idx = append(idx, i)
+	}
+	if len(specs) == 0 {
+		return results
+	}
+	ids, err := c.Submit(specs)
+	if err != nil {
+		for _, i := range idx {
+			results[i].Err = err
+		}
+		return results
+	}
+	for k, i := range idx {
+		results[i].Key = ids[k]
+	}
+	// Wait jobs one at a time, in order: the server executes the whole
+	// batch concurrently regardless, and waiting in submission order
+	// keeps client-side memory and connection count at one.
+	done := make(map[string]int) // id -> first jobs index resolved
+	for k, i := range idx {
+		id := ids[k]
+		if first, ok := done[id]; ok {
+			// Intra-batch duplicate: copy the leader's outcome, like
+			// the in-process pool does.
+			results[i].Result = results[first].Result
+			results[i].Err = results[first].Err
+			results[i].Source = runq.SourceMemo
+			continue
+		}
+		st, err := c.Wait(id, nil)
+		if err != nil {
+			results[i].Err = err
+		} else if st.Err != "" {
+			results[i].Err = fmt.Errorf("%s", st.Err)
+			results[i].Source = st.Source
+			results[i].Attempts = st.Attempts
+		} else if st.Result == nil {
+			results[i].Err = fmt.Errorf("sweepd client: job %.12s reported %s with no result", id, st.State)
+		} else {
+			results[i].Result = *st.Result
+			results[i].Source = st.Source
+			results[i].Attempts = st.Attempts
+		}
+		done[id] = i
+	}
+	return results
+}
