@@ -36,13 +36,22 @@
 #                           the aggregate wall-clock speedup at or above
 #                           10x; measurements land in BENCH_sampling.json;
 #                           the sampled side must digest identically twice)
-#  11. sweep-reuse gate    (cold vs arena+checkpoint pool over a
+#  11. time-parallel gate  (one full-detail UCP run executed serial,
+#                           segmented at two worker counts, and through
+#                           a capture+restore checkpoint cycle — every
+#                           segmented digest byte-identical, all four
+#                           boundaries captured and restored, boundary-
+#                           warming IPC error < 2%; recorded in
+#                           BENCH_tpar.json. Then ucpsim itself runs
+#                           -segments 4 at -jobs 1 vs -jobs 8 and the
+#                           digest files must cmp-equal)
+#  12. sweep-reuse gate    (cold vs arena+checkpoint pool over a
 #                           10-config sampled threshold ablation: every
 #                           digest byte-identical, exactly one warm
 #                           checkpoint captured and N-1 restored, and
 #                           wall-clock speedup at or above 3x; recorded
 #                           in BENCH_sweepreuse.json)
-#  12. sweepd gate         (local pool vs a loopback sweepd server over
+#  13. sweepd gate         (local pool vs a loopback sweepd server over
 #                           the same ablation: digests byte-identical
 #                           over the wire, each distinct job executed
 #                           exactly once across two remote passes, the
@@ -50,7 +59,7 @@
 #                           BENCH_sweepd.json; then the real sweepd
 #                           binary serves ucpsim -server and the remote
 #                           digest file must cmp-equal the local one)
-#  13. BENCH schema        (every BENCH_*.json carries the shared
+#  14. BENCH schema        (every BENCH_*.json carries the shared
 #                           schema_version/bench/cores envelope)
 #
 # Any failure aborts immediately with a nonzero exit.
@@ -237,6 +246,26 @@ step "sampling gate"
 # speedup >= 10x, sampled runs digest-identical across two passes.
 "$RUNQ_TMP/experiments" -sample-gate -sample-bench BENCH_sampling.json
 
+step "time-parallel gate"
+# One full-detail UCP run on crypto01 executed five ways in one process
+# (serial, segmented w1, segmented wN, checkpoint capture, checkpoint
+# restore). Gated: segmented digests byte-identical across worker counts
+# and across the capture/restore cycle, 4 boundaries captured + 4
+# restored, boundary-warming IPC error < 2%. Scaling is gated only on
+# multi-core hosts; single-core runs carry a note in BENCH_tpar.json.
+"$RUNQ_TMP/experiments" -tpar-gate -tpar-bench BENCH_tpar.json
+
+# End-to-end half: ucpsim itself, segmented, at two pool worker counts —
+# the whole digest file (which includes the per-segment timepar lines)
+# must be byte-identical.
+"$RUNQ_TMP/ucpsim" -trace srv203 -ucp -digest -warmup 60000 -measure 60000 \
+	-segments 4 -jobs 1 > "$RUNQ_TMP/tpar_digest_j1.txt"
+"$RUNQ_TMP/ucpsim" -trace srv203 -ucp -digest -warmup 60000 -measure 60000 \
+	-segments 4 -jobs 8 > "$RUNQ_TMP/tpar_digest_j8.txt"
+cmp "$RUNQ_TMP/tpar_digest_j1.txt" "$RUNQ_TMP/tpar_digest_j8.txt" || {
+	echo "tpar: segmented ucpsim digest differs between -jobs 1 and -jobs 8" >&2; exit 1; }
+echo "tpar: segmented ucpsim digests byte-identical across worker counts"
+
 step "sweep-reuse gate"
 if [ "$FAST" -eq 0 ]; then
 	# Cold pool (per-job fast-forward) vs a fresh arena+checkpoint pool
@@ -294,7 +323,7 @@ step "BENCH schema"
 # Every benchmark record shares the same envelope so downstream tooling
 # can discover and parse them uniformly. In -fast mode the sweep-reuse
 # and sweepd records may be stale or absent; only gate them on full runs.
-SCHEMA_FILES="BENCH_runq.json BENCH_hotpath.json BENCH_sampling.json"
+SCHEMA_FILES="BENCH_runq.json BENCH_hotpath.json BENCH_sampling.json BENCH_tpar.json"
 if [ "$FAST" -eq 0 ]; then
 	SCHEMA_FILES="$SCHEMA_FILES BENCH_sweepreuse.json BENCH_sweepd.json"
 fi

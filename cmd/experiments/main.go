@@ -49,6 +49,9 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 		numCPU   = flag.Bool("numcpu", false, "print the worker pool's core count (GOMAXPROCS) and exit (used by check.sh to stamp BENCH_runq.json)")
 		sample   = flag.Bool("sample", false, "run sweeps in sampled mode (conservative geometry; see EXPERIMENTS.md)")
+		segments = flag.Int("segments", 0, "run every sweep time-parallel: split each run's measured region into this many boundary-warmed segments (0/1: serial)")
+		tpGate   = flag.Bool("tpar-gate", false, "run the serial-vs-time-parallel gate, write -tpar-bench, and exit")
+		tpOut    = flag.String("tpar-bench", "BENCH_tpar.json", "where -tpar-gate records its measurements")
 		gate     = flag.Bool("sample-gate", false, "run the paired full-vs-sampled gate sweep, write -sample-bench, and exit")
 		gateOut  = flag.String("sample-bench", "BENCH_sampling.json", "where -sample-gate records its measurements")
 		srGate   = flag.Bool("sweepreuse-gate", false, "run the cold-vs-warm sweep-reuse gate, write -sweepreuse-bench, and exit")
@@ -87,6 +90,13 @@ func main() {
 	}
 	if *srGate {
 		if err := runSweepReuseGate(os.Stdout, *srOut); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tpGate {
+		if err := runTparGate(os.Stdout, *tpOut); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
@@ -150,6 +160,11 @@ func main() {
 	if *sample {
 		opts.Sampling = sim.ConservativeSampling()
 	}
+	if *segments > 1 && *sample {
+		fmt.Fprintln(os.Stderr, "experiments: -segments and -sample are incompatible (both subsample the measured region)")
+		os.Exit(1)
+	}
+	opts.Segments = *segments
 	if *server != "" {
 		c := client.New(*server)
 		if *progress {

@@ -45,7 +45,8 @@ func main() {
 		jobs     = flag.Int("jobs", 0, "concurrently executing simulations (default GOMAXPROCS)")
 		queue    = flag.Int("queue", 256, "admitted-but-not-executing job bound; past it submissions get 503 + Retry-After")
 		cacheDir = flag.String("cache-dir", "", "content-addressed result cache directory (empty: in-memory memo only)")
-		ckptDir  = flag.String("ckpt-dir", "", "warm-checkpoint store directory for sampled jobs (empty: in-memory store)")
+		ckptDir  = flag.String("ckpt-dir", "", "warm-checkpoint store directory for sampled and time-parallel jobs (empty: in-memory store)")
+		ckptMax  = flag.Int64("ckpt-max-bytes", 0, "on-disk checkpoint budget; past it the least-recently-verified blobs are pruned (0: unbounded)")
 		arena    = flag.Bool("arena", true, "decode each workload once into a shared in-memory arena")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request deadline on non-streaming endpoints")
 		retry    = flag.Duration("retry-after", 2*time.Second, "Retry-After hint sent with 503 backpressure")
@@ -62,11 +63,13 @@ func main() {
 	start := time.Now() //ucplint:ignore wallclock
 	cfg := sweepd.Config{
 		Pool: runq.Options{
-			Workers:     *jobs,
-			CacheDir:    *cacheDir,
-			UseArena:    *arena,
-			Checkpoints: true,
-			CkptDir:     *ckptDir,
+			Workers:      *jobs,
+			CacheDir:     *cacheDir,
+			UseArena:     *arena,
+			Checkpoints:  true,
+			CkptDir:      *ckptDir,
+			CkptMaxBytes: *ckptMax,
+			CkptNow:      func() int64 { return time.Now().UnixNano() }, //ucplint:ignore wallclock // checkpoint-pruning recency clock, injected only at the edge
 		},
 		QueueDepth:     *queue,
 		Executors:      *jobs,

@@ -28,6 +28,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"ucp"
 	"ucp/internal/buildinfo"
@@ -58,13 +59,19 @@ func main() {
 		sampleWin  = flag.Uint64("sample-window", 0, "with -sample: override the measured window length")
 		sampleWarm = flag.Uint64("sample-warm", 0, "with -sample: override the detailed-warm length")
 		sampleFF   = flag.Uint64("sample-ffwarm", 0, "with -sample: override the functional-warm horizon")
+		segments   = flag.Int("segments", 0, "time-parallel run: split the measured region into this many boundary-warmed segments (0/1: serial)")
+		segWarm    = flag.Uint64("seg-warm", 0, "with -segments: override the detailed boundary-warm length")
+		segFF      = flag.Uint64("seg-ffwarm", 0, "with -segments: override the functional boundary-warm horizon")
+		segCache   = flag.Uint64("seg-cachewarm", 0, "with -segments: override the cache-warm horizon of the skip zone")
+		segBP      = flag.Uint64("seg-bpwarm", 0, "with -segments: override the predictor-training horizon of the skip zone")
 		compare    = flag.Bool("compare", false, "run baseline AND UCP, reporting the speedup")
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON instead of the table")
 		hist       = flag.Bool("hist", false, "print stream-length and refill-latency distributions")
 		jobs       = flag.Int("jobs", 0, "concurrent simulations (default GOMAXPROCS); output order is unaffected")
 		cacheDir   = flag.String("cache-dir", "", "content-addressed result cache directory (empty: no on-disk cache)")
 		arena      = flag.Bool("arena", false, "decode each workload once into a shared in-memory arena (results are byte-identical)")
-		ckptDir    = flag.String("ckpt-dir", "", "warm-checkpoint store directory for sampled runs (empty: no checkpoint reuse)")
+		ckptDir    = flag.String("ckpt-dir", "", "warm-checkpoint store directory for sampled and time-parallel runs (empty: no checkpoint reuse)")
+		ckptMax    = flag.Int64("ckpt-max-bytes", 0, "bound the checkpoint directory's on-disk bytes, pruning least-recently-verified blobs (0: unbounded)")
 		digest     = flag.Bool("digest", false, "print Result.DeterminismDigest instead of the metric table (optimization-neutrality gate)")
 		server     = flag.String("server", "", "run simulations against a sweepd server at this URL instead of in-process")
 		version    = flag.Bool("version", false, "print model/schema/protocol versions and exit")
@@ -143,12 +150,31 @@ func main() {
 		}
 		cfg.Sampling = sc
 	}
+	if *segments > 1 && *sample {
+		fmt.Fprintln(os.Stderr, "ucpsim: -segments and -sample are incompatible (both subsample the measured region; compose is unvalidated)")
+		os.Exit(1)
+	}
+	boundary := sim.BoundaryWarm{
+		DetailedInsts: *segWarm,
+		FFInsts:       *segFF,
+		CacheInsts:    *segCache,
+		BPInsts:       *segBP,
+	}
+	if boundary == (sim.BoundaryWarm{}) {
+		// Leave the zero value in place: the pool resolves it to
+		// sim.DefaultBoundaryWarm, and the cache key normalizes both
+		// spellings onto one record.
+	} else if boundary.DetailedInsts == 0 {
+		boundary.DetailedInsts = sim.DefaultBoundaryWarm().DetailedInsts
+	}
 
 	pool := runq.New(runq.Options{
-		Workers:  *jobs,
-		CacheDir: *cacheDir,
-		UseArena: *arena,
-		CkptDir:  *ckptDir,
+		Workers:      *jobs,
+		CacheDir:     *cacheDir,
+		UseArena:     *arena,
+		CkptDir:      *ckptDir,
+		CkptMaxBytes: *ckptMax,
+		CkptNow:      func() int64 { return time.Now().UnixNano() }, //ucplint:ignore wallclock // checkpoint-pruning clock, injected only here
 	})
 	var exec runq.Runner = pool
 	if *server != "" {
@@ -161,7 +187,7 @@ func main() {
 		exec = client.New(*server)
 	}
 	if *file != "" {
-		runFile(pool, cfg, *file, *warmup, *measure)
+		runFile(pool, cfg, *file, *warmup, *measure, *segments, boundary)
 		return
 	}
 	var profiles []ucp.Profile
@@ -183,12 +209,13 @@ func main() {
 		profiles = []ucp.Profile{p}
 	}
 	if *compare {
-		runCompare(exec, profiles, *warmup, *measure)
+		runCompare(exec, profiles, *warmup, *measure, *segments, boundary)
 		return
 	}
 	jobList := make([]runq.Job, len(profiles))
 	for i, p := range profiles {
-		jobList[i] = runq.Job{Config: cfg, Profile: p, Warmup: *warmup, Measure: *measure}
+		jobList[i] = runq.Job{Config: cfg, Profile: p, Warmup: *warmup, Measure: *measure,
+			Segments: *segments, Boundary: boundary}
 	}
 	results := exec.RunAll(jobList)
 	if !*jsonOut && !*digest {
@@ -209,14 +236,14 @@ func main() {
 
 // runCompare runs the baseline and UCP over each profile
 // (interleaved base/UCP job pairs) and reports the per-trace speedup.
-func runCompare(exec runq.Runner, profiles []ucp.Profile, warmup, measure uint64) {
+func runCompare(exec runq.Runner, profiles []ucp.Profile, warmup, measure uint64, segments int, boundary sim.BoundaryWarm) {
 	base := ucp.Baseline()
 	withUCP := ucp.WithUCP(ucp.DefaultUCP())
 	jobList := make([]runq.Job, 0, 2*len(profiles))
 	for _, p := range profiles {
 		jobList = append(jobList,
-			runq.Job{Config: base, Profile: p, Warmup: warmup, Measure: measure},
-			runq.Job{Config: withUCP, Profile: p, Warmup: warmup, Measure: measure})
+			runq.Job{Config: base, Profile: p, Warmup: warmup, Measure: measure, Segments: segments, Boundary: boundary},
+			runq.Job{Config: withUCP, Profile: p, Warmup: warmup, Measure: measure, Segments: segments, Boundary: boundary})
 	}
 	results := exec.RunAll(jobList)
 	fmt.Printf("%-10s %10s %10s %10s %9s %9s\n",
@@ -272,6 +299,17 @@ func emit(r sim.Result, asJSON, withHist bool) {
 				"mpkiCI95":      s.MPKICI95,
 			}
 		}
+		if tp := r.TimePar; tp != nil {
+			out["timepar"] = map[string]any{
+				"segments":     tp.Segments,
+				"boundaries":   tp.Boundaries,
+				"segInsts":     tp.SegInsts,
+				"segCycles":    tp.SegCycles,
+				"segIPC":       tp.SegIPC,
+				"skippedInsts": tp.SkippedInsts,
+				"ffInsts":      tp.FFInsts,
+			}
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -285,6 +323,10 @@ func emit(r sim.Result, asJSON, withHist bool) {
 		fmt.Printf("%-10s sampled: %d windows, IPC %.4f ±%.4f, MPKI %.3f ±%.3f (95%% CI); %d skipped / %d functional / %d detailed\n",
 			r.Trace, s.Windows, s.IPCMean, s.IPCCI95, s.MPKIMean, s.MPKICI95,
 			s.SkippedInsts, s.FFInsts, s.DetailedInsts)
+	}
+	if tp := r.TimePar; tp != nil {
+		fmt.Printf("%-10s timepar: %d segments; %d skipped / %d functional at boundaries\n",
+			r.Trace, tp.Segments, tp.SkippedInsts, tp.FFInsts)
 	}
 	if withHist {
 		fmt.Println(r.StreamLens.Render())
@@ -303,8 +345,9 @@ func safeDiv(a, b uint64) float64 {
 // decodes the file once into a shared arena (with O(1) sampled-mode
 // seeking via the tracegen sidecar index when present) and serves any
 // repeat invocation from the result cache.
-func runFile(pool *runq.Pool, cfg sim.Config, path string, warmup, measure uint64) {
-	rs := pool.RunAll([]runq.Job{{Config: cfg, TraceFile: path, Warmup: warmup, Measure: measure}})
+func runFile(pool *runq.Pool, cfg sim.Config, path string, warmup, measure uint64, segments int, boundary sim.BoundaryWarm) {
+	rs := pool.RunAll([]runq.Job{{Config: cfg, TraceFile: path, Warmup: warmup, Measure: measure,
+		Segments: segments, Boundary: boundary}})
 	if rs[0].Err != nil {
 		fmt.Fprintln(os.Stderr, rs[0].Err)
 		os.Exit(1)

@@ -291,3 +291,117 @@ func TestStoreDisk(t *testing.T) {
 		t.Fatalf("temp files left behind: %v", entries)
 	}
 }
+
+// pruneBlob returns a sealed blob of fixed size so the byte-budget
+// arithmetic in the prune tests is exact.
+func pruneBlob() []byte {
+	w := NewWriter()
+	w.U64s(make([]uint64, 32))
+	return w.Seal()
+}
+
+// storeBlob publishes blob under key through the normal leader path.
+func storeBlob(t *testing.T, s *Store, key string, blob []byte) {
+	t.Helper()
+	_, ok, release := s.Acquire(key)
+	if ok {
+		t.Fatalf("key %s unexpectedly present before store", key[:8])
+	}
+	release(blob)
+}
+
+// TestStorePruneEvictsLeastRecentlyVerified: with a byte budget, the
+// store evicts the blob whose verify-stamp is oldest — a blob that
+// recently proved its worth on a disk load survives over an older,
+// never-reloaded one.
+func TestStorePruneEvictsLeastRecentlyVerified(t *testing.T) {
+	dir := t.TempDir()
+	var clock int64
+	now := func() int64 { clock++; return clock * int64(1e9) }
+	blob := pruneBlob()
+	budget := 3*int64(len(blob)) + int64(len(blob))/2 // room for 3 blobs
+
+	s := NewStoreLimit(dir, budget, now)
+	for i := 10; i <= 12; i++ {
+		storeBlob(t, s, testKey(i), pruneBlob())
+	}
+
+	// Re-verify key 10 from a second store: its stamp moves past keys
+	// 11 and 12, so it must survive the next prune.
+	s2 := NewStoreLimit(dir, budget, now)
+	if _, ok, _ := s2.Acquire(testKey(10)); !ok {
+		t.Fatal("persisted blob not served before prune")
+	}
+
+	// A fourth blob pushes the directory over budget: exactly one blob
+	// — key 11, the least recently verified — must go.
+	storeBlob(t, s2, testKey(13), pruneBlob())
+
+	fresh := NewStoreLimit(dir, 0, nil)
+	for _, i := range []int{10, 12, 13} {
+		if _, ok, release := fresh.Acquire(testKey(i)); !ok {
+			release(nil)
+			t.Errorf("key %d evicted, want survivor", i)
+		}
+	}
+	if _, ok, release := fresh.Acquire(testKey(11)); ok {
+		t.Error("least-recently-verified blob survived the prune")
+	} else {
+		release(nil)
+	}
+}
+
+// TestStorePruneUnboundedAndMiss: a zero budget never prunes, a pruned
+// key is an ordinary miss (Acquire elects a leader and the key heals),
+// and a survivor corrupted after the prune is also just a miss.
+func TestStorePruneUnboundedAndMiss(t *testing.T) {
+	dir := t.TempDir()
+	blob := pruneBlob()
+
+	unbounded := NewStoreLimit(dir, 0, nil)
+	for i := 20; i < 26; i++ {
+		storeBlob(t, unbounded, testKey(i), pruneBlob())
+	}
+	check := NewStoreLimit(dir, 0, nil)
+	for i := 20; i < 26; i++ {
+		if _, ok, release := check.Acquire(testKey(i)); !ok {
+			release(nil)
+			t.Fatalf("unbounded store evicted key %d", i)
+		}
+	}
+
+	// Shrink the budget to one blob: the next write prunes all but the
+	// newest.
+	tight := NewStoreLimit(dir, int64(len(blob))+int64(len(blob))/2, nil)
+	storeBlob(t, tight, testKey(26), pruneBlob())
+
+	after := NewStoreLimit(dir, 0, nil)
+	_, survivorOK, _ := after.Acquire(testKey(26))
+	if !survivorOK {
+		t.Fatal("newest blob evicted by its own prune")
+	}
+	// A pruned key heals through the ordinary leader path.
+	if b, ok, release := after.Acquire(testKey(20)); ok {
+		t.Fatalf("pruned key served a blob: %d bytes", len(b))
+	} else {
+		release(pruneBlob())
+	}
+
+	// Corrupting the survivor after the prune degrades it to a miss,
+	// exactly like pre-prune corruption.
+	path := after.path(testKey(26))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 1
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	post := NewStoreLimit(dir, 0, nil)
+	if _, ok, release := post.Acquire(testKey(26)); ok {
+		t.Fatal("corrupt post-prune blob served as a hit")
+	} else {
+		release(nil)
+	}
+}

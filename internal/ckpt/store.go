@@ -2,9 +2,13 @@ package ckpt
 
 import (
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 )
 
 // Store is a content-addressed checkpoint cache with single-flight
@@ -19,20 +23,49 @@ import (
 type Store struct {
 	dir string
 
+	// maxBytes bounds the on-disk footprint (0: unbounded); now is the
+	// injected wall clock (unix nanoseconds) that stamps blob files on
+	// every successful verify, so pruning evicts the least-recently-
+	// verified blobs first. The clock is injected from cmd/ — internal
+	// packages never read wall time (ucplint wallclock rule) — and a nil
+	// clock degrades to least-recently-written order (file mtimes).
+	maxBytes int64
+	now      func() int64
+
 	mu      sync.Mutex
 	mem     map[string][]byte
 	flights map[string]chan struct{}
 	hits    int
 	misses  int
+
+	// pruneMu serializes pruning passes; pruning walks the directory
+	// and must not run under mu (disk latency would serialize every
+	// unrelated Acquire).
+	pruneMu sync.Mutex
 }
 
 // NewStore returns a store persisting to dir; an empty dir keeps
 // checkpoints in memory only (still deduplicated within the process).
+// The on-disk footprint is unbounded; see NewStoreLimit.
 func NewStore(dir string) *Store {
+	return NewStoreLimit(dir, 0, nil)
+}
+
+// NewStoreLimit is NewStore with an on-disk size bound: after every
+// persisted blob, least-recently-verified blobs are removed until the
+// directory's checkpoint bytes fit within maxBytes (0: unbounded).
+// "Recently verified" is tracked by re-stamping a blob file's mtime
+// from the injected now clock (unix nanoseconds) each time a disk load
+// verifies; with a nil clock, eviction falls back to write order. The
+// in-memory memo is unaffected — a pruned blob simply reads as a miss
+// in later processes, exactly like a corrupt one.
+func NewStoreLimit(dir string, maxBytes int64, now func() int64) *Store {
 	return &Store{
-		dir:     dir,
-		mem:     make(map[string][]byte),
-		flights: make(map[string]chan struct{}),
+		dir:      dir,
+		maxBytes: maxBytes,
+		now:      now,
+		mem:      make(map[string][]byte),
+		flights:  make(map[string]chan struct{}),
 	}
 }
 
@@ -117,6 +150,13 @@ func (s *Store) loadDisk(key string) ([]byte, bool) {
 	if Verify(b) != nil {
 		return nil, false
 	}
+	if s.now != nil {
+		// Touch on verify: the blob proved its worth, so it moves to the
+		// back of the pruning order. Best-effort — a failed Chtimes only
+		// costs eviction priority.
+		t := time.Unix(0, s.now())
+		os.Chtimes(s.path(key), t, t)
+	}
 	return b, true
 }
 
@@ -143,6 +183,65 @@ func (s *Store) storeDisk(key string, blob []byte) {
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
+		return
+	}
+	if s.now != nil {
+		t := time.Unix(0, s.now())
+		os.Chtimes(path, t, t)
+	}
+	if s.maxBytes > 0 {
+		s.prune()
+	}
+}
+
+// prune removes least-recently-verified checkpoint blobs until the
+// directory's .ckpt bytes fit within maxBytes. Boundary-checkpoint
+// capture (internal/tpar) writes one blob per segment boundary per
+// distinct warm config, so an unbounded store grows with every sweep;
+// the bound turns it into an LRU tier. Concurrent writers both prune;
+// pruneMu keeps the walk-and-delete passes from interleaving, and a
+// blob deleted under a concurrent reader's feet is indistinguishable
+// from a miss (ReadFile fails, Acquire elects a leader).
+func (s *Store) prune() {
+	s.pruneMu.Lock()
+	defer s.pruneMu.Unlock()
+	type blob struct {
+		path string
+		size int64
+		mod  time.Time
+	}
+	var blobs []blob
+	var total int64
+	filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".ckpt") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		blobs = append(blobs, blob{path: path, size: info.Size(), mod: info.ModTime()})
+		total += info.Size()
+		return nil
+	})
+	if total <= s.maxBytes {
+		return
+	}
+	// Oldest verify-stamp first; ties break on path so two stores
+	// pruning the same directory converge on the same victims.
+	sort.Slice(blobs, func(i, j int) bool {
+		if !blobs[i].mod.Equal(blobs[j].mod) {
+			return blobs[i].mod.Before(blobs[j].mod)
+		}
+		return blobs[i].path < blobs[j].path
+	})
+	for _, b := range blobs {
+		if total <= s.maxBytes {
+			break
+		}
+		if os.Remove(b.path) == nil {
+			total -= b.size
+		}
 	}
 }
 

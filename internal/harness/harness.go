@@ -29,6 +29,14 @@ type Options struct {
 	// and full-detail results hash to different runq cache keys, so the
 	// two kinds of sweep never contaminate each other's cache entries.
 	Sampling sim.SamplingConfig
+	// Segments > 1 runs every sweep job time-parallel (internal/tpar):
+	// the measured region splits into that many boundary-warmed trace
+	// segments simulated concurrently and merged deterministically.
+	// Mutually exclusive with Sampling; Boundary tunes the per-boundary
+	// warming geometry (zero value: sim.DefaultBoundaryWarm). Like
+	// Sampling, time-parallel results hash to their own runq cache keys.
+	Segments int
+	Boundary sim.BoundaryWarm
 	// Out receives the rendered tables (must be non-nil).
 	Out io.Writer
 	// Verbose prints one line per completed run.
@@ -140,7 +148,14 @@ func (r *Runner) sweep(cfg sim.Config, profs []trace.Profile) ([]sim.Result, err
 	}
 	jobs := make([]runq.Job, len(profs))
 	for i, p := range profs {
-		jobs[i] = runq.Job{Config: cfg, Profile: p, Warmup: r.opts.Warmup, Measure: r.opts.Measure}
+		jobs[i] = runq.Job{
+			Config:   cfg,
+			Profile:  p,
+			Warmup:   r.opts.Warmup,
+			Measure:  r.opts.Measure,
+			Segments: r.opts.Segments,
+			Boundary: r.opts.Boundary,
+		}
 	}
 	out := make([]sim.Result, len(jobs))
 	for i, jr := range r.exec.RunAll(jobs) {

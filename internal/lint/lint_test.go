@@ -154,6 +154,8 @@ func TestCommutativeAnnotationsAreShuffleTested(t *testing.T) {
 	verified := map[string]bool{
 		// stats.TestHistogramMergeCommutes
 		"ucp/internal/stats.Histogram.Merge": true,
+		// tpar.TestAccumMergeCommutes
+		"ucp/internal/tpar.Accum.Merge": true,
 	}
 	wd, err := os.Getwd()
 	if err != nil {

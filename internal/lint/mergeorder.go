@@ -21,8 +21,9 @@ import (
 // The rule finds every merge-shaped method — named Merge or Add with
 // exactly one parameter of the receiver's own type — that is reachable
 // through the call graph from the result-aggregation packages
-// (internal/runq and internal/sim), and flags order-sensitive float
-// accumulation in its body. The escape hatch is the annotation
+// (internal/runq, internal/sim, and internal/tpar — the time-parallel
+// segment merge), and flags order-sensitive float accumulation in its
+// body. The escape hatch is the annotation
 //
 //	//ucplint:commutative
 //
@@ -49,6 +50,9 @@ func newMergeOrderAnalyzer() *Analyzer {
 				}
 				if strings.HasSuffix(n.PkgPath, "internal/sim") {
 					return "sim aggregation", true
+				}
+				if strings.HasSuffix(n.PkgPath, "internal/tpar") {
+					return "tpar aggregation", true
 				}
 				return "", false
 			})

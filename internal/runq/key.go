@@ -14,7 +14,7 @@ import (
 // sim.ModelVersion, which is folded into every key alongside it)
 // orphans all previously written records: they are simply never looked
 // up again, so no explicit invalidation pass is needed.
-const SchemaVersion = "runq-2"
+const SchemaVersion = "runq-3"
 
 // keyPayload is the canonical serialized identity of a job. It contains
 // everything that determines a run's measured numbers: the full machine
@@ -34,6 +34,8 @@ type keyPayload struct {
 	TraceDigest string
 	Warmup      uint64
 	Measure     uint64
+	Segments    int
+	Boundary    sim.BoundaryWarm
 }
 
 // Key returns the hex SHA-256 content digest addressing job's result.
@@ -56,6 +58,19 @@ func Key(job Job) (string, error) {
 func keyWith(job Job, traceDigest string) (string, error) {
 	cfg := job.Config
 	cfg.WarmupInsts, cfg.MeasureInsts = job.Warmup, job.Measure
+	// Normalize the time-parallel identity so equivalent jobs share a
+	// record: the serial forms (0 and 1 segments) collapse to one key,
+	// and an unset boundary warm collapses onto the default it resolves
+	// to. Segments stays in the key even though the merged numbers are
+	// meant to approximate the serial run — boundary warming changes the
+	// measured bytes, so cached results must not cross that line.
+	segments := job.Segments
+	boundary := job.Boundary
+	if segments <= 1 {
+		segments, boundary = 0, sim.BoundaryWarm{}
+	} else if boundary == (sim.BoundaryWarm{}) {
+		boundary = sim.DefaultBoundaryWarm()
+	}
 	b, err := json.Marshal(keyPayload{
 		Schema:      SchemaVersion,
 		Model:       sim.ModelVersion,
@@ -64,6 +79,8 @@ func keyWith(job Job, traceDigest string) (string, error) {
 		TraceDigest: traceDigest,
 		Warmup:      job.Warmup,
 		Measure:     job.Measure,
+		Segments:    segments,
+		Boundary:    boundary,
 	})
 	if err != nil {
 		return "", fmt.Errorf("runq: hashing %s/%s: %w", job.Config.Name, job.traceLabel(), err)

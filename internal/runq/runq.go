@@ -27,6 +27,7 @@ import (
 	"ucp/internal/ckpt"
 	"ucp/internal/core"
 	"ucp/internal/sim"
+	"ucp/internal/tpar"
 	"ucp/internal/trace"
 )
 
@@ -42,6 +43,18 @@ type Job struct {
 	TraceFile string
 	Warmup    uint64
 	Measure   uint64
+
+	// Segments > 1 runs the job time-parallel (internal/tpar): the
+	// measured region splits into that many trace segments simulated
+	// concurrently on the pool's shared segment gate and merged in
+	// segment order. Segment results differ from serial ones (counter
+	// blocks become measured-region deltas and a bounded
+	// boundary-warming error applies; see EXPERIMENTS.md), so Segments
+	// is part of the cache key. 0 and 1 are the serial engine.
+	Segments int
+	// Boundary overrides the boundary-warming geometry for segmented
+	// runs (zero value: sim.DefaultBoundaryWarm).
+	Boundary sim.BoundaryWarm
 }
 
 // traceLabel names the job's workload in errors and reports.
@@ -109,6 +122,16 @@ type Options struct {
 	// CkptDir persists checkpoints next to the result cache so later
 	// processes reuse them (implies Checkpoints).
 	CkptDir string
+	// CkptMaxBytes bounds CkptDir's on-disk footprint: after each
+	// persisted checkpoint, least-recently-verified blobs are pruned
+	// until the directory fits (0: unbounded). Boundary checkpoints
+	// from time-parallel runs accumulate one blob per segment boundary,
+	// so long-lived services (sweepd) should set a bound.
+	CkptMaxBytes int64
+	// CkptNow supplies wall time (unix nanoseconds) for the pruning
+	// order's verify-stamps. Like Clock it is injected from cmd/ only;
+	// nil degrades pruning to least-recently-written order.
+	CkptNow func() int64
 	// RunJob overrides the job execution body (nil: the real
 	// simulation). It is the seam sweepd's tests use to inject slow,
 	// failing, or panicking jobs; the pool still wraps it with panic
@@ -148,8 +171,16 @@ type Pool struct {
 	done    int // jobs completed in the current RunAll, for progress
 
 	// ckpts is the warm-checkpoint store shared by every sampled job
-	// (nil when checkpoints are disabled).
+	// and every time-parallel boundary (nil when checkpoints are
+	// disabled).
 	ckpts *ckpt.Store
+
+	// segGate bounds detailed-simulation concurrency across every
+	// time-parallel job on this pool: each in-flight segment holds one
+	// slot, so a -segments job cooperates with the worker pool instead
+	// of multiplying it (workers × segments goroutines would
+	// oversubscribe the host).
+	segGate chan struct{}
 
 	// runJob is the execution seam; Options.RunJob (or tests)
 	// substitute failure modes.
@@ -183,8 +214,9 @@ func New(opts Options) *Pool {
 		arenas:  make(map[string]*arenaEntry),
 	}
 	if opts.Checkpoints || opts.CkptDir != "" {
-		p.ckpts = ckpt.NewStore(opts.CkptDir)
+		p.ckpts = ckpt.NewStoreLimit(opts.CkptDir, opts.CkptMaxBytes, opts.CkptNow)
 	}
+	p.segGate = make(chan struct{}, p.workers())
 	p.runJob = p.simulate
 	if opts.RunJob != nil {
 		p.runJob = opts.RunJob
@@ -484,23 +516,26 @@ func recoverRun(run func(Job, sim.ProgressFunc) (sim.Result, error), job Job, ho
 
 // simulate is the real job body: resolve the workload stream (shared
 // arena or per-job walker), apply the instruction budgets, and run the
-// machine, with warm-checkpoint reuse when the pool has a store.
+// machine — serially, or time-parallel when Job.Segments > 1 — with
+// warm-checkpoint reuse when the pool has a store.
 func (p *Pool) simulate(job Job, hook sim.ProgressFunc) (sim.Result, error) {
 	cfg := job.Config
 	cfg.WarmupInsts, cfg.MeasureInsts = job.Warmup, job.Measure
 	budget := int(cfg.WarmupInsts+cfg.MeasureInsts) + 200_000
+	timePar := job.Segments > 1
 
 	var (
-		src     trace.Source
-		code    core.CodeInfo
-		traceID string
+		newSource func() trace.Source
+		code      core.CodeInfo
+		traceID   string
 	)
 	if job.TraceFile != "" {
 		a, err := p.FileArena(job.TraceFile)
 		if err != nil {
 			return sim.Result{}, err
 		}
-		src, traceID = a.Cursor(), "file:"+a.ID()
+		newSource = func() trace.Source { return a.Cursor() }
+		traceID = "file:" + a.ID()
 	} else {
 		prog, err := p.Program(job.Profile)
 		if err != nil {
@@ -515,21 +550,37 @@ func (p *Pool) simulate(job Job, hook sim.ProgressFunc) (sim.Result, error) {
 		// budget: the stream prefix a checkpoint replays is independent
 		// of where the run's limit lies.
 		traceID = "profile:" + pk
-		if p.opts.UseArena {
+		if p.opts.UseArena || timePar {
+			// Time-parallel jobs always run over the shared arena,
+			// whatever Options.UseArena says: segment boundaries lean on
+			// the cursor's O(1) seek, and per-segment generator walks
+			// would turn every boundary placement into an O(position)
+			// replay.
 			a, err := p.profileArena(job.Profile, budget)
 			if err != nil {
 				return sim.Result{}, err
 			}
-			src = a.Cursor()
+			newSource = func() trace.Source { return a.Cursor() }
 		} else {
-			src = trace.NewLimit(trace.NewWalker(prog), budget)
+			newSource = func() trace.Source { return trace.NewLimit(trace.NewWalker(prog), budget) }
 		}
+	}
+	if timePar {
+		return tpar.Run(cfg, newSource, code, job.traceLabel(), tpar.Options{
+			Segments:    job.Segments,
+			Workers:     p.workers(),
+			Warm:        job.Boundary,
+			Checkpoints: p.ckpts,
+			TraceID:     traceID,
+			Gate:        p.segGate,
+			Hook:        hook,
+		})
 	}
 	var wc *sim.WarmCheckpoints
 	if p.ckpts != nil {
 		wc = &sim.WarmCheckpoints{Store: p.ckpts, TraceID: traceID}
 	}
-	return sim.RunHooked(cfg, src, code, job.traceLabel(), wc, hook)
+	return sim.RunHooked(cfg, newSource(), code, job.traceLabel(), wc, hook)
 }
 
 // noteProgress emits a progress/ETA line roughly every 5% of the batch

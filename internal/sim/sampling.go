@@ -244,56 +244,13 @@ func runSampled(cfg Config, src trace.Source, code core.CodeInfo, traceName stri
 	hook.note(StageWarming, 0, int(periods))
 
 	var skipped, ffTotal uint64
-	pos := func() uint64 { return skipped + m.be.Committed }
 
 	// ffwd advances the stream position to `to` through the warming
-	// pyramid: the last FFWarmInsts run the functional path, the
-	// CacheWarmInsts before that warm caches and train the predictor,
-	// the BPWarmInsts before that train the predictor only, and
-	// anything earlier skips at trace-generator speed (a zero horizon
-	// extends the corresponding tier over the whole remainder).
+	// pyramid with the sampling geometry's horizons (fastForward below;
+	// the time-parallel segment runner shares the same implementation
+	// with its own BoundaryWarm horizons).
 	ffwd := func(to uint64) error {
-		cur := pos()
-		if to <= cur {
-			return nil
-		}
-		warm := to - cur
-		if s.FFWarmInsts > 0 && warm > s.FFWarmInsts {
-			skip := warm - s.FFWarmInsts
-			warm = s.FFWarmInsts
-			cacheZ := skip
-			if s.CacheWarmInsts > 0 && cacheZ > s.CacheWarmInsts {
-				cacheZ = s.CacheWarmInsts
-			}
-			bpZ := skip - cacheZ
-			if s.BPWarmInsts > 0 && bpZ > s.BPWarmInsts-cacheZ {
-				bpZ = s.BPWarmInsts - cacheZ
-			}
-			pure := skip - cacheZ - bpZ
-			zones := [3]struct {
-				n uint64
-				w trace.Warmer
-			}{{pure, nil}, {bpZ, condWarmer{m}}, {cacheZ, machineWarmer{m}}}
-			for _, z := range zones {
-				if z.n == 0 {
-					continue
-				}
-				var n uint64
-				if z.w == nil {
-					n = uint64(trace.SkipN(m.src, int(z.n)))
-				} else {
-					n = uint64(trace.SkipWarmN(m.src, int(z.n), z.w))
-				}
-				skipped += n
-				m.cycle += n
-				if n != z.n {
-					return fmt.Errorf("sim: trace ended during sampled fast-forward at instruction %d", pos())
-				}
-			}
-		}
-		done, err := m.ffRun(warm)
-		ffTotal += done
-		return err
+		return m.fastForward(to, s.FFWarmInsts, s.CacheWarmInsts, s.BPWarmInsts, &skipped, &ffTotal)
 	}
 
 	var (
@@ -441,6 +398,58 @@ func runSampled(cfg Config, src trace.Source, code core.CodeInfo, traceName stri
 		r.UCPStorageKB = m.ucp.StorageKB()
 	}
 	return r, nil
+}
+
+// fastForward advances the stream position to `to` through the warming
+// pyramid: the last ffW instructions run the functional path, the
+// cacheW before that warm caches and train the predictor, the bpW
+// before that train the predictor only, and anything earlier skips at
+// trace-generator speed (a zero horizon extends the corresponding tier
+// over the whole remainder). skipped/ffTotal are the caller's position
+// accounting: *skipped counts instructions that never reached the
+// backend, so the absolute stream position is *skipped + be.Committed.
+func (m *Machine) fastForward(to, ffW, cacheW, bpW uint64, skipped, ffTotal *uint64) error {
+	cur := *skipped + m.be.Committed
+	if to <= cur {
+		return nil
+	}
+	warm := to - cur
+	if ffW > 0 && warm > ffW {
+		skip := warm - ffW
+		warm = ffW
+		cacheZ := skip
+		if cacheW > 0 && cacheZ > cacheW {
+			cacheZ = cacheW
+		}
+		bpZ := skip - cacheZ
+		if bpW > 0 && bpZ > bpW-cacheZ {
+			bpZ = bpW - cacheZ
+		}
+		pure := skip - cacheZ - bpZ
+		zones := [3]struct {
+			n uint64
+			w trace.Warmer
+		}{{pure, nil}, {bpZ, condWarmer{m}}, {cacheZ, machineWarmer{m}}}
+		for _, z := range zones {
+			if z.n == 0 {
+				continue
+			}
+			var n uint64
+			if z.w == nil {
+				n = uint64(trace.SkipN(m.src, int(z.n)))
+			} else {
+				n = uint64(trace.SkipWarmN(m.src, int(z.n), z.w))
+			}
+			*skipped += n
+			m.cycle += n
+			if n != z.n {
+				return fmt.Errorf("sim: trace ended during fast-forward at instruction %d", *skipped+m.be.Committed)
+			}
+		}
+	}
+	done, err := m.ffRun(warm)
+	*ffTotal += done
+	return err
 }
 
 // ffRun functionally commits up to n instructions, returning how many it

@@ -195,6 +195,32 @@ type Result struct {
 	// Sampled carries the sampling estimator's window statistics; nil
 	// for full-detail runs, so their digests are unchanged.
 	Sampled *SampledStats
+
+	// TimePar carries the time-parallel merge provenance (internal/tpar);
+	// nil for serial runs, so their digests are unchanged.
+	TimePar *TimeParStats
+}
+
+// TimeParStats reports how a time-parallel run was segmented and what
+// each segment measured. It is folded into the determinism digest, so
+// every field must be independent of worker count and scheduling —
+// checkpoint provenance (captured vs restored boundaries) deliberately
+// lives in the pool's CheckpointStats instead.
+type TimeParStats struct {
+	// Segments is the number of concurrently simulated trace segments.
+	Segments int
+	// Boundaries are the segment start positions (absolute instruction
+	// counts), in segment order.
+	Boundaries []uint64
+	// SegInsts/SegCycles/SegIPC are the per-segment measured spans, in
+	// segment order.
+	SegInsts  []uint64
+	SegCycles []uint64
+	SegIPC    []float64
+	// SkippedInsts/FFInsts total the boundary-warming work across all
+	// segments (warming-skip vs functionally committed instructions).
+	SkippedInsts uint64
+	FFInsts      uint64
 }
 
 // Machine is one assembled core, stepped cycle by cycle.
@@ -464,6 +490,17 @@ func (r Result) DeterminismDigest() string {
 			s.IPCMean, s.IPCCI95, s.MPKIMean, s.MPKICI95)
 		for i, v := range s.WindowIPC {
 			fmt.Fprintf(&sb, "sampled w%d ipc=%.9f\n", i, v)
+		}
+	}
+	// The time-parallel section only exists for segmented runs, so
+	// serial digests (and the hotpath golden) are byte-identical to
+	// before.
+	if t := r.TimePar; t != nil {
+		fmt.Fprintf(&sb, "timepar segments=%d skipped=%d ff=%d\n",
+			t.Segments, t.SkippedInsts, t.FFInsts)
+		for i := range t.Boundaries {
+			fmt.Fprintf(&sb, "timepar s%d start=%d insts=%d cycles=%d ipc=%.9f\n",
+				i, t.Boundaries[i], t.SegInsts[i], t.SegCycles[i], t.SegIPC[i])
 		}
 	}
 	return sb.String()

@@ -205,6 +205,18 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
+// Clone returns an independent copy of h (nil-safe). Aggregators that
+// must not mutate their inputs — the time-parallel merge reduces shared
+// per-segment results more than once under the shuffle-merge harness —
+// clone before merging.
+func (h *Histogram) Clone() *Histogram {
+	if h == nil {
+		return nil
+	}
+	c := *h
+	return &c
+}
+
 // Geomean computes the geometric mean of ratios (b[i]/a[i]) minus one,
 // as a percentage — the speedup aggregation the paper uses (§V).
 func Geomean(a, b []float64) (float64, error) {

@@ -34,7 +34,7 @@ import (
 // disagreeing on sim.ModelVersion or the job-key schema would silently
 // exchange results computed under different models, which is exactly
 // the cache-compatibility bug class the -version flags exist to debug.
-const ProtocolVersion = "sweepd-1"
+const ProtocolVersion = "sweepd-2"
 
 // Job states, in lifecycle order. A job is queued on admission, warming
 // once an executor picks it up, measuring when detailed windows start,
@@ -57,11 +57,23 @@ type JobSpec struct {
 	Profile trace.Profile `json:"profile"`
 	Warmup  uint64        `json:"warmup"`
 	Measure uint64        `json:"measure"`
+	// Segments > 1 asks the server to run the job time-parallel
+	// (internal/tpar) with the given boundary-warm geometry; results are
+	// byte-identical whatever worker budget the server has.
+	Segments int              `json:"segments,omitempty"`
+	Boundary sim.BoundaryWarm `json:"boundary,omitzero"`
 }
 
 // Job converts the spec back to a pool job.
 func (s JobSpec) Job() runq.Job {
-	return runq.Job{Config: s.Config, Profile: s.Profile, Warmup: s.Warmup, Measure: s.Measure}
+	return runq.Job{
+		Config:   s.Config,
+		Profile:  s.Profile,
+		Warmup:   s.Warmup,
+		Measure:  s.Measure,
+		Segments: s.Segments,
+		Boundary: s.Boundary,
+	}
 }
 
 // Spec converts a pool job to its wire form.
@@ -69,7 +81,14 @@ func Spec(j runq.Job) (JobSpec, error) {
 	if j.TraceFile != "" {
 		return JobSpec{}, fmt.Errorf("sweepd: %s: recorded-trace jobs are server-local; run them in-process", j.TraceFile)
 	}
-	return JobSpec{Config: j.Config, Profile: j.Profile, Warmup: j.Warmup, Measure: j.Measure}, nil
+	return JobSpec{
+		Config:   j.Config,
+		Profile:  j.Profile,
+		Warmup:   j.Warmup,
+		Measure:  j.Measure,
+		Segments: j.Segments,
+		Boundary: j.Boundary,
+	}, nil
 }
 
 // SubmitRequest is the POST /v1/jobs body.

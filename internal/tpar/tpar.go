@@ -1,0 +1,334 @@
+// Package tpar runs one simulation time-parallel: the measured region
+// of a single full-detail run is split into N contiguous trace segments
+// (sim.SegmentSpec), each segment's boundary state is rebuilt by the
+// functional-warm pyramid (or restored from a content-addressed
+// internal/ckpt checkpoint captured on a previous run), the segments
+// are simulated concurrently on a bounded worker pool, and the
+// per-segment results are merged in segment order — so the combined
+// sim.Result is byte-identical at any worker count, the same bar
+// internal/runq's job-level parallelism already clears.
+//
+// The price is a bounded boundary-warming error: each segment's start
+// state comes from the warming pyramid rather than from cycle-accurate
+// history, exactly like the sampled mode's windows (EXPERIMENTS.md
+// quantifies the IPC delta). segments=1 is special-cased onto the
+// serial engine, byte-identical to sim.Run.
+package tpar
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ucp/internal/cache"
+	"ucp/internal/ckpt"
+	"ucp/internal/core"
+	"ucp/internal/frontend"
+	"ucp/internal/sim"
+	"ucp/internal/stats"
+	"ucp/internal/trace"
+	"ucp/internal/uopcache"
+)
+
+// Options configures one time-parallel run.
+type Options struct {
+	// Segments is the number of trace segments (clamped to the measured
+	// instruction count; <= 1 runs the serial engine).
+	Segments int
+	// Workers bounds concurrent segment simulations (GOMAXPROCS when
+	// <= 0). Results are byte-identical at any value.
+	Workers int
+	// Warm is the boundary-warming geometry (zero value:
+	// sim.DefaultBoundaryWarm).
+	Warm sim.BoundaryWarm
+	// Checkpoints, when non-nil, caches each boundary's functional-warm
+	// state under a content-addressed key (sim.BoundaryKey): the first
+	// run captures, later runs — or concurrent runs sharing a boundary —
+	// restore, with byte-identical results either way. TraceID must then
+	// identify the instruction stream exactly (sim.WarmCheckpoints).
+	Checkpoints *ckpt.Store
+	TraceID     string
+	// Gate, when non-nil, bounds segment concurrency across *multiple*
+	// concurrent time-parallel runs sharing it (internal/runq sizes one
+	// gate at its worker count so a time-parallel job cooperates with
+	// the pool instead of oversubscribing the host). Each in-flight
+	// segment holds one slot.
+	Gate chan struct{}
+	// Hook receives progress notifications (observability only; runs
+	// are byte-identical with and without one). Unlike sim's hooks it
+	// may be invoked from multiple goroutines; calls are serialized.
+	Hook sim.ProgressFunc
+}
+
+// Plan splits the measured region [warmup, warmup+measure) into
+// contiguous segments: segments of base length measure/n with the
+// remainder spread one instruction each over the leading segments, so
+// lengths differ by at most one. n is clamped to [1, measure] — more
+// segments than instructions would create empty spans.
+func Plan(warmup, measure uint64, n int) []sim.SegmentSpec {
+	if n < 1 {
+		n = 1
+	}
+	if uint64(n) > measure {
+		n = int(measure)
+		if n < 1 {
+			n = 1
+		}
+	}
+	base := measure / uint64(n)
+	rem := measure % uint64(n)
+	specs := make([]sim.SegmentSpec, n)
+	start := warmup
+	for i := range specs {
+		length := base
+		if uint64(i) < rem {
+			length++
+		}
+		specs[i] = sim.SegmentSpec{Index: i, Start: start, End: start + length}
+		start += length
+	}
+	return specs
+}
+
+// Run executes cfg time-parallel over the trace. newSource must return
+// a fresh, independent stream at position zero on every call (arena
+// cursors: each segment gets its own); it is called from multiple
+// goroutines. With Segments <= 1 (or a measured region too short to
+// split) the run goes through the serial engine and is byte-identical
+// to sim.Run.
+func Run(cfg sim.Config, newSource func() trace.Source, code core.CodeInfo, traceName string, opts Options) (sim.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return sim.Result{}, err
+	}
+	var wc *sim.WarmCheckpoints
+	if opts.Checkpoints != nil {
+		wc = &sim.WarmCheckpoints{Store: opts.Checkpoints, TraceID: opts.TraceID}
+	}
+	specs := Plan(cfg.WarmupInsts, cfg.MeasureInsts, opts.Segments)
+	if len(specs) <= 1 {
+		return sim.RunHooked(cfg, newSource(), code, traceName, wc, opts.Hook)
+	}
+	warm := opts.Warm
+	if warm == (sim.BoundaryWarm{}) {
+		warm = sim.DefaultBoundaryWarm()
+	}
+	if err := warm.Validate(); err != nil {
+		return sim.Result{}, err
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	// Serialized progress: segment completions arrive from any worker,
+	// but the hook contract is single-goroutine.
+	var noteMu sync.Mutex
+	done := 0
+	note := func() {
+		if opts.Hook == nil {
+			return
+		}
+		noteMu.Lock()
+		defer noteMu.Unlock()
+		done++
+		opts.Hook(sim.Progress{Stage: sim.StageMeasuring, WindowsDone: done, WindowsTotal: len(specs)})
+	}
+	if opts.Hook != nil {
+		opts.Hook(sim.Progress{Stage: sim.StageWarming, WindowsDone: 0, WindowsTotal: len(specs)})
+	}
+
+	// runOne simulates one segment with its own recover: a panicking
+	// segment fails this run, not the process (and not its siblings'
+	// worker goroutines). Each in-flight segment holds one Gate slot, so
+	// total detailed-simulation concurrency across every time-parallel
+	// run sharing the gate stays bounded.
+	runOne := func(spec sim.SegmentSpec) (res sim.SegmentResult, err error) {
+		if opts.Gate != nil {
+			opts.Gate <- struct{}{}
+			defer func() { <-opts.Gate }()
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("segment %d: panic: %v", spec.Index, r)
+			}
+		}()
+		return sim.RunSegment(cfg, newSource(), code, spec, warm, wc)
+	}
+
+	// Fan out over the workers. Each worker folds its segments into its
+	// own Accum (cells are disjoint by construction: a segment index is
+	// dispatched exactly once); the per-worker accums merge afterwards
+	// in any order, and Accum.Result reduces in segment order — which is
+	// why the digest is byte-identical at any worker count.
+	accs := make([]*Accum, workers)
+	errs := make([]error, len(specs))
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := NewAccum(len(specs))
+			accs[w] = acc
+			for i := range idxCh {
+				res, err := runOne(specs[i])
+				if err != nil {
+					errs[i] = err
+				} else {
+					acc.AddSegment(res)
+				}
+				note()
+			}
+		}(w)
+	}
+	for i := range specs {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	// Deterministic error selection: the lowest-indexed failure wins,
+	// independent of completion order.
+	for _, err := range errs {
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("tpar: %w", err)
+		}
+	}
+
+	merged := accs[0]
+	for _, acc := range accs[1:] {
+		merged.Merge(acc)
+	}
+	return merged.Result(cfg, traceName)
+}
+
+// Accum accumulates per-segment results, keyed by segment index. Cells
+// from different Accums are disjoint (each segment is simulated exactly
+// once), which is what makes Merge commutative; the order-sensitive
+// reduction happens only in Result, which walks cells in segment order.
+type Accum struct {
+	cells []*sim.SegmentResult
+}
+
+// NewAccum returns an accumulator for a run of n segments.
+func NewAccum(n int) *Accum {
+	return &Accum{cells: make([]*sim.SegmentResult, n)}
+}
+
+// AddSegment files one segment's result under its index. Filing two
+// results under one index is a scheduling bug and panics.
+func (a *Accum) AddSegment(r sim.SegmentResult) {
+	if r.Index < 0 || r.Index >= len(a.cells) {
+		panic(fmt.Sprintf("tpar: segment index %d out of range [0, %d)", r.Index, len(a.cells)))
+	}
+	if a.cells[r.Index] != nil {
+		panic(fmt.Sprintf("tpar: segment %d accumulated twice", r.Index))
+	}
+	c := r
+	a.cells[r.Index] = &c
+}
+
+// Merge folds b's cells into a. Cell sets are disjoint by construction,
+// so the merge is a union: no arithmetic happens here at all — every
+// order-sensitive reduction is deferred to Result's segment-ordered
+// walk, which is what keeps digests byte-identical at any worker count.
+// Verified dynamically by TestAccumMergeCommutes (shuffle-merge under
+// seeded random orderings, via stats.CheckCommutative).
+//
+//ucplint:commutative
+func (a *Accum) Merge(b *Accum) {
+	if len(b.cells) > len(a.cells) {
+		grown := make([]*sim.SegmentResult, len(b.cells))
+		copy(grown, a.cells)
+		a.cells = grown
+	}
+	for i, c := range b.cells {
+		if c == nil {
+			continue
+		}
+		if a.cells[i] != nil {
+			panic(fmt.Sprintf("tpar: segment %d accumulated twice across merge", i))
+		}
+		a.cells[i] = c
+	}
+}
+
+// Result reduces the accumulated segments — in segment order, never
+// arrival order — into one sim.Result. Counter blocks are summed
+// measured-region deltas (integer addition, exact in any grouping);
+// histograms merge into fresh clones, so the cells themselves are never
+// mutated and Result can be re-derived from the same Accum. The rate
+// metrics use the serial engine's formulas over the summed deltas.
+func (a *Accum) Result(cfg sim.Config, traceName string) (sim.Result, error) {
+	var (
+		insts, cycles  uint64
+		skipped, ff    uint64
+		fe             frontend.Stats
+		uop            uopcache.Stats
+		ucp            core.Stats
+		l1i            cache.Stats
+		stream, refill *stats.Histogram
+	)
+	t := &sim.TimeParStats{Segments: len(a.cells)}
+	for i, c := range a.cells {
+		if c == nil {
+			return sim.Result{}, fmt.Errorf("tpar: merge is missing segment %d of %d", i, len(a.cells))
+		}
+		insts += c.Insts
+		cycles += c.Cycles
+		skipped += c.SkippedInsts
+		ff += c.FFInsts
+		sim.AddCounters(&fe, c.FE)
+		sim.AddCounters(&uop, c.Uop)
+		sim.AddCounters(&ucp, c.UCP)
+		sim.AddCounters(&l1i, c.L1I)
+		if stream == nil {
+			stream, refill = c.StreamLens.Clone(), c.RefillLat.Clone()
+		} else {
+			stream.Merge(c.StreamLens)
+			refill.Merge(c.RefillLat)
+		}
+		segIPC := 0.0
+		if c.Cycles > 0 {
+			segIPC = float64(c.Insts) / float64(c.Cycles)
+		}
+		t.Boundaries = append(t.Boundaries, c.Start)
+		t.SegInsts = append(t.SegInsts, c.Insts)
+		t.SegCycles = append(t.SegCycles, c.Cycles)
+		t.SegIPC = append(t.SegIPC, segIPC)
+	}
+	t.SkippedInsts, t.FFInsts = skipped, ff
+
+	r := sim.Result{
+		Name:       cfg.Name,
+		Trace:      traceName,
+		Insts:      insts,
+		Cycles:     cycles,
+		FE:         fe,
+		Uop:        uop,
+		UCP:        ucp,
+		L1I:        l1i,
+		StreamLens: stream,
+		RefillLat:  refill,
+		TimePar:    t,
+	}
+	if cycles > 0 {
+		r.IPC = float64(insts) / float64(cycles)
+	}
+	if fetched := fe.UopsFromUopCache + fe.UopsFromDecode; fetched > 0 {
+		r.UopHitRate = float64(fe.UopsFromUopCache) / float64(fetched)
+	}
+	if insts > 0 {
+		r.SwitchPKI = float64(fe.ModeSwitches) / float64(insts) * 1000
+		r.CondMPKI = float64(fe.CondMispredicts) / float64(insts) * 1000
+	}
+	if uop.PrefetchInserts > 0 {
+		r.PrefetchAccuracy = float64(uop.PrefetchUsed) / float64(uop.PrefetchInserts)
+	}
+	r.UCPStorageKB = a.cells[0].UCPStorageKB
+	return r, nil
+}

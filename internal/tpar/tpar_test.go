@@ -1,0 +1,235 @@
+package tpar_test
+
+import (
+	"strings"
+	"testing"
+
+	"ucp/internal/ckpt"
+	"ucp/internal/core"
+	"ucp/internal/sim"
+	"ucp/internal/stats"
+	"ucp/internal/tpar"
+	"ucp/internal/trace"
+)
+
+// testArena decodes prof into an arena budgeted for end + slack; every
+// segment draws a fresh cursor from it, like runq does.
+func testArena(t *testing.T, profName string, end uint64) (*trace.Arena, *trace.Program) {
+	t.Helper()
+	prof, ok := trace.ProfileByName(profName)
+	if !ok {
+		t.Fatalf("unknown profile %q", profName)
+	}
+	prog, err := trace.BuildProgram(prof)
+	if err != nil {
+		t.Fatalf("building %s: %v", profName, err)
+	}
+	return trace.ArenaFromSource(trace.NewWalker(prog), int(end)+200_000), prog
+}
+
+func testWarm() sim.BoundaryWarm {
+	return sim.BoundaryWarm{DetailedInsts: 2_000, FFInsts: 8_000}
+}
+
+// TestPlan pins the segment geometry: contiguous coverage of exactly
+// [warmup, warmup+measure), lengths differing by at most one with the
+// remainder on the leading segments (the trailing segment is the
+// partial one), and clamping when asked for more segments than
+// instructions.
+func TestPlan(t *testing.T) {
+	specs := tpar.Plan(1_000, 10_007, 4)
+	if len(specs) != 4 {
+		t.Fatalf("got %d segments, want 4", len(specs))
+	}
+	wantLens := []uint64{2_502, 2_502, 2_502, 2_501} // 10_007 = 4*2501 + 3
+	pos := uint64(1_000)
+	for i, s := range specs {
+		if s.Index != i {
+			t.Errorf("segment %d carries index %d", i, s.Index)
+		}
+		if s.Start != pos {
+			t.Errorf("segment %d starts at %d, want %d (gap or overlap)", i, s.Start, pos)
+		}
+		if got := s.End - s.Start; got != wantLens[i] {
+			t.Errorf("segment %d spans %d insts, want %d", i, got, wantLens[i])
+		}
+		pos = s.End
+	}
+	if pos != 11_007 {
+		t.Errorf("plan ends at %d, want warmup+measure = 11_007", pos)
+	}
+
+	// More segments than instructions: clamp to one inst per segment.
+	specs = tpar.Plan(0, 3, 10)
+	if len(specs) != 3 {
+		t.Fatalf("overclamped plan has %d segments, want 3", len(specs))
+	}
+	for i, s := range specs {
+		if s.End-s.Start != 1 {
+			t.Errorf("clamped segment %d spans %d insts, want 1", i, s.End-s.Start)
+		}
+	}
+
+	// Degenerate inputs collapse to a single serial segment.
+	if got := len(tpar.Plan(5, 100, 0)); got != 1 {
+		t.Errorf("n=0 planned %d segments, want 1", got)
+	}
+}
+
+// TestSegmentsOneMatchesSerial: a one-segment run must route through
+// the serial engine and be byte-identical to sim.Run — the identity
+// anchor every other invariance test leans on.
+func TestSegmentsOneMatchesSerial(t *testing.T) {
+	cfg := sim.WithUCP(core.DefaultConfig())
+	cfg.WarmupInsts, cfg.MeasureInsts = 20_000, 40_000
+	a, prog := testArena(t, "crypto01", 60_000)
+
+	serial, err := sim.Run(cfg, a.Cursor(), prog, "crypto01")
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	one, err := tpar.Run(cfg, func() trace.Source { return a.Cursor() }, prog, "crypto01",
+		tpar.Options{Segments: 1})
+	if err != nil {
+		t.Fatalf("tpar run: %v", err)
+	}
+	if got, want := one.DeterminismDigest(), serial.DeterminismDigest(); got != want {
+		t.Fatalf("segments=1 digest differs from serial:\n%s\n---\n%s", got, want)
+	}
+	if one.TimePar != nil {
+		t.Error("segments=1 result carries TimeParStats; it must be the serial result verbatim")
+	}
+}
+
+// TestWorkerCountInvariance is the tentpole determinism bar: the same
+// segmented run must produce byte-identical digests at any worker
+// count, including a TimePar section describing every segment.
+func TestWorkerCountInvariance(t *testing.T) {
+	cfg := sim.WithUCP(core.DefaultConfig())
+	cfg.WarmupInsts, cfg.MeasureInsts = 20_000, 40_000
+	a, prog := testArena(t, "srv203", 60_000)
+
+	run := func(workers int) sim.Result {
+		r, err := tpar.Run(cfg, func() trace.Source { return a.Cursor() }, prog, "srv203",
+			tpar.Options{Segments: 4, Workers: workers, Warm: testWarm()})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return r
+	}
+	d1 := run(1).DeterminismDigest()
+	for _, w := range []int{2, 8} {
+		if dw := run(w).DeterminismDigest(); dw != d1 {
+			t.Fatalf("digest differs between workers=1 and workers=%d:\n%s\n---\n%s", w, d1, dw)
+		}
+	}
+	for _, want := range []string{"timepar segments=4", "timepar s0 ", "timepar s3 "} {
+		if !strings.Contains(d1, want) {
+			t.Errorf("digest missing %q section:\n%s", want, d1)
+		}
+	}
+}
+
+// TestCheckpointRestoredRunIdentical: a run restoring all boundary
+// checkpoints captured by an earlier run must be byte-identical to the
+// cold run — and actually hit the store.
+func TestCheckpointRestoredRunIdentical(t *testing.T) {
+	cfg := sim.WithUCP(core.DefaultConfig())
+	cfg.WarmupInsts, cfg.MeasureInsts = 20_000, 40_000
+	a, prog := testArena(t, "crypto01", 60_000)
+	store := ckpt.NewStore("")
+
+	run := func(st *ckpt.Store) sim.Result {
+		r, err := tpar.Run(cfg, func() trace.Source { return a.Cursor() }, prog, "crypto01",
+			tpar.Options{Segments: 4, Workers: 2, Warm: testWarm(),
+				Checkpoints: st, TraceID: "test:" + a.ID()})
+		if err != nil {
+			t.Fatalf("tpar run: %v", err)
+		}
+		return r
+	}
+	cold := run(nil)
+	captured := run(store)
+	if store.Len() == 0 {
+		t.Fatal("capturing run published no boundary checkpoints")
+	}
+	hitsBefore := store.Hits()
+	restored := run(store)
+	if store.Hits() <= hitsBefore {
+		t.Fatal("restore run never hit the checkpoint store")
+	}
+	cd := cold.DeterminismDigest()
+	if d := captured.DeterminismDigest(); d != cd {
+		t.Fatalf("capturing run digest differs from cold:\n%s\n---\n%s", d, cd)
+	}
+	if d := restored.DeterminismDigest(); d != cd {
+		t.Fatalf("checkpoint-restored run digest differs from cold:\n%s\n---\n%s", d, cd)
+	}
+}
+
+// TestMoreSegmentsThanInsts: asking for more segments than measured
+// instructions must clamp, not fail or emit empty spans.
+func TestMoreSegmentsThanInsts(t *testing.T) {
+	cfg := sim.Baseline()
+	cfg.WarmupInsts, cfg.MeasureInsts = 2_000, 5
+	a, prog := testArena(t, "crypto01", 2_005)
+	r, err := tpar.Run(cfg, func() trace.Source { return a.Cursor() }, prog, "crypto01",
+		tpar.Options{Segments: 64, Workers: 4, Warm: testWarm()})
+	if err != nil {
+		t.Fatalf("clamped run failed: %v", err)
+	}
+	if r.TimePar == nil || r.TimePar.Segments != 5 {
+		t.Fatalf("TimePar = %+v, want 5 clamped segments", r.TimePar)
+	}
+	if r.Insts < 5 {
+		t.Errorf("measured %d insts, want >= 5", r.Insts)
+	}
+}
+
+// TestAccumMergeCommutes backs Accum.Merge's //ucplint:commutative
+// annotation with the dynamic shuffle-merge harness: per-worker accums
+// holding disjoint segment sets must reduce to byte-identical digests
+// under any merge order. Registered in ucplint's verified set
+// (TestCommutativeAnnotationsAreShuffleTested).
+func TestAccumMergeCommutes(t *testing.T) {
+	cfg := sim.WithUCP(core.DefaultConfig())
+	cfg.WarmupInsts, cfg.MeasureInsts = 10_000, 24_000
+	a, prog := testArena(t, "srv203", 34_000)
+	specs := tpar.Plan(cfg.WarmupInsts, cfg.MeasureInsts, 6)
+	parts := make([]*tpar.Accum, len(specs))
+	for i, spec := range specs {
+		res, err := sim.RunSegment(cfg, a.Cursor(), prog, spec, testWarm(), nil)
+		if err != nil {
+			t.Fatalf("segment %d: %v", i, err)
+		}
+		parts[i] = tpar.NewAccum(len(specs))
+		parts[i].AddSegment(res)
+	}
+	err := stats.CheckCommutative(
+		func() *tpar.Accum { return tpar.NewAccum(len(specs)) },
+		func(dst, src *tpar.Accum) { dst.Merge(src) },
+		func(acc *tpar.Accum) string {
+			r, err := acc.Result(cfg, "srv203")
+			if err != nil {
+				t.Fatalf("Result after full merge: %v", err)
+			}
+			return r.DeterminismDigest()
+		},
+		parts, 0xBEEF, 64,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResultMissingSegment: reducing an accumulator with a hole must
+// fail loudly — a silently short merge would report wrong numbers with
+// a valid-looking digest.
+func TestResultMissingSegment(t *testing.T) {
+	acc := tpar.NewAccum(3)
+	acc.AddSegment(sim.SegmentResult{Index: 0, Start: 0, End: 10, Insts: 10, Cycles: 20})
+	acc.AddSegment(sim.SegmentResult{Index: 2, Start: 20, End: 30, Insts: 10, Cycles: 20})
+	if _, err := acc.Result(sim.Baseline(), "x"); err == nil || !strings.Contains(err.Error(), "missing segment 1") {
+		t.Fatalf("hole not detected: err = %v", err)
+	}
+}
