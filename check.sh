@@ -3,9 +3,10 @@
 #
 # Usage: ./check.sh [-fast]
 #
-#   -fast   skip the fuzz smoke, sweep-reuse, and sweepd gates (the
-#           slowest three); everything else runs. Use for inner-loop
-#           iteration; CI and pre-merge runs use the full gate.
+#   -fast   skip the fuzz smoke, sweep-reuse, autopilot, and sweepd
+#           gates (the slowest four); everything else runs. Use for
+#           inner-loop iteration; CI and pre-merge runs use the full
+#           gate.
 #
 # Each gate's wall-clock time is printed when the next gate starts.
 #
@@ -51,6 +52,14 @@
 #                           checkpoint captured and N-1 restored, and
 #                           wall-clock speedup at or above 3x; recorded
 #                           in BENCH_sweepreuse.json)
+#  12b. autopilot gate     (adaptive sampling must meet its CI target in
+#                           fewer windows than fixed geometry with the
+#                           full-detail IPC inside the claimed interval,
+#                           and the confidence-pruned 10-config search
+#                           must return the exhaustive winner for at
+#                           least 2x fewer simulated instructions, twice
+#                           identically; recorded in BENCH_autopilot.json,
+#                           Pareto table spliced into EXPERIMENTS_RESULTS.md)
 #  13. sweepd gate         (local pool vs a loopback sweepd server over
 #                           the same ablation: digests byte-identical
 #                           over the wire, each distinct job executed
@@ -277,6 +286,21 @@ else
 	echo "skipped (-fast)"
 fi
 
+step "autopilot gate"
+if [ "$FAST" -eq 0 ]; then
+	# Part A: an adaptive run (FastSampling + a ±2% CI target) must meet
+	# its target in strictly fewer windows than the fixed geometry, with
+	# the full-detail reference IPC inside its claimed interval, twice
+	# digest-identically. Part B: the confidence-pruned 10-config search
+	# must name the same winner as exhaustive enumeration at >=2x fewer
+	# simulated instructions, and a repeat search must reproduce winner,
+	# rounds, spend, and winning digest. The Pareto table is regenerated
+	# in EXPERIMENTS_RESULTS.md between its markers.
+	"$RUNQ_TMP/experiments" -autopilot-gate -autopilot-bench BENCH_autopilot.json
+else
+	echo "skipped (-fast)"
+fi
+
 step "sweepd gate"
 if [ "$FAST" -eq 0 ]; then
 	# In-process half: local pool vs a loopback sweepd server over the
@@ -321,11 +345,12 @@ fi
 
 step "BENCH schema"
 # Every benchmark record shares the same envelope so downstream tooling
-# can discover and parse them uniformly. In -fast mode the sweep-reuse
-# and sweepd records may be stale or absent; only gate them on full runs.
+# can discover and parse them uniformly. In -fast mode the sweep-reuse,
+# autopilot, and sweepd records may be stale or absent; only gate them
+# on full runs.
 SCHEMA_FILES="BENCH_runq.json BENCH_hotpath.json BENCH_sampling.json BENCH_tpar.json"
 if [ "$FAST" -eq 0 ]; then
-	SCHEMA_FILES="$SCHEMA_FILES BENCH_sweepreuse.json BENCH_sweepd.json"
+	SCHEMA_FILES="$SCHEMA_FILES BENCH_sweepreuse.json BENCH_autopilot.json BENCH_sweepd.json"
 fi
 for f in $SCHEMA_FILES; do
 	[ -f "$f" ] || { echo "BENCH schema: $f missing" >&2; exit 1; }

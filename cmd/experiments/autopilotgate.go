@@ -1,0 +1,419 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+
+	"ucp/internal/autopilot"
+	"ucp/internal/harness"
+	"ucp/internal/runq"
+	"ucp/internal/sim"
+	"ucp/internal/trace"
+)
+
+// The autopilot gate has two halves, both documented in EXPERIMENTS.md.
+//
+// Part A — adaptive-sampling soundness. One adaptive run (FastSampling
+// geometry plus a CI target) on crypto01 against the full-detail
+// reference and the fixed-geometry sampled run:
+//   - the adaptive run must report its target met, using strictly fewer
+//     windows than the fixed geometry's budget;
+//   - the full-detail IPC must lie inside the adaptive run's own
+//     claimed 95% interval (the CI is honest, not just narrow);
+//   - two adaptive passes must produce byte-identical digests.
+//
+// Part B — confidence-pruned search efficiency. A seeded 10-config
+// ablation on srv203 searched with autopilot.Search against the
+// autopilot.Exhaustive reference (every config straight at the final
+// target):
+//   - both strategies must name the same winner;
+//   - the search must spend at least autopilotMinSpendRatio× fewer
+//     simulated instructions (measured-region stream advance) than
+//     exhaustive;
+//   - a second Search over a fresh pool must reproduce the winner, the
+//     round count, the spend, and the winning digest byte-for-byte.
+//
+// The gate also regenerates the autopilot Pareto section of
+// EXPERIMENTS_RESULTS.md between its markers.
+const (
+	// Part A: crypto01 is the trace the FastSampling geometry is
+	// specified for, and the only one with a full-detail reference cheap
+	// enough to recompute per gate run.
+	adaptiveGateTrace   = "crypto01"
+	adaptiveGateWarmup  = 400_000
+	adaptiveGateMeasure = 25_000_000
+	adaptiveGateTarget  = 0.02 // relative 95% half-width target
+
+	// Part B: int01 pairs clear grid separation (the µ-op cache matters:
+	// no-uop 2.61 → ideal 3.88 IPC) with low per-window variance
+	// (~8% relative sd at this geometry), so the coarse probes stop
+	// after a handful of windows while the final target stays meetable
+	// inside the 80-window budget — both are what give pruning its
+	// leverage. The server traces are the counterexample: srv203's ~27%
+	// per-window sd makes even a ±4% target cost the whole budget, and a
+	// search degenerates to exhaustive plus overhead.
+	autopilotGateTrace     = "int01"
+	autopilotGateWarmup    = 400_000
+	autopilotGateMeasure   = 20_000_000
+	autopilotGateCoarse    = 0.05
+	autopilotGateFinal     = 0.02
+	autopilotGateMinWin    = 0 // sim defaults
+	autopilotMinSpendRatio = 2.0
+)
+
+// autopilotResultsMarkers delimit the generated Pareto section in
+// EXPERIMENTS_RESULTS.md.
+const (
+	autopilotBeginMarker = "<!-- BEGIN GENERATED: autopilot-pareto -->"
+	autopilotEndMarker   = "<!-- END GENERATED: autopilot-pareto -->"
+)
+
+// autopilotGrid is the seeded ablation: the paper's headline reference
+// points (no µ-op cache, baseline, ideal µ-op cache) plus the UCP
+// threshold/estimator axes of Figs. 12 and 15. The ideal µ-op cache is
+// the expected winner by a wide margin, so the other nine candidates
+// are pruning fodder — which is the point: the gate measures how much
+// of the exhaustive spend the search avoids without changing the
+// answer.
+func autopilotGrid() ([]runq.Job, *runq.Job, error) {
+	prof, ok := trace.ProfileByName(autopilotGateTrace)
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown profile %q", autopilotGateTrace)
+	}
+	sc := sim.SamplingConfig{
+		Enabled:       true,
+		PeriodInsts:   250_000,
+		DetailedInsts: 5_000,
+		WarmInsts:     5_000,
+		FFWarmInsts:   25_000,
+	}
+	cfgs := []sim.Config{
+		harness.NoUop(),
+		harness.BaselineCfg(),
+		harness.IdealUop(),
+		harness.UCPThreshold(125, false),
+		harness.UCPThreshold(250, false),
+		harness.UCP(),
+		harness.UCPThreshold(1000, false),
+		harness.UCPThreshold(2000, false),
+		harness.UCPNoInd(),
+		harness.UCPTageConf(),
+	}
+	jobs := make([]runq.Job, len(cfgs))
+	for i, cfg := range cfgs {
+		cfg.Sampling = sc
+		jobs[i] = runq.Job{Config: cfg, Profile: prof,
+			Warmup: autopilotGateWarmup, Measure: autopilotGateMeasure}
+	}
+	baseCfg := harness.BaselineCfg()
+	baseCfg.Sampling = sc
+	baseline := &runq.Job{Config: baseCfg, Profile: prof,
+		Warmup: autopilotGateWarmup, Measure: autopilotGateMeasure}
+	return jobs, baseline, nil
+}
+
+// adaptiveGateResult carries Part A's measurements into the bench record.
+type adaptiveGateResult struct {
+	fullIPC         float64
+	ipcMean, ipcCI  float64
+	relHalf         float64
+	fixedWindows    int
+	adaptiveWindows int
+	windowBudget    int
+	targetMet       bool
+}
+
+// runAdaptiveSoundness executes Part A and appends violations.
+func runAdaptiveSoundness(w io.Writer, violations *[]string) (adaptiveGateResult, error) {
+	var out adaptiveGateResult
+	prof, ok := trace.ProfileByName(adaptiveGateTrace)
+	if !ok {
+		return out, fmt.Errorf("unknown profile %q", adaptiveGateTrace)
+	}
+	prog, err := trace.BuildProgram(prof)
+	if err != nil {
+		return out, fmt.Errorf("building %s: %v", adaptiveGateTrace, err)
+	}
+	newSrc := func() trace.Source {
+		return trace.NewLimit(trace.NewWalker(prog), adaptiveGateWarmup+adaptiveGateMeasure+200_000)
+	}
+	cfg := harness.BaselineCfg()
+	cfg.WarmupInsts, cfg.MeasureInsts = adaptiveGateWarmup, adaptiveGateMeasure
+
+	full, err := sim.Run(cfg, newSrc(), prog, adaptiveGateTrace)
+	if err != nil {
+		return out, fmt.Errorf("full-detail reference: %v", err)
+	}
+
+	fixedCfg := cfg
+	fixedCfg.Sampling = sim.FastSampling()
+	fixed, err := sim.Run(fixedCfg, newSrc(), prog, adaptiveGateTrace)
+	if err != nil {
+		return out, fmt.Errorf("fixed-geometry run: %v", err)
+	}
+
+	adCfg := fixedCfg
+	adCfg.Sampling.TargetCI = adaptiveGateTarget
+	adaptive, err := sim.Run(adCfg, newSrc(), prog, adaptiveGateTrace)
+	if err != nil {
+		return out, fmt.Errorf("adaptive run: %v", err)
+	}
+	again, err := sim.Run(adCfg, newSrc(), prog, adaptiveGateTrace)
+	if err != nil {
+		return out, fmt.Errorf("adaptive repeat: %v", err)
+	}
+	if adaptive.DeterminismDigest() != again.DeterminismDigest() {
+		*violations = append(*violations, "adaptive: two passes digest differently")
+	}
+
+	s := adaptive.Sampled
+	out = adaptiveGateResult{
+		fullIPC: full.IPC, ipcMean: s.IPCMean, ipcCI: s.IPCCI95,
+		fixedWindows: fixed.Sampled.Windows, adaptiveWindows: s.Windows,
+		windowBudget: s.WindowBudget, targetMet: s.TargetMet,
+	}
+	if s.IPCMean > 0 {
+		out.relHalf = s.IPCCI95 / s.IPCMean
+	}
+	if !s.TargetMet {
+		*violations = append(*violations, fmt.Sprintf(
+			"adaptive: target ±%.1f%% unmet within the %d-window budget", adaptiveGateTarget*100, s.WindowBudget))
+	}
+	if s.Windows >= fixed.Sampled.Windows {
+		*violations = append(*violations, fmt.Sprintf(
+			"adaptive: %d windows, no fewer than the fixed geometry's %d", s.Windows, fixed.Sampled.Windows))
+	}
+	if bias := math.Abs(s.IPCMean - full.IPC); bias > s.IPCCI95 {
+		*violations = append(*violations, fmt.Sprintf(
+			"adaptive: full-detail IPC %.4f outside the claimed interval %.4f ± %.4f",
+			full.IPC, s.IPCMean, s.IPCCI95))
+	}
+	fmt.Fprintf(w, "  adaptive: %s full IPC %.4f; fixed %d windows; adaptive %d/%d windows, IPC %.4f ±%.4f (±%.2f%%, target ±%.0f%%, met=%v)\n",
+		adaptiveGateTrace, full.IPC, fixed.Sampled.Windows, s.Windows, s.WindowBudget,
+		s.IPCMean, s.IPCCI95, out.relHalf*100, adaptiveGateTarget*100, s.TargetMet)
+	return out, nil
+}
+
+// newAutopilotPool builds a fresh serial arena+checkpoint pool — fresh
+// so neither search pass nor the exhaustive reference reuses another
+// pass's memo (spend is read from results, but executed-once semantics
+// keep the determinism comparison honest).
+func newAutopilotPool() *runq.Pool {
+	return runq.New(runq.Options{Workers: 1, UseArena: true, Checkpoints: true})
+}
+
+func autopilotOpts(exec runq.Runner, grid []runq.Job, baseline *runq.Job) autopilot.Options {
+	return autopilot.Options{
+		Exec:           exec,
+		Grid:           grid,
+		Baseline:       baseline,
+		CoarseTargetCI: autopilotGateCoarse,
+		TargetCI:       autopilotGateFinal,
+		MinWindows:     autopilotGateMinWin,
+	}
+}
+
+// runAutopilotSweep is the -autopilot report mode: one confidence-
+// pruned search over the seeded ablation grid, rendered as the Pareto
+// table. It honors the harness options the figure sweeps use (-jobs,
+// -cache-dir, -server, progress) and lets -adaptive tighten the final
+// target.
+func runAutopilotSweep(w io.Writer, hopts harness.Options, finalTarget float64) error {
+	grid, baseline, err := autopilotGrid()
+	if err != nil {
+		return fmt.Errorf("autopilot: %v", err)
+	}
+	exec := hopts.Exec
+	if exec == nil {
+		exec = runq.New(runq.Options{
+			Workers:  hopts.Jobs,
+			CacheDir: hopts.CacheDir,
+			UseArena: true, Checkpoints: true,
+			Clock: hopts.Clock, Progress: hopts.Progress,
+		})
+	}
+	opts := autopilotOpts(exec, grid, baseline)
+	if finalTarget > 0 {
+		opts.TargetCI = finalTarget
+		if opts.CoarseTargetCI < finalTarget {
+			opts.CoarseTargetCI = finalTarget
+		}
+	}
+	opts.Log = hopts.Progress
+	rep, err := autopilot.Search(opts)
+	if err != nil {
+		return fmt.Errorf("autopilot: %v", err)
+	}
+	fmt.Fprintf(w, "## Autopilot — confidence-pruned ablation search\n\n")
+	fmt.Fprintf(w, "Trace %s, %d configs, %d warmup + %d measured insts per probe; targets ±%.1f%% → ±%.1f%%.\n\n",
+		autopilotGateTrace, len(grid), autopilotGateWarmup, autopilotGateMeasure,
+		opts.CoarseTargetCI*100, opts.TargetCI*100)
+	rep.WriteMarkdown(w)
+	return nil
+}
+
+// runAutopilotGate executes both halves, writes benchPath, regenerates
+// the EXPERIMENTS_RESULTS.md Pareto section, and returns an error when
+// any bound is violated.
+func runAutopilotGate(w io.Writer, benchPath, resultsPath string) error {
+	var violations []string
+
+	fmt.Fprintf(w, "autopilot gate: adaptive soundness (%s, %d+%d insts, FastSampling + ±%.0f%% target)\n",
+		adaptiveGateTrace, adaptiveGateWarmup, adaptiveGateMeasure, adaptiveGateTarget*100)
+	ad, err := runAdaptiveSoundness(w, &violations)
+	if err != nil {
+		return fmt.Errorf("autopilot gate: %v", err)
+	}
+
+	grid, baseline, err := autopilotGrid()
+	if err != nil {
+		return fmt.Errorf("autopilot gate: %v", err)
+	}
+	fmt.Fprintf(w, "autopilot gate: confidence-pruned search (%s, %d configs, ±%.0f%%→±%.0f%% targets)\n",
+		autopilotGateTrace, len(grid), autopilotGateCoarse*100, autopilotGateFinal*100)
+
+	search, err := autopilot.Search(autopilotOpts(newAutopilotPool(), grid, baseline))
+	if err != nil {
+		return fmt.Errorf("autopilot gate: search: %v", err)
+	}
+	exhaustive, err := autopilot.Exhaustive(autopilotOpts(newAutopilotPool(), grid, baseline))
+	if err != nil {
+		return fmt.Errorf("autopilot gate: exhaustive: %v", err)
+	}
+	searchAgain, err := autopilot.Search(autopilotOpts(newAutopilotPool(), grid, baseline))
+	if err != nil {
+		return fmt.Errorf("autopilot gate: search repeat: %v", err)
+	}
+
+	winner := search.Candidates[search.WinnerIndex].Job.Config.Name
+	exWinner := exhaustive.Candidates[exhaustive.WinnerIndex].Job.Config.Name
+	if search.WinnerIndex != exhaustive.WinnerIndex {
+		violations = append(violations, fmt.Sprintf(
+			"search winner %s differs from exhaustive winner %s", winner, exWinner))
+	}
+	ratio := 0.0
+	if search.TotalSpentInsts > 0 {
+		ratio = float64(exhaustive.TotalSpentInsts) / float64(search.TotalSpentInsts)
+	}
+	if ratio < autopilotMinSpendRatio {
+		violations = append(violations, fmt.Sprintf(
+			"spend ratio %.2fx below the %.1fx bound (search %d vs exhaustive %d insts)",
+			ratio, autopilotMinSpendRatio, search.TotalSpentInsts, exhaustive.TotalSpentInsts))
+	}
+	switch {
+	case searchAgain.WinnerIndex != search.WinnerIndex:
+		violations = append(violations, "second search names a different winner")
+	case searchAgain.Rounds != search.Rounds || searchAgain.TotalSpentInsts != search.TotalSpentInsts:
+		violations = append(violations, fmt.Sprintf(
+			"second search spent differently (%d rounds / %d insts vs %d / %d)",
+			searchAgain.Rounds, searchAgain.TotalSpentInsts, search.Rounds, search.TotalSpentInsts))
+	case searchAgain.Candidates[searchAgain.WinnerIndex].Result.DeterminismDigest() !=
+		search.Candidates[search.WinnerIndex].Result.DeterminismDigest():
+		violations = append(violations, "second search's winning digest diverges")
+	}
+	pruned := 0
+	for i := range search.Candidates {
+		if search.Candidates[i].PrunedRound > 0 {
+			pruned++
+		}
+	}
+	fmt.Fprintf(w, "  search: winner %s after %d rounds, %d/%d pruned, %.1f Minsts spent\n",
+		winner, search.Rounds, pruned, len(search.Candidates), float64(search.TotalSpentInsts)/1e6)
+	fmt.Fprintf(w, "  exhaustive: winner %s, %.1f Minsts spent — search spends %.2fx less (bound: ≥%.1fx)\n",
+		exWinner, float64(exhaustive.TotalSpentInsts)/1e6, ratio, autopilotMinSpendRatio)
+
+	var table strings.Builder
+	search.WriteMarkdown(&table)
+	if err := spliceAutopilotResults(resultsPath, table.String()); err != nil {
+		return fmt.Errorf("autopilot gate: %v", err)
+	}
+	fmt.Fprintf(w, "  Pareto table regenerated in %s\n", resultsPath)
+
+	if err := writeAutopilotBench(benchPath, ad, winner, search, exhaustive, ratio, pruned); err != nil {
+		return err
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "autopilot gate: %s\n", v)
+		}
+		return fmt.Errorf("autopilot gate: %d bound violation(s)", len(violations))
+	}
+	return nil
+}
+
+// spliceAutopilotResults replaces the generated Pareto section of
+// EXPERIMENTS_RESULTS.md in place (appending the section, markers
+// included, when the file has none yet).
+func spliceAutopilotResults(path, table string) error {
+	section := autopilotBeginMarker + "\n\n" +
+		fmt.Sprintf("Confidence-pruned ablation on %s (%d warmup + %d measured insts per probe; targets ±%.0f%% → ±%.0f%%).\n\n",
+			autopilotGateTrace, autopilotGateWarmup, autopilotGateMeasure,
+			autopilotGateCoarse*100, autopilotGateFinal*100) +
+		table + "\n" + autopilotEndMarker
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return err
+		}
+		data = nil
+	}
+	text := string(data)
+	begin := strings.Index(text, autopilotBeginMarker)
+	end := strings.Index(text, autopilotEndMarker)
+	if begin >= 0 && end > begin {
+		text = text[:begin] + section + text[end+len(autopilotEndMarker):]
+	} else {
+		if text != "" && !strings.HasSuffix(text, "\n") {
+			text += "\n"
+		}
+		text += "\n## Autopilot — confidence-pruned ablation search\n\n" + section + "\n"
+	}
+	return os.WriteFile(path, []byte(text), 0o644)
+}
+
+// writeAutopilotBench records both halves' measurements in the shared
+// BENCH_*.json schema (schema_version / bench / cores + payload).
+func writeAutopilotBench(path string, ad adaptiveGateResult, winner string,
+	search, exhaustive *autopilot.Report, ratio float64, pruned int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("autopilot gate: %v", err)
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "{\n")
+	fmt.Fprintf(f, "  \"schema_version\": 1,\n")
+	fmt.Fprintf(f, "  \"bench\": \"autopilot gate (adaptive sampling on %s; pruned vs exhaustive %d-config search on %s)\",\n",
+		adaptiveGateTrace, len(search.Candidates), autopilotGateTrace)
+	fmt.Fprintf(f, "  \"cores\": %d,\n", runtime.NumCPU())
+	fmt.Fprintf(f, "  \"adaptive\": {\n")
+	fmt.Fprintf(f, "    \"trace\": %q,\n", adaptiveGateTrace)
+	fmt.Fprintf(f, "    \"target_ci\": %.3f,\n", adaptiveGateTarget)
+	fmt.Fprintf(f, "    \"full_ipc\": %.4f,\n", ad.fullIPC)
+	fmt.Fprintf(f, "    \"adaptive_ipc_mean\": %.4f,\n", ad.ipcMean)
+	fmt.Fprintf(f, "    \"adaptive_ipc_ci95\": %.4f,\n", ad.ipcCI)
+	fmt.Fprintf(f, "    \"achieved_rel_half\": %.4f,\n", ad.relHalf)
+	fmt.Fprintf(f, "    \"fixed_windows\": %d,\n", ad.fixedWindows)
+	fmt.Fprintf(f, "    \"adaptive_windows\": %d,\n", ad.adaptiveWindows)
+	fmt.Fprintf(f, "    \"window_budget\": %d,\n", ad.windowBudget)
+	fmt.Fprintf(f, "    \"target_met\": %v\n", ad.targetMet)
+	fmt.Fprintf(f, "  },\n")
+	fmt.Fprintf(f, "  \"autopilot\": {\n")
+	fmt.Fprintf(f, "    \"trace\": %q,\n", autopilotGateTrace)
+	fmt.Fprintf(f, "    \"configs\": %d,\n", len(search.Candidates))
+	fmt.Fprintf(f, "    \"coarse_target_ci\": %.3f,\n", autopilotGateCoarse)
+	fmt.Fprintf(f, "    \"final_target_ci\": %.3f,\n", autopilotGateFinal)
+	fmt.Fprintf(f, "    \"winner\": %q,\n", winner)
+	fmt.Fprintf(f, "    \"rounds\": %d,\n", search.Rounds)
+	fmt.Fprintf(f, "    \"pruned\": %d,\n", pruned)
+	fmt.Fprintf(f, "    \"search_spent_insts\": %d,\n", search.TotalSpentInsts)
+	fmt.Fprintf(f, "    \"exhaustive_spent_insts\": %d,\n", exhaustive.TotalSpentInsts)
+	fmt.Fprintf(f, "    \"spend_ratio\": %.2f,\n", ratio)
+	fmt.Fprintf(f, "    \"min_spend_ratio_bound\": %.1f\n", autopilotMinSpendRatio)
+	fmt.Fprintf(f, "  }\n")
+	fmt.Fprintf(f, "}\n")
+	return nil
+}

@@ -49,6 +49,8 @@ func main() {
 		memProf  = flag.String("memprofile", "", "write a pprof allocation profile to this file on exit")
 		numCPU   = flag.Bool("numcpu", false, "print the worker pool's core count (GOMAXPROCS) and exit (used by check.sh to stamp BENCH_runq.json)")
 		sample   = flag.Bool("sample", false, "run sweeps in sampled mode (conservative geometry; see EXPERIMENTS.md)")
+		adaptive = flag.Float64("adaptive", 0, "with -sample: adaptive stop — end each run once the relative 95% CI half-width of its window IPC mean drops below this")
+		pilot    = flag.Bool("autopilot", false, "run the confidence-pruned ablation search (see EXPERIMENTS.md) and print its Pareto table")
 		segments = flag.Int("segments", 0, "run every sweep time-parallel: split each run's measured region into this many boundary-warmed segments (0/1: serial)")
 		tpGate   = flag.Bool("tpar-gate", false, "run the serial-vs-time-parallel gate, write -tpar-bench, and exit")
 		tpOut    = flag.String("tpar-bench", "BENCH_tpar.json", "where -tpar-gate records its measurements")
@@ -56,6 +58,9 @@ func main() {
 		gateOut  = flag.String("sample-bench", "BENCH_sampling.json", "where -sample-gate records its measurements")
 		srGate   = flag.Bool("sweepreuse-gate", false, "run the cold-vs-warm sweep-reuse gate, write -sweepreuse-bench, and exit")
 		srOut    = flag.String("sweepreuse-bench", "BENCH_sweepreuse.json", "where -sweepreuse-gate records its measurements")
+		apGate   = flag.Bool("autopilot-gate", false, "run the adaptive-soundness + pruned-vs-exhaustive gate, write -autopilot-bench, and exit")
+		apOut    = flag.String("autopilot-bench", "BENCH_autopilot.json", "where -autopilot-gate records its measurements")
+		apTable  = flag.String("autopilot-results", "EXPERIMENTS_RESULTS.md", "where -autopilot-gate splices the generated Pareto section")
 		server   = flag.String("server", "", "run sweeps against a sweepd server at this URL instead of in-process (reports are byte-identical)")
 		sdGate   = flag.Bool("sweepd-gate", false, "run the local-vs-remote sweepd gate, write -sweepd-bench, and exit")
 		sdOut    = flag.String("sweepd-bench", "BENCH_sweepd.json", "where -sweepd-gate records its measurements")
@@ -76,6 +81,13 @@ func main() {
 	}
 	if *sdGate {
 		if err := runSweepdGate(os.Stdout, *sdOut); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *apGate {
+		if err := runAutopilotGate(os.Stdout, *apOut, *apTable); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
@@ -159,6 +171,13 @@ func main() {
 	}
 	if *sample {
 		opts.Sampling = sim.ConservativeSampling()
+		if *adaptive > 0 {
+			opts.Sampling.TargetCI = *adaptive
+		}
+	}
+	if *adaptive > 0 && !*sample {
+		fmt.Fprintln(os.Stderr, "experiments: -adaptive requires -sample (the stop rule acts on sampled windows)")
+		os.Exit(1)
 	}
 	if *segments > 1 && *sample {
 		fmt.Fprintln(os.Stderr, "experiments: -segments and -sample are incompatible (both subsample the measured region)")
@@ -171,6 +190,13 @@ func main() {
 			c.Progress = os.Stderr
 		}
 		opts.Exec = c
+	}
+	if *pilot {
+		if err := runAutopilotSweep(w, opts, *adaptive); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	r := harness.NewRunner(opts)
 

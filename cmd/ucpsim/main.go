@@ -14,6 +14,7 @@
 //	ucpsim -trace all -ucp -jobs 8 -cache-dir ~/.cache/ucp
 //	ucpsim -trace int02 -ucp -ucp-noind -threshold 1000
 //	ucpsim -file trace.ucpt -prefetcher fnlmma
+//	ucpsim -trace srv203 -sample -adaptive 0.02   # stop once the IPC CI is ±2%
 //	ucpsim -trace srv205 -compare          # baseline vs UCP side by side
 //	ucpsim -trace srv203 -ucp -json        # machine-readable output
 //	ucpsim -trace srv206 -ucp -hist        # stream/refill distributions
@@ -59,6 +60,9 @@ func main() {
 		sampleWin  = flag.Uint64("sample-window", 0, "with -sample: override the measured window length")
 		sampleWarm = flag.Uint64("sample-warm", 0, "with -sample: override the detailed-warm length")
 		sampleFF   = flag.Uint64("sample-ffwarm", 0, "with -sample: override the functional-warm horizon")
+		adaptive   = flag.Float64("adaptive", 0, "with -sample: stop adding windows once the relative 95% CI half-width of the window IPC mean drops below this (0: fixed geometry)")
+		adaptMin   = flag.Int("adaptive-min", 0, "with -adaptive: minimum windows before the first stop check (0: default)")
+		adaptMax   = flag.Int("adaptive-max", 0, "with -adaptive: cap on windows even if the target is unmet (0: the fixed-geometry budget)")
 		segments   = flag.Int("segments", 0, "time-parallel run: split the measured region into this many boundary-warmed segments (0/1: serial)")
 		segWarm    = flag.Uint64("seg-warm", 0, "with -segments: override the detailed boundary-warm length")
 		segFF      = flag.Uint64("seg-ffwarm", 0, "with -segments: override the functional boundary-warm horizon")
@@ -148,7 +152,16 @@ func main() {
 		if *sampleFF > 0 {
 			sc.FFWarmInsts = *sampleFF
 		}
+		if *adaptive > 0 {
+			sc.TargetCI = *adaptive
+			sc.MinWindows = *adaptMin
+			sc.MaxWindows = *adaptMax
+		}
 		cfg.Sampling = sc
+	}
+	if *adaptive > 0 && !*sample {
+		fmt.Fprintln(os.Stderr, "ucpsim: -adaptive requires -sample (the stop rule acts on sampled windows)")
+		os.Exit(1)
 	}
 	if *segments > 1 && *sample {
 		fmt.Fprintln(os.Stderr, "ucpsim: -segments and -sample are incompatible (both subsample the measured region; compose is unvalidated)")
@@ -287,7 +300,7 @@ func emit(r sim.Result, asJSON, withHist bool) {
 			},
 		}
 		if s := r.Sampled; s != nil {
-			out["sampled"] = map[string]any{
+			sampled := map[string]any{
 				"windows":       s.Windows,
 				"skippedInsts":  s.SkippedInsts,
 				"ffInsts":       s.FFInsts,
@@ -298,6 +311,12 @@ func emit(r sim.Result, asJSON, withHist bool) {
 				"mpkiMean":      s.MPKIMean,
 				"mpkiCI95":      s.MPKICI95,
 			}
+			if s.TargetCI > 0 {
+				sampled["targetCI"] = s.TargetCI
+				sampled["windowBudget"] = s.WindowBudget
+				sampled["targetMet"] = s.TargetMet
+			}
+			out["sampled"] = sampled
 		}
 		if tp := r.TimePar; tp != nil {
 			out["timepar"] = map[string]any{
@@ -323,6 +342,14 @@ func emit(r sim.Result, asJSON, withHist bool) {
 		fmt.Printf("%-10s sampled: %d windows, IPC %.4f ±%.4f, MPKI %.3f ±%.3f (95%% CI); %d skipped / %d functional / %d detailed\n",
 			r.Trace, s.Windows, s.IPCMean, s.IPCCI95, s.MPKIMean, s.MPKICI95,
 			s.SkippedInsts, s.FFInsts, s.DetailedInsts)
+		if s.TargetCI > 0 {
+			verdict := "target met"
+			if !s.TargetMet {
+				verdict = "budget exhausted"
+			}
+			fmt.Printf("%-10s adaptive: %d/%d windows, target ±%.2f%% — %s\n",
+				r.Trace, s.Windows, s.WindowBudget, s.TargetCI*100, verdict)
+		}
 	}
 	if tp := r.TimePar; tp != nil {
 		fmt.Printf("%-10s timepar: %d segments; %d skipped / %d functional at boundaries\n",

@@ -1,0 +1,304 @@
+// Package autopilot searches a simulation parameter grid with
+// confidence-pruned successive refinement: every candidate first gets a
+// cheap adaptive probe at a coarse CI target, then only the candidates
+// whose confidence intervals still overlap the incumbent best are
+// re-probed at progressively tighter targets until the final target is
+// reached. Pruned candidates never get more windows, so a sweep whose
+// configurations separate early spends a small fraction of what
+// exhaustive enumeration at full precision would.
+//
+// Probes execute through any runq.Runner — the local pool or the sweepd
+// client — and every probe is an ordinary content-addressed job, so
+// reruns replay from cache and warm-checkpoint reuse makes each
+// refinement round's fast-forward free. The search itself is
+// deterministic: probe results are deterministic per job, rounds
+// compare them in grid order, and ties break to the lowest grid index.
+package autopilot
+
+import (
+	"fmt"
+	"io"
+
+	"ucp/internal/runq"
+	"ucp/internal/sim"
+)
+
+// Options configures a Search.
+type Options struct {
+	// Exec executes probe batches (required): a *runq.Pool, the sweepd
+	// client, or a test fake.
+	Exec runq.Runner
+
+	// Grid holds one candidate job per configuration (required,
+	// non-empty). Every job must have sampling enabled — the search
+	// works by overriding the adaptive fields (TargetCI, MinWindows,
+	// MaxWindows) per round, and the rest of the job (geometry,
+	// budgets, workload) is probed exactly as given.
+	Grid []runq.Job
+
+	// Baseline, when non-nil, is probed once at the final target and
+	// reported as the Δ-reference for every candidate. It never
+	// competes.
+	Baseline *runq.Job
+
+	// CoarseTargetCI is the first round's relative half-width target
+	// (default 0.04): loose enough that the opening probe of the whole
+	// grid is cheap, tight enough to separate clearly different
+	// configurations immediately.
+	CoarseTargetCI float64
+
+	// TargetCI is the final round's target (default 0.01). Each round
+	// halves the target until it reaches this; surviving candidates'
+	// last probes carry intervals at this width.
+	TargetCI float64
+
+	// MinWindows/MaxWindows bound every probe's adaptive window count
+	// (sim.SamplingConfig semantics; zero values keep the defaults).
+	MinWindows int
+	MaxWindows int
+
+	// Log, when non-nil, receives one line per round (deterministic
+	// content: round number, target, survivor count).
+	Log io.Writer
+}
+
+// Candidate is one grid entry's standing after the search.
+type Candidate struct {
+	// Job is the grid job as submitted (without the per-round adaptive
+	// overrides).
+	Job runq.Job
+	// Result is the candidate's last probe (its precision depends on
+	// the round the candidate last ran in).
+	Result sim.Result
+	// Mean ± Half is the window-IPC interval estimate of that probe.
+	Mean, Half float64
+	// Windows is the last probe's measured window count; SpentInsts
+	// totals the measured-region stream advance across all of the
+	// candidate's probes (warmup excluded: checkpoint reuse shares it).
+	Windows    int
+	SpentInsts uint64
+	// PrunedRound is the round after which the candidate was pruned
+	// (0: survived to the final round).
+	PrunedRound int
+	// Winner marks the search's answer.
+	Winner bool
+}
+
+// Report is the outcome of a Search (or an Exhaustive reference run).
+type Report struct {
+	// Candidates holds every grid entry's standing, in grid order.
+	Candidates []Candidate
+	// WinnerIndex is the winning candidate's grid index.
+	WinnerIndex int
+	// Baseline is the Δ-reference probe (nil without Options.Baseline);
+	// BaselineSpentInsts is accounted separately from the candidates'
+	// spend so search-vs-exhaustive comparisons, which pay it equally,
+	// can exclude it.
+	Baseline           *sim.Result
+	BaselineSpentInsts uint64
+	// Rounds is the number of probe rounds run.
+	Rounds int
+	// TotalSpentInsts sums the candidates' SpentInsts.
+	TotalSpentInsts uint64
+}
+
+// spentInsts measures what a probe cost: the stream advance across the
+// measured region (warming skip + functional warm + detailed), with the
+// warmup region excluded — warm-checkpoint reuse pays it once per
+// sweep, not per probe, and search-vs-exhaustive comparisons share it.
+func spentInsts(r sim.Result, warmup uint64) uint64 {
+	s := r.Sampled
+	if s == nil {
+		return r.Insts
+	}
+	adv := s.SkippedInsts + s.FFInsts + s.DetailedInsts
+	if adv > warmup {
+		return adv - warmup
+	}
+	return adv
+}
+
+// validate applies defaults and rejects unusable options.
+func (o *Options) validate() error {
+	if o.Exec == nil {
+		return fmt.Errorf("autopilot: Options.Exec is required")
+	}
+	if len(o.Grid) == 0 {
+		return fmt.Errorf("autopilot: empty grid")
+	}
+	if o.CoarseTargetCI == 0 {
+		o.CoarseTargetCI = 0.04
+	}
+	if o.TargetCI == 0 {
+		o.TargetCI = 0.01
+	}
+	if o.TargetCI <= 0 || o.CoarseTargetCI < o.TargetCI {
+		return fmt.Errorf("autopilot: need CoarseTargetCI >= TargetCI > 0, got %g >= %g",
+			o.CoarseTargetCI, o.TargetCI)
+	}
+	for i, j := range o.Grid {
+		if !j.Config.Sampling.Enabled {
+			return fmt.Errorf("autopilot: grid[%d] (%s) has sampling disabled; the search probes adaptively", i, j.Config.Name)
+		}
+	}
+	if o.Baseline != nil && !o.Baseline.Config.Sampling.Enabled {
+		return fmt.Errorf("autopilot: baseline (%s) has sampling disabled", o.Baseline.Config.Name)
+	}
+	return nil
+}
+
+// withTarget returns job with the adaptive fields overridden for one
+// probe round.
+func withTarget(job runq.Job, target float64, minW, maxW int) runq.Job {
+	job.Config.Sampling.TargetCI = target
+	job.Config.Sampling.MinWindows = minW
+	job.Config.Sampling.MaxWindows = maxW
+	return job
+}
+
+// Search runs the confidence-pruned refinement and returns the
+// standings. The winner is the surviving candidate with the highest
+// window-IPC mean at the final target (ties break to the lowest grid
+// index); pruned candidates keep the interval from their last round.
+func Search(opts Options) (*Report, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Candidates: make([]Candidate, len(opts.Grid))}
+	for i, j := range opts.Grid {
+		rep.Candidates[i] = Candidate{Job: j}
+	}
+	active := make([]int, len(opts.Grid))
+	for i := range active {
+		active[i] = i
+	}
+
+	target := opts.CoarseTargetCI
+	for {
+		rep.Rounds++
+		jobs := make([]runq.Job, 0, len(active)+1)
+		for _, i := range active {
+			jobs = append(jobs, withTarget(opts.Grid[i], target, opts.MinWindows, opts.MaxWindows))
+		}
+		if rep.Rounds == 1 && opts.Baseline != nil {
+			// The Δ-reference rides along in the first batch, already at
+			// the final target: it is probed exactly once.
+			jobs = append(jobs, withTarget(*opts.Baseline, opts.TargetCI, opts.MinWindows, opts.MaxWindows))
+		}
+		results := opts.Exec.RunAll(jobs)
+		for bi, jr := range results {
+			if jr.Err != nil {
+				return nil, fmt.Errorf("autopilot: probe %s/%s: %w",
+					jr.Job.Config.Name, jr.Job.Profile.Name, jr.Err)
+			}
+			if bi >= len(active) { // the baseline tail of round 1
+				r := jr.Result
+				rep.Baseline = &r
+				rep.BaselineSpentInsts = spentInsts(r, jr.Job.Warmup)
+				continue
+			}
+			c := &rep.Candidates[active[bi]]
+			c.Result = jr.Result
+			if s := jr.Result.Sampled; s != nil {
+				c.Mean, c.Half = s.IPCMean, s.IPCCI95
+				c.Windows = s.Windows
+			} else {
+				c.Mean = jr.Result.IPC
+			}
+			c.SpentInsts += spentInsts(jr.Result, jr.Job.Warmup)
+		}
+
+		best := active[0]
+		for _, i := range active[1:] {
+			if rep.Candidates[i].Mean > rep.Candidates[best].Mean {
+				best = i
+			}
+		}
+		if target <= opts.TargetCI {
+			rep.WinnerIndex = best
+			rep.Candidates[best].Winner = true
+			break
+		}
+		// Prune every candidate whose interval has separated below the
+		// incumbent best's: mean+half < bestMean-bestHalf means even the
+		// optimistic edge of its interval loses, so no further precision
+		// can change the answer at this confidence level.
+		b := rep.Candidates[best]
+		var next []int
+		for _, i := range active {
+			c := &rep.Candidates[i]
+			if i != best && c.Mean+c.Half < b.Mean-b.Half {
+				c.PrunedRound = rep.Rounds
+				continue
+			}
+			next = append(next, i)
+		}
+		active = next
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "autopilot: round %d at ±%.2f%%: %d/%d candidates survive\n",
+				rep.Rounds, target*100, len(active), len(rep.Candidates))
+		}
+		target = target / 2
+		if target < opts.TargetCI {
+			target = opts.TargetCI
+		}
+	}
+	for i := range rep.Candidates {
+		rep.TotalSpentInsts += rep.Candidates[i].SpentInsts
+	}
+	if opts.Log != nil {
+		fmt.Fprintf(opts.Log, "autopilot: winner %s after %d rounds, %d insts spent\n",
+			rep.Candidates[rep.WinnerIndex].Job.Config.Name, rep.Rounds, rep.TotalSpentInsts)
+	}
+	return rep, nil
+}
+
+// Exhaustive is the reference strategy the check.sh gate compares
+// Search against: every grid candidate probed straight at the final
+// target, no pruning. Same winner criterion, same spend accounting.
+func Exhaustive(opts Options) (*Report, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Candidates: make([]Candidate, len(opts.Grid)), Rounds: 1}
+	jobs := make([]runq.Job, 0, len(opts.Grid)+1)
+	for _, j := range opts.Grid {
+		jobs = append(jobs, withTarget(j, opts.TargetCI, opts.MinWindows, opts.MaxWindows))
+	}
+	if opts.Baseline != nil {
+		jobs = append(jobs, withTarget(*opts.Baseline, opts.TargetCI, opts.MinWindows, opts.MaxWindows))
+	}
+	results := opts.Exec.RunAll(jobs)
+	for bi, jr := range results {
+		if jr.Err != nil {
+			return nil, fmt.Errorf("autopilot: exhaustive probe %s/%s: %w",
+				jr.Job.Config.Name, jr.Job.Profile.Name, jr.Err)
+		}
+		if bi >= len(opts.Grid) {
+			r := jr.Result
+			rep.Baseline = &r
+			rep.BaselineSpentInsts = spentInsts(r, jr.Job.Warmup)
+			continue
+		}
+		c := &rep.Candidates[bi]
+		c.Job = opts.Grid[bi]
+		c.Result = jr.Result
+		if s := jr.Result.Sampled; s != nil {
+			c.Mean, c.Half = s.IPCMean, s.IPCCI95
+			c.Windows = s.Windows
+		} else {
+			c.Mean = jr.Result.IPC
+		}
+		c.SpentInsts = spentInsts(jr.Result, jr.Job.Warmup)
+		rep.TotalSpentInsts += c.SpentInsts
+	}
+	best := 0
+	for i := range rep.Candidates {
+		if rep.Candidates[i].Mean > rep.Candidates[best].Mean {
+			best = i
+		}
+	}
+	rep.WinnerIndex = best
+	rep.Candidates[best].Winner = true
+	return rep, nil
+}

@@ -1,0 +1,292 @@
+package autopilot
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ucp/internal/runq"
+	"ucp/internal/sim"
+	"ucp/internal/trace"
+)
+
+// fakeRunner models probe outcomes analytically: each named config has
+// a true mean and a relative window-to-window sd, and a probe at target
+// t reports that mean with a half-width just under t·mean after
+// ceil((2·relsd/t)²) windows. Deterministic, instant, and it counts
+// probes per config so tests can assert pruned candidates never run
+// again.
+type fakeRunner struct {
+	truth  map[string]fakeTruth
+	probes map[string]int
+}
+
+type fakeTruth struct {
+	mean   float64
+	relsd  float64
+	storKB float64
+}
+
+func (f *fakeRunner) RunAll(jobs []runq.Job) []runq.JobResult {
+	out := make([]runq.JobResult, len(jobs))
+	for i, j := range jobs {
+		tr, ok := f.truth[j.Config.Name]
+		if !ok {
+			panic("fakeRunner: unknown config " + j.Config.Name)
+		}
+		if f.probes == nil {
+			f.probes = make(map[string]int)
+		}
+		f.probes[j.Config.Name]++
+		target := j.Config.Sampling.TargetCI
+		n := int(math.Ceil(math.Pow(2*tr.relsd/target, 2)))
+		if n < 2 {
+			n = 2
+		}
+		period := j.Config.Sampling.PeriodInsts
+		res := sim.Result{
+			Name:         j.Config.Name,
+			Trace:        j.Profile.Name,
+			IPC:          tr.mean,
+			UCPStorageKB: tr.storKB,
+			Sampled: &sim.SampledStats{
+				Windows:       n,
+				SkippedInsts:  j.Warmup + uint64(n)*period - 2000*uint64(n),
+				FFInsts:       1000 * uint64(n),
+				DetailedInsts: 1000 * uint64(n),
+				MeasuredInsts: 1000 * uint64(n),
+				IPCMean:       tr.mean,
+				IPCCI95:       0.9 * target * tr.mean,
+				TargetCI:      target,
+				TargetMet:     true,
+			},
+		}
+		out[i] = runq.JobResult{Job: j, Result: res, Source: runq.SourceRun}
+	}
+	return out
+}
+
+func fakeJob(name string) runq.Job {
+	cfg := sim.Baseline()
+	cfg.Name = name
+	cfg.Sampling = sim.SamplingConfig{
+		Enabled:       true,
+		PeriodInsts:   25_000,
+		DetailedInsts: 1_000,
+		WarmInsts:     1_000,
+	}
+	return runq.Job{
+		Config:  cfg,
+		Profile: trace.Profile{Name: "fake"},
+		Warmup:  50_000,
+		Measure: 500_000,
+	}
+}
+
+func fakeFleet() *fakeRunner {
+	return &fakeRunner{truth: map[string]fakeTruth{
+		"slow":     {mean: 0.5, relsd: 0.02},
+		"mid":      {mean: 1.0, relsd: 0.02},
+		"good":     {mean: 2.0, relsd: 0.02, storKB: 4},
+		"best":     {mean: 2.01, relsd: 0.02, storKB: 8},
+		"baseline": {mean: 1.0, relsd: 0.02},
+	}}
+}
+
+func fleetOpts(f *fakeRunner) Options {
+	base := fakeJob("baseline")
+	return Options{
+		Exec:     f,
+		Grid:     []runq.Job{fakeJob("slow"), fakeJob("mid"), fakeJob("good"), fakeJob("best")},
+		Baseline: &base,
+	}
+}
+
+// TestSearchPrunesAndFindsWinner pins the core behavior: clearly-worse
+// candidates are pruned after the coarse round and never probed again,
+// the two contenders refine to the final target, and the higher mean
+// wins — spending less than exhaustive enumeration would.
+func TestSearchPrunesAndFindsWinner(t *testing.T) {
+	f := fakeFleet()
+	rep, err := Search(fleetOpts(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Candidates[rep.WinnerIndex].Job.Config.Name; got != "best" {
+		t.Fatalf("winner %q, want best", got)
+	}
+	for _, name := range []string{"slow", "mid"} {
+		if f.probes[name] != 1 {
+			t.Errorf("%s probed %d times, want 1 (pruned after the coarse round)", name, f.probes[name])
+		}
+	}
+	for i, c := range rep.Candidates {
+		name := c.Job.Config.Name
+		switch name {
+		case "slow", "mid":
+			if c.PrunedRound != 1 {
+				t.Errorf("%s PrunedRound = %d, want 1", name, c.PrunedRound)
+			}
+		case "good", "best":
+			if c.PrunedRound != 0 {
+				t.Errorf("%s pruned at round %d, want survivor", name, c.PrunedRound)
+			}
+			if f.probes[name] != rep.Rounds {
+				t.Errorf("%s probed %d times over %d rounds", name, f.probes[name], rep.Rounds)
+			}
+		}
+		if c.Winner != (i == rep.WinnerIndex) {
+			t.Errorf("%s Winner flag inconsistent with WinnerIndex", name)
+		}
+	}
+	if rep.Rounds != 3 { // 0.04 → 0.02 → 0.01
+		t.Errorf("rounds = %d, want 3", rep.Rounds)
+	}
+
+	ex, err := Exhaustive(fleetOpts(fakeFleet()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.WinnerIndex != rep.WinnerIndex {
+		t.Fatalf("exhaustive winner %d, search winner %d", ex.WinnerIndex, rep.WinnerIndex)
+	}
+	if rep.TotalSpentInsts >= ex.TotalSpentInsts {
+		t.Errorf("search spent %d insts, exhaustive %d — pruning saved nothing",
+			rep.TotalSpentInsts, ex.TotalSpentInsts)
+	}
+}
+
+// TestSearchBaselineProbedOnceAtFinalTarget pins the Δ-reference
+// handling: exactly one probe, already at the final precision, with
+// its spend accounted separately.
+func TestSearchBaselineProbedOnceAtFinalTarget(t *testing.T) {
+	f := fakeFleet()
+	rep, err := Search(fleetOpts(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.probes["baseline"] != 1 {
+		t.Errorf("baseline probed %d times, want 1", f.probes["baseline"])
+	}
+	if rep.Baseline == nil {
+		t.Fatal("report carries no baseline result")
+	}
+	if got := rep.Baseline.Sampled.TargetCI; got != 0.01 {
+		t.Errorf("baseline probed at target %g, want the final 0.01", got)
+	}
+	if rep.BaselineSpentInsts == 0 {
+		t.Error("baseline spend not accounted")
+	}
+	for _, c := range rep.Candidates {
+		if c.Job.Config.Name == "baseline" {
+			t.Error("baseline leaked into the candidate standings")
+		}
+	}
+}
+
+// TestSearchOptionValidation pins the rejection paths.
+func TestSearchOptionValidation(t *testing.T) {
+	f := fakeFleet()
+	cases := []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"nil exec", func(o *Options) { o.Exec = nil }},
+		{"empty grid", func(o *Options) { o.Grid = nil }},
+		{"sampling disabled", func(o *Options) { o.Grid[0].Config.Sampling.Enabled = false }},
+		{"coarse below final", func(o *Options) { o.CoarseTargetCI = 0.005; o.TargetCI = 0.01 }},
+		{"negative final", func(o *Options) { o.TargetCI = -1 }},
+		{"baseline sampling disabled", func(o *Options) { o.Baseline.Config.Sampling.Enabled = false }},
+	}
+	for _, tc := range cases {
+		opts := fleetOpts(f)
+		tc.mut(&opts)
+		if _, err := Search(opts); err == nil {
+			t.Errorf("%s: Search accepted invalid options", tc.name)
+		}
+	}
+}
+
+// TestWriteMarkdown sanity-checks the rendered standings: winner row
+// marked, pruned rows labeled with their round, the Pareto frontier
+// containing the cheap-and-fast config but not a dominated one.
+func TestWriteMarkdown(t *testing.T) {
+	rep, err := Search(fleetOpts(fakeFleet()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	rep.WriteMarkdown(&sb)
+	got := sb.String()
+	for _, want := range []string{"**winner**", "pruned r1", "Baseline baseline: IPC 1.0000", "Rounds: 3"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("markdown missing %q:\n%s", want, got)
+		}
+	}
+	// "good" (IPC 2.00 at 4KB) and "best" (2.01 at 8KB) are both on the
+	// IPC-vs-storage frontier; "mid" (1.0 at 0KB) also survives on the
+	// storage axis, but "slow" (0.5 at 0KB) is dominated by mid.
+	frontier := rep.paretoFrontier()
+	wantFrontier := map[string]bool{"slow": false, "mid": true, "good": true, "best": true}
+	for i, c := range rep.Candidates {
+		if frontier[i] != wantFrontier[c.Job.Config.Name] {
+			t.Errorf("%s frontier membership %v, want %v", c.Job.Config.Name, frontier[i], wantFrontier[c.Job.Config.Name])
+		}
+	}
+}
+
+// TestSearchRealSim drives the search end to end over a real pool on a
+// tiny three-way grid whose ordering is unambiguous (no µ-op cache ≪
+// baseline < ideal µ-op cache on crypto01), and pins that a second
+// identical search — served from the pool's memo — returns the same
+// winner with byte-identical winning digests.
+func TestSearchRealSim(t *testing.T) {
+	prof, ok := trace.ProfileByName("crypto01")
+	if !ok {
+		t.Fatal("missing crypto01 profile")
+	}
+	mk := func(cfg sim.Config) runq.Job {
+		cfg.Sampling = sim.SamplingConfig{
+			Enabled:       true,
+			PeriodInsts:   25_000,
+			DetailedInsts: 2_000,
+			WarmInsts:     2_000,
+			FFWarmInsts:   8_000,
+		}
+		return runq.Job{Config: cfg, Profile: prof, Warmup: 50_000, Measure: 500_000}
+	}
+	noUop := sim.Baseline()
+	noUop.Name = "no-uop"
+	noUop.Ideal.NoUopCache = true
+	ideal := sim.Baseline()
+	ideal.Name = "ideal-uop"
+	ideal.Ideal.UopAlwaysHit = true
+
+	pool := runq.New(runq.Options{Workers: 2, Checkpoints: true})
+	opts := Options{
+		Exec:           pool,
+		Grid:           []runq.Job{mk(noUop), mk(sim.Baseline()), mk(ideal)},
+		CoarseTargetCI: 0.05,
+		TargetCI:       0.02,
+		MinWindows:     4,
+	}
+	rep, err := Search(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Candidates[rep.WinnerIndex].Job.Config.Name; got != "ideal-uop" {
+		t.Fatalf("winner %q, want ideal-uop", got)
+	}
+	rep2, err := Search(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.WinnerIndex != rep.WinnerIndex {
+		t.Fatalf("second search picked %d, first %d", rep2.WinnerIndex, rep.WinnerIndex)
+	}
+	a := rep.Candidates[rep.WinnerIndex].Result.DeterminismDigest()
+	b := rep2.Candidates[rep2.WinnerIndex].Result.DeterminismDigest()
+	if a != b {
+		t.Fatal("winning digests differ between identical searches")
+	}
+}

@@ -1,0 +1,93 @@
+package autopilot
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteMarkdown renders the search standings as a markdown table:
+// candidates sorted by mean IPC descending (ties by grid order), each
+// with its interval, Δ vs the baseline probe, window/spend accounting,
+// status (winner / survivor precision / pruned round), and a Pareto
+// mark on the IPC-vs-UCP-storage frontier. The output is deterministic
+// — cmd/experiments splices it into EXPERIMENTS_RESULTS.md between
+// generated-section markers.
+func (rep *Report) WriteMarkdown(w io.Writer) {
+	order := make([]int, len(rep.Candidates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return rep.Candidates[order[a]].Mean > rep.Candidates[order[b]].Mean
+	})
+	frontier := rep.paretoFrontier()
+
+	var baseIPC float64
+	if rep.Baseline != nil {
+		if s := rep.Baseline.Sampled; s != nil {
+			baseIPC = s.IPCMean
+		} else {
+			baseIPC = rep.Baseline.IPC
+		}
+	}
+
+	fmt.Fprintf(w, "config | IPC (95%% CI) | Δ vs baseline | windows | spent Minsts | status | Pareto\n")
+	fmt.Fprintf(w, "--- | --- | --- | --- | --- | --- | ---\n")
+	for _, i := range order {
+		c := &rep.Candidates[i]
+		delta := "—"
+		if baseIPC > 0 {
+			delta = fmt.Sprintf("%+.2f%%", (c.Mean/baseIPC-1)*100)
+		}
+		status := "survivor"
+		switch {
+		case c.Winner:
+			status = "**winner**"
+		case c.PrunedRound > 0:
+			status = fmt.Sprintf("pruned r%d", c.PrunedRound)
+		}
+		mark := ""
+		if frontier[i] {
+			mark = "◆"
+		}
+		fmt.Fprintf(w, "%s | %.4f ± %.4f | %s | %d | %.2f | %s | %s\n",
+			c.Job.Config.Name, c.Mean, c.Half, delta, c.Windows,
+			float64(c.SpentInsts)/1e6, status, mark)
+	}
+	if rep.Baseline != nil {
+		fmt.Fprintf(w, "\nBaseline %s: IPC %.4f (probe excluded from the spend totals below).\n",
+			rep.Baseline.Name, baseIPC)
+	}
+	fmt.Fprintf(w, "\nRounds: %d · total spend %.2f Minsts · Pareto axis: IPC vs UCP storage (KB).\n",
+		rep.Rounds, float64(rep.TotalSpentInsts)/1e6)
+}
+
+// paretoFrontier marks the candidates on the (maximize IPC, minimize
+// UCP storage) frontier: a candidate is dominated when another one has
+// at least its IPC for at most its storage cost, with one inequality
+// strict. Pruned candidates participate with their last-round
+// estimates — the frontier is a map of the whole grid, not just of the
+// survivors.
+func (rep *Report) paretoFrontier() map[int]bool {
+	frontier := make(map[int]bool, len(rep.Candidates))
+	for i := range rep.Candidates {
+		ci := &rep.Candidates[i]
+		dominated := false
+		for j := range rep.Candidates {
+			if i == j {
+				continue
+			}
+			cj := &rep.Candidates[j]
+			if cj.Mean >= ci.Mean && cj.Result.UCPStorageKB <= ci.Result.UCPStorageKB &&
+				(cj.Mean > ci.Mean || cj.Result.UCPStorageKB < ci.Result.UCPStorageKB) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			frontier[i] = true
+		}
+	}
+	return frontier
+}

@@ -1,0 +1,56 @@
+// Package fixture pins the determinism contract of adaptive-sampling
+// stop decisions: the choice to stop adding measurement windows must be
+// a pure function of the window statistics. A controller that cuts a
+// run off on a wall-clock deadline (or jitters its evaluation schedule
+// with randomness) produces window counts that vary run to run — which
+// breaks two-pass digest equality, runq cache-key semantics, and the
+// autopilot search's reproducibility all at once. The wallclock
+// analyzer is what stands between the codebase and that bug class.
+package fixture
+
+import (
+	"math/rand" // want "import of math/rand is forbidden"
+	"time"
+)
+
+// windowStats is the running interval estimate a stop rule may consult.
+type windowStats struct {
+	n    int
+	mean float64
+	half float64
+}
+
+// deadlineStop is the forbidden shape: stop refining when the run has
+// used up a time budget. Two passes over the same trace then measure
+// different window counts on a loaded vs idle machine.
+func deadlineStop(s windowStats, start time.Time, budget time.Duration) bool {
+	if time.Since(start) > budget { // want "time.Since reads the wall clock"
+		return true
+	}
+	return s.half <= 0.01*s.mean
+}
+
+// jitteredSchedule is the other forbidden shape: randomizing which
+// window counts get a stop check. The evaluation schedule must be
+// pinned, or the sequential looks (and therefore the stop point) differ
+// between passes.
+func jitteredSchedule(n int) int {
+	return n + rand.Intn(4)
+}
+
+// pureStop is the required shape — the decision reads nothing but the
+// window-mean statistics and a fixed target, like
+// sim.runSampled's controller.
+func pureStop(s windowStats, target float64) bool {
+	return s.n >= 2 && s.mean > 0 && s.half <= target*s.mean
+}
+
+// pinnedSchedule is the required evaluation schedule shape: the next
+// look depends only on the current look.
+func pinnedSchedule(n int) int {
+	step := n / 4
+	if step < 1 {
+		step = 1
+	}
+	return n + step
+}

@@ -73,6 +73,26 @@ func TestKeyDistinguishesContents(t *testing.T) {
 	if k2, _ := Key(regeo); k2 == ks {
 		t.Fatal("sampling warm horizon not in the key")
 	}
+
+	// The adaptive fields change how many windows run, so probes of the
+	// same geometry at different targets (or bounds) must hash apart —
+	// a cached coarse probe must never answer for a tight one.
+	adaptive := sampled
+	adaptive.Config.Sampling.TargetCI = 0.02
+	ka, _ := Key(adaptive)
+	if ka == ks {
+		t.Fatal("adaptive target not in the key")
+	}
+	tighter := adaptive
+	tighter.Config.Sampling.TargetCI = 0.01
+	if k2, _ := Key(tighter); k2 == ka {
+		t.Fatal("adaptive target value not in the key")
+	}
+	bounded := adaptive
+	bounded.Config.Sampling.MaxWindows = 16
+	if k2, _ := Key(bounded); k2 == ka {
+		t.Fatal("adaptive window bounds not in the key")
+	}
 }
 
 func TestRunAllDeterministicAcrossWorkerCounts(t *testing.T) {
@@ -92,6 +112,44 @@ func TestRunAllDeterministicAcrossWorkerCounts(t *testing.T) {
 		a, b := serial[i].Result.DeterminismDigest(), parallel[i].Result.DeterminismDigest()
 		if a != b {
 			t.Fatalf("job %d digests diverge between 1 and 8 workers:\n%s\nvs\n%s", i, a, b)
+		}
+	}
+}
+
+// TestAdaptiveJobsWorkerCountInvariant is the adaptive analogue of the
+// worker-count test: adaptive stop decisions are per-run pure functions
+// of the window-mean sequence, so a batch of adaptive jobs (sharing
+// warm checkpoints) produces byte-identical reports at 1 and 8 workers.
+func TestAdaptiveJobsWorkerCountInvariant(t *testing.T) {
+	profs := trace.QuickProfiles()
+	var jobs []Job
+	for _, target := range []float64{0.05, 0.02} {
+		for _, p := range profs[:2] {
+			cfg := sim.Baseline()
+			cfg.Sampling = sim.SamplingConfig{
+				Enabled:       true,
+				PeriodInsts:   25_000,
+				DetailedInsts: 2_000,
+				WarmInsts:     2_000,
+				FFWarmInsts:   8_000,
+				TargetCI:      target,
+				MinWindows:    4,
+			}
+			jobs = append(jobs, Job{Config: cfg, Profile: p, Warmup: 50_000, Measure: 400_000})
+		}
+	}
+	serial := New(Options{Workers: 1, Checkpoints: true}).RunAll(jobs)
+	parallel := New(Options{Workers: 8, Checkpoints: true}).RunAll(jobs)
+	for i := range jobs {
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("job %d failed: %v / %v", i, serial[i].Err, parallel[i].Err)
+		}
+		a, b := serial[i].Result.DeterminismDigest(), parallel[i].Result.DeterminismDigest()
+		if a != b {
+			t.Fatalf("adaptive job %d digests diverge between 1 and 8 workers:\n%s\nvs\n%s", i, a, b)
+		}
+		if serial[i].Result.Sampled == nil || serial[i].Result.Sampled.TargetCI == 0 {
+			t.Fatalf("adaptive job %d carries no adaptive provenance", i)
 		}
 	}
 }

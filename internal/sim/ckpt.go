@@ -65,6 +65,14 @@ func warmConfig(cfg Config) Config {
 	cfg.Sampling.PeriodInsts = 0
 	cfg.Sampling.DetailedInsts = 0
 	cfg.Sampling.WarmInsts = 0
+	// The adaptive stop rule only governs how many measured windows
+	// run; the initial fast-forward is identical at every target, so
+	// refinement probes at progressively tighter TargetCI all share one
+	// warm checkpoint — that sharing is what makes autopilot refinement
+	// rounds nearly free.
+	cfg.Sampling.TargetCI = 0
+	cfg.Sampling.MinWindows = 0
+	cfg.Sampling.MaxWindows = 0
 	if cfg.UCP != nil {
 		cfg.UCP = &core.Config{
 			AltBP:     cfg.UCP.AltBP,

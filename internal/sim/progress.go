@@ -11,23 +11,35 @@ const (
 	// window counters advance once per completed measurement window;
 	// full-detail runs report a single 0/1 → 1/1 window.
 	StageMeasuring = "measuring"
+	// StageRefining covers the adaptive tail of a sampled run: the
+	// controller has reached its minimum window count and is adding
+	// windows only until the confidence target is met, reporting the
+	// current relative half-width alongside the window counters.
+	StageRefining = "refining"
 )
 
 // Progress is one observability-only stage notification from a running
-// simulation. It carries no measured quantities: hooks must never feed
-// back into simulated outcomes (runs are byte-identical with and
-// without a hook), they exist so long-running jobs can stream
-// queued → warming → measuring transitions and window counts to a
-// caller (progress bars, the sweepd event stream).
+// simulation. Hooks must never feed back into simulated outcomes (runs
+// are byte-identical with and without a hook — the stop decision in
+// adaptive mode is a pure function of the window-mean sequence, never
+// of anything a hook does); they exist so long-running jobs can stream
+// queued → warming → measuring → refining transitions, window counts,
+// and the shrinking half-width to a caller (progress bars, the sweepd
+// event stream).
 type Progress struct {
-	// Stage is StageWarming or StageMeasuring.
+	// Stage is StageWarming, StageMeasuring, or StageRefining.
 	Stage string
 	// WindowsDone / WindowsTotal count completed measurement windows.
 	// Full-detail runs report totals of 1; sampled runs report the
-	// period count from the sampling geometry.
+	// window budget from the sampling geometry (in adaptive mode the
+	// run may stop well short of the total).
 	WindowsDone int
 	// WindowsTotal is 0 while it cannot be known yet.
 	WindowsTotal int
+	// HalfWidth is the current relative 95% half-width of the window
+	// IPC mean (half / mean), reported only in StageRefining; 0
+	// elsewhere.
+	HalfWidth float64
 }
 
 // ProgressFunc receives stage notifications. Hooks run synchronously on
@@ -38,5 +50,12 @@ type ProgressFunc func(Progress)
 func (hook ProgressFunc) note(stage string, done, total int) {
 	if hook != nil {
 		hook(Progress{Stage: stage, WindowsDone: done, WindowsTotal: total})
+	}
+}
+
+// noteHalf is note with the refining stage's relative half-width.
+func (hook ProgressFunc) noteHalf(stage string, done, total int, half float64) {
+	if hook != nil {
+		hook(Progress{Stage: stage, WindowsDone: done, WindowsTotal: total, HalfWidth: half})
 	}
 }

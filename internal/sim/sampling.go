@@ -87,7 +87,40 @@ type SamplingConfig struct {
 	// dominates the skip cost. When both horizons are bounded the
 	// cache-warm zone must fit inside the predictor-training zone.
 	BPWarmInsts uint64
+
+	// TargetCI, when positive, switches the controller to adaptive
+	// window counts: instead of always measuring every window of the
+	// fixed MeasureInsts/PeriodInsts schedule, the run stops as soon as
+	// the relative 95% half-width of the window-IPC mean (Student-t,
+	// half/mean) drops to TargetCI or below. The fixed schedule is the
+	// budget — adaptive runs never measure more windows than fixed
+	// geometry would, only fewer — so MeasureInsts should over-provision
+	// the region when a tight target matters. The stop decision is
+	// evaluated on a pinned geometric schedule (first at MinWindows,
+	// then every ~25% more windows, adaptiveSchedule below) and is a
+	// pure function of the window-IPC sequence, so digests stay
+	// deterministic at every worker count.
+	TargetCI float64
+
+	// MinWindows is the first stop-evaluation point (adaptive only):
+	// no run terminates with fewer measured windows. 0 means the
+	// DefaultMinWindows floor; 1 is rejected by Validate — a single
+	// window has an infinite half-width and can never satisfy a target,
+	// so terminating there would always be a bug.
+	MinWindows int
+
+	// MaxWindows, when positive, caps the adaptive window count below
+	// the fixed schedule's budget (adaptive only). 0 means the full
+	// MeasureInsts/PeriodInsts budget.
+	MaxWindows int
 }
+
+// DefaultMinWindows is the adaptive controller's floor on measured
+// windows when MinWindows is 0: early stop evaluations on a handful of
+// windows see an unstable variance estimate, and the pinned schedule's
+// sequential-look correction argument (DESIGN.md) assumes the first
+// look already has a few degrees of freedom behind it.
+const DefaultMinWindows = 8
 
 // ConservativeSampling returns a sampling geometry that is safe on
 // every workload: the whole gap outside the functional-warm horizon
@@ -158,8 +191,37 @@ func (s SamplingConfig) Validate() error {
 		return fmt.Errorf("sim: Sampling.CacheWarmInsts (%d) must be bounded within BPWarmInsts (%d): an unwarmed cache zone inside the predictor-training zone inverts the warming pyramid",
 			s.CacheWarmInsts, s.BPWarmInsts)
 	}
+	if s.TargetCI < 0 {
+		return fmt.Errorf("sim: Sampling.TargetCI must be non-negative, got %g", s.TargetCI)
+	}
+	if s.TargetCI > 0.5 {
+		return fmt.Errorf("sim: Sampling.TargetCI %g is implausibly loose (a ±50%% interval bounds nothing useful)", s.TargetCI)
+	}
+	if s.TargetCI == 0 && (s.MinWindows != 0 || s.MaxWindows != 0) {
+		return fmt.Errorf("sim: Sampling.MinWindows/MaxWindows require TargetCI (adaptive mode); fixed geometry derives its window count from MeasureInsts")
+	}
+	if s.MinWindows < 0 || s.MaxWindows < 0 {
+		return fmt.Errorf("sim: Sampling.MinWindows/MaxWindows must be non-negative, got %d/%d", s.MinWindows, s.MaxWindows)
+	}
+	if s.TargetCI > 0 && s.MinWindows == 1 {
+		return fmt.Errorf("sim: Sampling.MinWindows must be at least 2 (a single window has an infinite half-width and can never meet a target), got 1")
+	}
+	if s.MaxWindows > 0 && s.MinWindows > s.MaxWindows {
+		return fmt.Errorf("sim: Sampling.MinWindows %d exceeds MaxWindows %d", s.MinWindows, s.MaxWindows)
+	}
 	return nil
 }
+
+// Adaptive reports whether the confidence-targeted controller is on.
+func (s SamplingConfig) Adaptive() bool { return s.Enabled && s.TargetCI > 0 }
+
+// adaptiveSchedule returns the next pinned stop-evaluation point after
+// a look at n windows: roughly 25% more windows, at least one. Pinning
+// the evaluation points (a group-sequential design, DESIGN.md) bounds
+// the number of sequential looks to O(log n) so the optional-stopping
+// inflation of the claimed CI stays small; evaluating after every
+// window would inflate it far more.
+func adaptiveSchedule(n int) int { return n + max(1, n/4) }
 
 // SampledStats reports what the sampling controller did and what it
 // estimated. It is folded into the determinism digest, so every field
@@ -192,6 +254,17 @@ type SampledStats struct {
 	IPCCI95  float64
 	MPKIMean float64
 	MPKICI95 float64
+
+	// Adaptive-mode provenance, zero for fixed-geometry runs (their
+	// digests are unchanged): TargetCI echoes the configured relative
+	// half-width target, WindowBudget is the fixed schedule's window
+	// count the run could have used, and TargetMet reports whether the
+	// run stopped because the target was reached (false: it exhausted
+	// the budget or the MaxWindows cap first — the claimed interval is
+	// still honest, just wider than asked).
+	TargetCI     float64
+	WindowBudget int
+	TargetMet    bool
 }
 
 // machineWarmer adapts the machine's memory hierarchy to trace.Warmer
@@ -240,8 +313,40 @@ func (w condWarmer) WarmCond(pc uint64, taken bool) { machineWarmer(w).WarmCond(
 func runSampled(cfg Config, src trace.Source, code core.CodeInfo, traceName string, wc *WarmCheckpoints, hook ProgressFunc) (Result, error) {
 	m := NewMachine(cfg, src, code)
 	s := cfg.Sampling
-	periods := cfg.MeasureInsts / s.PeriodInsts
-	hook.note(StageWarming, 0, int(periods))
+	// Window schedule: one window per full period, plus a trailing
+	// window over the remainder when MeasureInsts is not period-aligned
+	// (Config.Validate rejects remainders too short to hold the
+	// warm+measure tail, so no measured instructions are ever silently
+	// dropped).
+	budget := int(cfg.MeasureInsts / s.PeriodInsts)
+	rem := cfg.MeasureInsts % s.PeriodInsts
+	if rem > 0 {
+		budget++
+	}
+	// windowEnd is the absolute stream position where window k's
+	// measurement stops.
+	windowEnd := func(k int) uint64 {
+		if rem > 0 && k == budget-1 {
+			return cfg.WarmupInsts + cfg.MeasureInsts
+		}
+		return cfg.WarmupInsts + uint64(k+1)*s.PeriodInsts
+	}
+	// Adaptive mode stops early once the pinned evaluation schedule
+	// sees the window-IPC half-width at or below target; the fixed
+	// schedule is the budget either way.
+	adaptive := s.Adaptive()
+	maxW := budget
+	if adaptive && s.MaxWindows > 0 && s.MaxWindows < maxW {
+		maxW = s.MaxWindows
+	}
+	minW := s.MinWindows
+	if minW == 0 {
+		minW = DefaultMinWindows
+	}
+	if minW > maxW {
+		minW = maxW
+	}
+	hook.note(StageWarming, 0, maxW)
 
 	var skipped, ffTotal uint64
 
@@ -290,10 +395,18 @@ func runSampled(cfg Config, src trace.Source, code core.CodeInfo, traceName stri
 	} else if err := ffwd(cfg.WarmupInsts); err != nil {
 		return Result{}, err
 	}
-	hook.note(StageMeasuring, 0, int(periods))
+	hook.note(StageMeasuring, 0, maxW)
 
-	for k := uint64(0); k < periods; k++ {
-		measureEnd := cfg.WarmupInsts + (k+1)*s.PeriodInsts
+	// The adaptive stop rule: a one-pass Welford accumulator over the
+	// window IPCs, evaluated only at the pinned schedule points — a
+	// pure function of the window-mean sequence, so two passes (and any
+	// worker count) terminate identically.
+	var ipcRun stats.Running
+	nextEval := minW
+	targetMet := false
+
+	for k := 0; k < maxW; k++ {
+		measureEnd := windowEnd(k)
 		measureStart := measureEnd - s.DetailedInsts
 		warmStart := measureStart - s.WarmInsts
 
@@ -325,7 +438,9 @@ func runSampled(cfg Config, src trace.Source, code core.CodeInfo, traceName stri
 		dPfIns += b.uop.PrefetchInserts - a.uop.PrefetchInserts
 		dPfUsed += b.uop.PrefetchUsed - a.uop.PrefetchUsed
 		if wCycles > 0 {
-			ipcs = append(ipcs, float64(wInsts)/float64(wCycles))
+			ipc := float64(wInsts) / float64(wCycles)
+			ipcs = append(ipcs, ipc)
+			ipcRun.Add(ipc)
 		}
 		if wInsts > 0 {
 			mpkis = append(mpkis, float64(b.fe.CondMispredicts-a.fe.CondMispredicts)/float64(wInsts)*1000)
@@ -346,7 +461,25 @@ func runSampled(cfg Config, src trace.Source, code core.CodeInfo, traceName stri
 		if err := m.drainQuiet(); err != nil {
 			return Result{}, err
 		}
-		hook.note(StageMeasuring, int(k+1), int(periods))
+		if !adaptive || k+1 < minW {
+			hook.note(StageMeasuring, k+1, maxW)
+			continue
+		}
+		mean, half := ipcRun.CI95()
+		rel := math.Inf(1)
+		if mean > 0 && !math.IsInf(half, 1) {
+			rel = half / mean
+		}
+		hook.noteHalf(StageRefining, k+1, maxW, rel)
+		if ipcRun.N() >= nextEval {
+			if rel <= s.TargetCI {
+				targetMet = true
+				break
+			}
+			for nextEval <= ipcRun.N() {
+				nextEval = adaptiveSchedule(nextEval)
+			}
+		}
 	}
 
 	end := m.snap()
@@ -358,6 +491,11 @@ func runSampled(cfg Config, src trace.Source, code core.CodeInfo, traceName stri
 		MeasuredInsts: sumInsts,
 		WindowIPC:     ipcs,
 		WindowMPKI:    mpkis,
+	}
+	if adaptive {
+		sampled.TargetCI = s.TargetCI
+		sampled.WindowBudget = budget
+		sampled.TargetMet = targetMet
 	}
 	sampled.IPCMean, sampled.IPCCI95 = stats.CI95(ipcs)
 	sampled.MPKIMean, sampled.MPKICI95 = stats.CI95(mpkis)

@@ -158,6 +158,18 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: Sampling.PeriodInsts %d exceeds MeasureInsts %d (need at least one full period)",
 			c.Sampling.PeriodInsts, c.MeasureInsts)
 	}
+	if c.Sampling.Enabled {
+		// A period-unaligned MeasureInsts gets a trailing measurement
+		// window over the remainder (sampling.go windowEnd) — but only
+		// when the remainder can hold the warm+measure tail. Anything
+		// shorter would either be silently dropped (the pre-fix
+		// behavior) or measure a window shorter than the geometry
+		// promises; reject it instead.
+		if rem := c.MeasureInsts % c.Sampling.PeriodInsts; rem > 0 && rem < c.Sampling.WarmInsts+c.Sampling.DetailedInsts {
+			return fmt.Errorf("sim: MeasureInsts %% Sampling.PeriodInsts leaves a %d-instruction remainder, too short for a trailing window (WarmInsts+DetailedInsts = %d); align MeasureInsts to the period or extend it",
+				rem, c.Sampling.WarmInsts+c.Sampling.DetailedInsts)
+		}
+	}
 	return nil
 }
 
@@ -490,6 +502,12 @@ func (r Result) DeterminismDigest() string {
 			s.IPCMean, s.IPCCI95, s.MPKIMean, s.MPKICI95)
 		for i, v := range s.WindowIPC {
 			fmt.Fprintf(&sb, "sampled w%d ipc=%.9f\n", i, v)
+		}
+		// The adaptive line only exists for adaptive runs, so
+		// fixed-geometry sampled digests are byte-identical to before.
+		if s.TargetCI > 0 {
+			fmt.Fprintf(&sb, "sampled adaptive target=%.6f budget=%d met=%v\n",
+				s.TargetCI, s.WindowBudget, s.TargetMet)
 		}
 	}
 	// The time-parallel section only exists for segmented runs, so

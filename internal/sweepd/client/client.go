@@ -271,8 +271,13 @@ func (c *Client) streamOnce(id string, lastSeq *int, onEvent func(sweepd.Event))
 			onEvent(ev)
 		}
 		if c.Progress != nil {
-			fmt.Fprintf(c.Progress, "sweepd client: job %.12s %s %d/%d\n",
-				ev.ID, ev.State, ev.WindowsDone, ev.WindowsTotal)
+			if ev.State == sweepd.StateRefining {
+				fmt.Fprintf(c.Progress, "sweepd client: job %.12s %s %d/%d ±%.2f%%\n",
+					ev.ID, ev.State, ev.WindowsDone, ev.WindowsTotal, ev.HalfWidth*100)
+			} else {
+				fmt.Fprintf(c.Progress, "sweepd client: job %.12s %s %d/%d\n",
+					ev.ID, ev.State, ev.WindowsDone, ev.WindowsTotal)
+			}
 		}
 		if ev.State == sweepd.StateDone || ev.State == sweepd.StateFailed {
 			return true, nil

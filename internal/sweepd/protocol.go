@@ -34,16 +34,19 @@ import (
 // disagreeing on sim.ModelVersion or the job-key schema would silently
 // exchange results computed under different models, which is exactly
 // the cache-compatibility bug class the -version flags exist to debug.
-const ProtocolVersion = "sweepd-2"
+const ProtocolVersion = "sweepd-3"
 
 // Job states, in lifecycle order. A job is queued on admission, warming
 // once an executor picks it up, measuring when detailed windows start,
-// and finally done or failed. Coalesced resubmissions observe the
-// original job's state wherever it is.
+// refining when an adaptive run has reached its minimum window count
+// and is narrowing its confidence interval, and finally done or failed.
+// Coalesced resubmissions observe the original job's state wherever it
+// is.
 const (
 	StateQueued    = "queued"
 	StateWarming   = sim.StageWarming
 	StateMeasuring = sim.StageMeasuring
+	StateRefining  = sim.StageRefining
 	StateDone      = "done"
 	StateFailed    = "failed"
 )
@@ -137,6 +140,11 @@ type Event struct {
 	// (zero totals while unknown).
 	WindowsDone  int `json:"windows_done"`
 	WindowsTotal int `json:"windows_total"`
+	// HalfWidth is the current relative 95% half-width of the window
+	// IPC mean, reported on StateRefining events of adaptive jobs (0
+	// elsewhere; +Inf before two windows exist is clamped to 0 on the
+	// wire — JSON has no Inf).
+	HalfWidth float64 `json:"half_width,omitempty"`
 	// ElapsedMS is time since the job was admitted, on the server's
 	// injected clock; EtaMS extrapolates the remaining measuring time
 	// from window throughput (0 when unknowable).

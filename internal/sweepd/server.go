@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -56,6 +57,7 @@ type jobState struct {
 	state        string
 	windowsDone  int
 	windowsTotal int
+	halfWidth    float64 // current relative CI half-width (refining only)
 
 	submitted time.Duration // clock at admission
 	started   time.Duration // clock when an executor picked it up
@@ -350,12 +352,20 @@ func (s *Server) progress(js *jobState, pr sim.Progress) {
 	if pr.Stage == StateMeasuring && js.state != StateMeasuring {
 		js.measuring = s.now()
 	}
-	if js.state == pr.Stage && js.windowsDone == pr.WindowsDone && js.windowsTotal == pr.WindowsTotal {
+	// JSON has no Inf: the pre-two-window half-width flattens to 0 on
+	// the wire (the client renders 0 as "no estimate yet").
+	half := pr.HalfWidth
+	if math.IsInf(half, 1) {
+		half = 0
+	}
+	if js.state == pr.Stage && js.windowsDone == pr.WindowsDone &&
+		js.windowsTotal == pr.WindowsTotal && js.halfWidth == half {
 		return
 	}
 	js.state = pr.Stage
 	js.windowsDone = pr.WindowsDone
 	js.windowsTotal = pr.WindowsTotal
+	js.halfWidth = half
 	s.publishLocked(js, pr.Stage, "")
 }
 
@@ -381,10 +391,13 @@ func (s *Server) finish(js *jobState, jr runq.JobResult) {
 		return
 	}
 	s.finished++
-	js.state = StateDone
-	if js.windowsTotal > 0 {
+	// A fixed-geometry job always ran its whole schedule; an adaptive
+	// one (last seen refining) may have stopped early, so its window
+	// counter stays wherever the stop rule left it.
+	if js.state != StateRefining && js.windowsTotal > 0 {
 		js.windowsDone = js.windowsTotal
 	}
+	js.state = StateDone
 	s.publishLocked(js, StateDone, "")
 	s.logf("job %.12s done in %dms (%s, queue %dms)", js.id,
 		(now - js.submitted).Milliseconds(), jr.Source, (js.started - js.submitted).Milliseconds())
@@ -401,6 +414,9 @@ func (s *Server) publishLocked(js *jobState, state string, errText string) {
 		WindowsTotal: js.windowsTotal,
 		ElapsedMS:    (s.now() - js.submitted).Milliseconds(),
 		Err:          errText,
+	}
+	if state == StateRefining {
+		ev.HalfWidth = js.halfWidth
 	}
 	// ETA: extrapolate remaining measuring time from window throughput.
 	if state == StateMeasuring && js.windowsDone > 0 && js.windowsDone < js.windowsTotal {

@@ -398,6 +398,117 @@ func TestEventStreamResume(t *testing.T) {
 	}
 }
 
+// TestRefiningStreamResume covers the adaptive lifecycle state on the
+// wire: a job that moves measuring → refining (with per-event
+// half-widths) streams gap-free across a dropped connection, resumed
+// events carry the same half-widths, and an early adaptive stop leaves
+// the done event's window counter where the stop rule ended, not at
+// the budget.
+func TestRefiningStreamResume(t *testing.T) {
+	step := make(chan struct{})
+	halves := []float64{0.08, 0.031, 0.018}
+	_, hs, cl := startServer(t, sweepd.Config{
+		Executors: 1,
+		Pool: runq.Options{
+			RunJob: func(_ runq.Job, hook sim.ProgressFunc) (sim.Result, error) {
+				hook(sim.Progress{Stage: sim.StageWarming, WindowsTotal: 10})
+				for k := 1; k <= 3; k++ {
+					hook(sim.Progress{Stage: sim.StageMeasuring, WindowsDone: k, WindowsTotal: 10})
+				}
+				<-step
+				// The adaptive tail: refining events carry the shrinking
+				// half-width, then the run stops early at 6 of 10 windows.
+				for i, h := range halves {
+					hook(sim.Progress{Stage: sim.StageRefining, WindowsDone: 4 + i, WindowsTotal: 10, HalfWidth: h})
+				}
+				return sim.Result{Name: "adaptive"}, nil
+			},
+		},
+	})
+
+	ids, err := cl.Submit([]sweepd.JobSpec{testSpec(t, "adaptive")})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	id := ids[0]
+
+	// First connection: consume the fixed-measuring prefix, then drop
+	// before any refining event exists.
+	resp, err := http.Get(hs.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	br := bufio.NewReader(resp.Body)
+	var got []sweepd.Event
+	for i := 0; i < 4; i++ { // queued, warming, measuring 1..2 at least
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading event %d: %v", i, err)
+		}
+		var ev sweepd.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		got = append(got, ev)
+	}
+	resp.Body.Close()
+	close(step)
+
+	st, err := cl.Wait(id, nil)
+	if err != nil || st.State != sweepd.StateDone {
+		t.Fatalf("wait: %+v, %v", st, err)
+	}
+	resp2, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/events?after=%d", hs.URL, id, got[len(got)-1].Seq))
+	if err != nil {
+		t.Fatalf("resume stream: %v", err)
+	}
+	defer resp2.Body.Close()
+	sc := bufio.NewScanner(resp2.Body)
+	for sc.Scan() {
+		var ev sweepd.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad resumed event %q: %v", sc.Text(), err)
+		}
+		got = append(got, ev)
+	}
+
+	for i, ev := range got {
+		if ev.Seq != i+1 {
+			t.Fatalf("event %d has seq %d — gap or duplicate across the reconnect:\n%+v", i, ev.Seq, got)
+		}
+	}
+	var refined []sweepd.Event
+	for _, ev := range got {
+		if ev.State == sweepd.StateRefining {
+			refined = append(refined, ev)
+		}
+	}
+	if len(refined) != len(halves) {
+		t.Fatalf("saw %d refining events, want %d: %+v", len(refined), len(halves), got)
+	}
+	for i, ev := range refined {
+		if ev.HalfWidth != halves[i] {
+			t.Errorf("refining event %d half_width %g, want %g", i, ev.HalfWidth, halves[i])
+		}
+		if ev.WindowsDone != 4+i || ev.WindowsTotal != 10 {
+			t.Errorf("refining event %d windows %d/%d, want %d/10", i, ev.WindowsDone, ev.WindowsTotal, 4+i)
+		}
+	}
+	last := got[len(got)-1]
+	if last.State != sweepd.StateDone {
+		t.Fatalf("last event %+v, want done", last)
+	}
+	if last.WindowsDone != 6 {
+		t.Errorf("done event windows_done = %d, want 6 (the adaptive stop point, not the 10-window budget)", last.WindowsDone)
+	}
+	if last.HalfWidth != 0 {
+		t.Errorf("done event carries half_width %g, want 0", last.HalfWidth)
+	}
+	if st.WindowsDone != 6 {
+		t.Errorf("status windows_done = %d, want 6", st.WindowsDone)
+	}
+}
+
 // TestGracefulShutdown drains in-flight work, refuses new
 // submissions, and completes waiting streams.
 func TestGracefulShutdown(t *testing.T) {
