@@ -1,14 +1,20 @@
 #!/bin/sh
 # check.sh — the tier-1+ verification gate (see ROADMAP.md).
 #
-# Usage: ./check.sh [-fast]
+# Usage: ./check.sh [-fast] [-only <gate>]
 #
-#   -fast   skip the fuzz smoke, sweep-reuse, autopilot, and sweepd
-#           gates (the slowest four); everything else runs. Use for
-#           inner-loop iteration; CI and pre-merge runs use the full
-#           gate.
+#   -fast         skip the fuzz smoke, sweep-reuse, autopilot, and
+#                 sweepd gates (the slowest four); everything else runs.
+#                 Use for inner-loop iteration; CI and pre-merge runs
+#                 use the full gate.
+#   -only <gate>  run a single gate by id (tool binaries are still
+#                 built so every gate stays self-contained). Gate ids:
+#                 fmt vet build lint lint-determinism test fuzz runq
+#                 hotpath hotpath-bench sampling tpar wpar sweepreuse
+#                 autopilot sweepd schema
 #
-# Each gate's wall-clock time is printed when the next gate starts.
+# Each gate's wall-clock time is printed when the next gate starts, and
+# a per-gate timing summary table is printed at the end.
 #
 # Runs, in order:
 #   1. gofmt -l            (no unformatted files)
@@ -46,6 +52,20 @@
 #                           BENCH_tpar.json. Then ucpsim itself runs
 #                           -segments 4 at -jobs 1 vs -jobs 8 and the
 #                           digest files must cmp-equal)
+#  11b. window-parallel gate (one sampled UCP run executed chain-serial,
+#                           window-parallel at two worker counts, through
+#                           a capture+restore checkpoint cycle, and
+#                           adaptively at both worker counts — every
+#                           window-parallel digest byte-identical, all 20
+#                           window boundaries captured and restored, the
+#                           adaptive run stopping at the same window at
+#                           every worker count, window-independence IPC
+#                           error < 2%, and scaling >= 0.7 x min(cores,
+#                           windows) on multi-core hosts (single-core
+#                           hosts carry a note); recorded in
+#                           BENCH_wpar.json. Then ucpsim itself runs
+#                           -sample -segments 4 at -jobs 1 vs -jobs 8
+#                           and the digest files must cmp-equal)
 #  12. sweep-reuse gate    (cold vs arena+checkpoint pool over a
 #                           10-config sampled threshold ablation: every
 #                           digest byte-identical, exactly one warm
@@ -76,23 +96,44 @@ set -eu
 
 cd "$(dirname "$0")"
 
+KNOWN_GATES="fmt vet build lint lint-determinism test fuzz runq hotpath hotpath-bench sampling tpar wpar sweepreuse autopilot sweepd schema"
+
 FAST=0
-for arg in "$@"; do
-	case "$arg" in
+ONLY=""
+while [ $# -gt 0 ]; do
+	case "$1" in
 	-fast) FAST=1 ;;
-	*) echo "check.sh: unknown argument $arg (usage: ./check.sh [-fast])" >&2; exit 2 ;;
+	-only)
+		shift
+		[ $# -gt 0 ] || { echo "check.sh: -only requires a gate id (one of: $KNOWN_GATES)" >&2; exit 2; }
+		ONLY="$1"
+		case " $KNOWN_GATES " in
+		*" $ONLY "*) ;;
+		*) echo "check.sh: unknown gate \"$ONLY\" (one of: $KNOWN_GATES)" >&2; exit 2 ;;
+		esac
+		;;
+	*) echo "check.sh: unknown argument $1 (usage: ./check.sh [-fast] [-only <gate>])" >&2; exit 2 ;;
 	esac
+	shift
 done
+
+# want reports whether the named gate should run under -only filtering.
+want() { [ -z "$ONLY" ] || [ "$ONLY" = "$1" ]; }
 
 now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
 
-# step prints the previous gate's wall-clock time, then opens the next.
+# step prints the previous gate's wall-clock time, records it for the
+# summary table, then opens the next gate.
 STEP_NAME=""
 STEP_T0=0
+TIMINGS=""
 step() {
 	_now=$(now_ms)
 	if [ -n "$STEP_NAME" ]; then
-		printf '   [%s: %sms]\n' "$STEP_NAME" $((_now - STEP_T0))
+		_ms=$((_now - STEP_T0))
+		printf '   [%s: %sms]\n' "$STEP_NAME" "$_ms"
+		TIMINGS="${TIMINGS}${STEP_NAME}|${_ms}
+"
 	fi
 	STEP_NAME="$*"
 	STEP_T0=$_now
@@ -103,6 +144,16 @@ RUNQ_TMP=$(mktemp -d)
 SWEEPD_PID=""
 trap '[ -n "$SWEEPD_PID" ] && kill "$SWEEPD_PID" 2>/dev/null; rm -rf "$RUNQ_TMP"' EXIT
 
+# Tool binaries are built unconditionally (the Go build cache makes
+# repeats cheap) so any -only gate is self-contained.
+step "tool build"
+go build -o "$RUNQ_TMP/ucplint" ./cmd/ucplint
+go build -o "$RUNQ_TMP/experiments" ./cmd/experiments
+go build -o "$RUNQ_TMP/ucpsim" ./cmd/ucpsim
+CORES=$("$RUNQ_TMP/experiments" -numcpu)
+SERIAL_MS=0
+
+if want fmt; then
 step "gofmt"
 UNFMT=$(gofmt -l .)
 if [ -n "$UNFMT" ]; then
@@ -110,19 +161,24 @@ if [ -n "$UNFMT" ]; then
 	echo "$UNFMT" >&2
 	exit 1
 fi
+fi
 
+if want vet; then
 step "go vet"
 go vet ./...
+fi
 
+if want build; then
 step "go build"
 go build ./...
+fi
 
+if want lint; then
 step "ucplint"
 # The lint gate covers the whole module (./... includes cmd/) and runs
 # in JSON mode against the committed baseline. Exit codes are stable:
 # 0 clean, 1 findings, 2 load error — run the built binary, not
 # `go run`, which collapses any nonzero child status to 1.
-go build -o "$RUNQ_TMP/ucplint" ./cmd/ucplint
 if "$RUNQ_TMP/ucplint" -json -baseline .ucplint-baseline.json ./... > "$RUNQ_TMP/lint.json"; then
 	echo "ucplint: clean (no findings outside .ucplint-baseline.json)"
 else
@@ -136,29 +192,34 @@ else
 	fi
 	exit 1
 fi
+fi
 
+if want lint-determinism; then
 step "ucplint -determinism"
 "$RUNQ_TMP/ucplint" -determinism -determinism-insts 60000
+fi
 
+if want test; then
 step "go test -race"
 go test -race ./...
+fi
 
 # `go test -fuzz` accepts a single target at a time, so smoke each one.
+if want fuzz; then
+step "fuzz smoke (internal/trace)"
 if [ "$FAST" -eq 0 ]; then
-	step "fuzz smoke (internal/trace)"
 	go test -fuzz=FuzzReadAny -fuzztime=5s -run='^$' ./internal/trace
 	go test -fuzz=FuzzValidate -fuzztime=5s -run='^$' ./internal/trace
 else
-	step "fuzz smoke (internal/trace)"
 	echo "skipped (-fast)"
 fi
+fi
 
+if want runq; then
 step "runq parallel determinism"
 # The report must be byte-identical whether runs execute serially, on 8
 # workers, or replay from a warm on-disk cache. Timings go to
 # BENCH_runq.json as a record; cmp is the only gate.
-go build -o "$RUNQ_TMP/experiments" ./cmd/experiments
-
 T0=$(now_ms)
 "$RUNQ_TMP/experiments" -all -quick -warmup 60000 -measure 60000 \
 	-jobs 1 -progress=false -o "$RUNQ_TMP/serial.md"
@@ -181,7 +242,6 @@ SERIAL_MS=$((T1 - T0)); PARALLEL_MS=$((T2 - T1)); WARM_MS=$((T3 - T2))
 # nproc. On a single-core box -jobs 8 time-slices one CPU, so no
 # speedup is expected; the record says so in a note instead of
 # presenting the ratio as a regression.
-CORES=$("$RUNQ_TMP/experiments" -numcpu)
 awk -v s="$SERIAL_MS" -v p="$PARALLEL_MS" -v w="$WARM_MS" -v j="$CORES" 'BEGIN {
 	printf "{\n"
 	printf "  \"schema_version\": 1,\n"
@@ -198,13 +258,14 @@ awk -v s="$SERIAL_MS" -v p="$PARALLEL_MS" -v w="$WARM_MS" -v j="$CORES" 'BEGIN {
 	printf "}\n"
 }' > BENCH_runq.json
 echo "runq: serial=${SERIAL_MS}ms parallel8=${PARALLEL_MS}ms warm=${WARM_MS}ms cores=${CORES} (BENCH_runq.json)"
+fi
 
+if want hotpath; then
 step "hotpath determinism digest"
 # The hard gate of the hot-path work: the quick-sweep determinism
 # digests (baseline + UCP, 60k+60k insts) must be byte-identical to the
 # pre-optimization golden. Any optimization that changes a simulated
 # outcome — one cycle, one counter — fails here.
-go build -o "$RUNQ_TMP/ucpsim" ./cmd/ucpsim
 {
 	"$RUNQ_TMP/ucpsim" -trace quick -digest -warmup 60000 -measure 60000
 	"$RUNQ_TMP/ucpsim" -trace quick -ucp -digest -warmup 60000 -measure 60000
@@ -216,7 +277,9 @@ cmp "$RUNQ_TMP/digest.txt" testdata/hotpath_digest.golden || {
 	exit 1
 }
 echo "hotpath: digests match golden"
+fi
 
+if want hotpath-bench; then
 step "hotpath benchmark (BenchmarkSimQuick)"
 # One iteration is enough for a smoke + a steady-state allocs/inst
 # reading (the sim loop is allocation-free; construction amortizes).
@@ -227,6 +290,7 @@ grep -q '^BenchmarkSimQuick' "$RUNQ_TMP/bench.txt" || {
 # seed_serial_ms is the quick-sweep serial wall clock of the
 # pre-optimization tree (commit 4e3b42d), measured interleaved with the
 # optimized build on the same machine to cancel thermal drift.
+# sweep_serial_ms is 0 when the runq gate did not run this invocation.
 awk -v s="$SERIAL_MS" -v j="$CORES" -v seed=28645 '
 	/^BenchmarkSimQuick/ {
 		for (i = 2; i <= NF; i++) {
@@ -247,14 +311,18 @@ awk -v s="$SERIAL_MS" -v j="$CORES" -v seed=28645 '
 		printf "}\n"
 	}' "$RUNQ_TMP/bench.txt" > BENCH_hotpath.json
 echo "hotpath: $(tr -d '\n' < BENCH_hotpath.json | tr -s ' ')"
+fi
 
+if want sampling; then
 step "sampling gate"
 # Paired full-vs-sampled sweep (no-uop / baseline / UCP on crypto01,
 # 25M measured insts) in one process so the wall-clock ratio is
 # thermally comparable. Gated: per-point IPC error < 2%, aggregate
 # speedup >= 10x, sampled runs digest-identical across two passes.
 "$RUNQ_TMP/experiments" -sample-gate -sample-bench BENCH_sampling.json
+fi
 
+if want tpar; then
 step "time-parallel gate"
 # One full-detail UCP run on crypto01 executed five ways in one process
 # (serial, segmented w1, segmented wN, checkpoint capture, checkpoint
@@ -274,7 +342,36 @@ step "time-parallel gate"
 cmp "$RUNQ_TMP/tpar_digest_j1.txt" "$RUNQ_TMP/tpar_digest_j8.txt" || {
 	echo "tpar: segmented ucpsim digest differs between -jobs 1 and -jobs 8" >&2; exit 1; }
 echo "tpar: segmented ucpsim digests byte-identical across worker counts"
+fi
 
+if want wpar; then
+step "window-parallel gate"
+# One sampled UCP run on crypto01 executed seven ways in one process
+# (chain-serial, window-parallel w1, window-parallel wN, checkpoint
+# capture, checkpoint restore, adaptive w1, adaptive wN). Gated:
+# window-parallel digests byte-identical across worker counts and
+# across the capture/restore cycle, all 20 window boundaries captured +
+# restored, the adaptive run stopping at the same window at both worker
+# counts, window-independence IPC error < 2%, and scaling >= 0.7 x
+# min(cores, windows) on multi-core hosts. Single-core runs carry a
+# note in BENCH_wpar.json.
+"$RUNQ_TMP/experiments" -wpar-gate -wpar-bench BENCH_wpar.json
+
+# End-to-end half: ucpsim itself, sampled + segmented, at two pool
+# worker counts — the whole digest file (sampled window lines, adaptive
+# provenance, and timepar window lines) must be byte-identical.
+"$RUNQ_TMP/ucpsim" -trace srv203 -ucp -digest -warmup 60000 -measure 200000 \
+	-sample -sample-period 50000 -sample-window 2000 \
+	-segments 4 -jobs 1 > "$RUNQ_TMP/wpar_digest_j1.txt"
+"$RUNQ_TMP/ucpsim" -trace srv203 -ucp -digest -warmup 60000 -measure 200000 \
+	-sample -sample-period 50000 -sample-window 2000 \
+	-segments 4 -jobs 8 > "$RUNQ_TMP/wpar_digest_j8.txt"
+cmp "$RUNQ_TMP/wpar_digest_j1.txt" "$RUNQ_TMP/wpar_digest_j8.txt" || {
+	echo "wpar: sampled segmented ucpsim digest differs between -jobs 1 and -jobs 8" >&2; exit 1; }
+echo "wpar: sampled segmented ucpsim digests byte-identical across worker counts"
+fi
+
+if want sweepreuse; then
 step "sweep-reuse gate"
 if [ "$FAST" -eq 0 ]; then
 	# Cold pool (per-job fast-forward) vs a fresh arena+checkpoint pool
@@ -285,7 +382,9 @@ if [ "$FAST" -eq 0 ]; then
 else
 	echo "skipped (-fast)"
 fi
+fi
 
+if want autopilot; then
 step "autopilot gate"
 if [ "$FAST" -eq 0 ]; then
 	# Part A: an adaptive run (FastSampling + a ±2% CI target) must meet
@@ -300,7 +399,9 @@ if [ "$FAST" -eq 0 ]; then
 else
 	echo "skipped (-fast)"
 fi
+fi
 
+if want sweepd; then
 step "sweepd gate"
 if [ "$FAST" -eq 0 ]; then
 	# In-process half: local pool vs a loopback sweepd server over the
@@ -342,15 +443,24 @@ if [ "$FAST" -eq 0 ]; then
 else
 	echo "skipped (-fast)"
 fi
+fi
 
+if want schema; then
 step "BENCH schema"
 # Every benchmark record shares the same envelope so downstream tooling
 # can discover and parse them uniformly. In -fast mode the sweep-reuse,
 # autopilot, and sweepd records may be stale or absent; only gate them
-# on full runs.
-SCHEMA_FILES="BENCH_runq.json BENCH_hotpath.json BENCH_sampling.json BENCH_tpar.json"
+# on full runs. Under -only, gate whichever records exist on disk.
+SCHEMA_FILES="BENCH_runq.json BENCH_hotpath.json BENCH_sampling.json BENCH_tpar.json BENCH_wpar.json"
 if [ "$FAST" -eq 0 ]; then
 	SCHEMA_FILES="$SCHEMA_FILES BENCH_sweepreuse.json BENCH_autopilot.json BENCH_sweepd.json"
+fi
+if [ -n "$ONLY" ]; then
+	PRESENT=""
+	for f in $SCHEMA_FILES; do
+		[ -f "$f" ] && PRESENT="$PRESENT $f"
+	done
+	SCHEMA_FILES="$PRESENT"
 fi
 for f in $SCHEMA_FILES; do
 	[ -f "$f" ] || { echo "BENCH schema: $f missing" >&2; exit 1; }
@@ -362,6 +472,13 @@ for f in $SCHEMA_FILES; do
 		echo "BENCH schema: $f lacks a \"cores\" stamp" >&2; exit 1; }
 done
 echo "BENCH schema: records conform ($SCHEMA_FILES)"
+fi
 
 step "done"
+printf 'gate timing summary:\n'
+printf '%s' "$TIMINGS" | awk -F'|' '{
+	printf "  %-36s %8d ms\n", $1, $2
+	total += $2
+}
+END { printf "  %-36s %8d ms\n", "total", total }'
 printf 'check.sh: all gates passed\n'

@@ -51,9 +51,11 @@ func main() {
 		sample   = flag.Bool("sample", false, "run sweeps in sampled mode (conservative geometry; see EXPERIMENTS.md)")
 		adaptive = flag.Float64("adaptive", 0, "with -sample: adaptive stop — end each run once the relative 95% CI half-width of its window IPC mean drops below this")
 		pilot    = flag.Bool("autopilot", false, "run the confidence-pruned ablation search (see EXPERIMENTS.md) and print its Pareto table")
-		segments = flag.Int("segments", 0, "run every sweep time-parallel: split each run's measured region into this many boundary-warmed segments (0/1: serial)")
+		segments = flag.Int("segments", 0, "run every sweep time-parallel: split each run's measured region into this many boundary-warmed segments; with -sample, any value > 1 runs the sampled windows in parallel instead (0/1: serial)")
 		tpGate   = flag.Bool("tpar-gate", false, "run the serial-vs-time-parallel gate, write -tpar-bench, and exit")
 		tpOut    = flag.String("tpar-bench", "BENCH_tpar.json", "where -tpar-gate records its measurements")
+		wpGate   = flag.Bool("wpar-gate", false, "run the serial-vs-window-parallel sampled gate, write -wpar-bench, and exit")
+		wpOut    = flag.String("wpar-bench", "BENCH_wpar.json", "where -wpar-gate records its measurements")
 		gate     = flag.Bool("sample-gate", false, "run the paired full-vs-sampled gate sweep, write -sample-bench, and exit")
 		gateOut  = flag.String("sample-bench", "BENCH_sampling.json", "where -sample-gate records its measurements")
 		srGate   = flag.Bool("sweepreuse-gate", false, "run the cold-vs-warm sweep-reuse gate, write -sweepreuse-bench, and exit")
@@ -109,6 +111,13 @@ func main() {
 	}
 	if *tpGate {
 		if err := runTparGate(os.Stdout, *tpOut); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *wpGate {
+		if err := runWparGate(os.Stdout, *wpOut); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
@@ -179,8 +188,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: -adaptive requires -sample (the stop rule acts on sampled windows)")
 		os.Exit(1)
 	}
-	if *segments > 1 && *sample {
-		fmt.Fprintln(os.Stderr, "experiments: -segments and -sample are incompatible (both subsample the measured region)")
+	if err := (sim.Config{Sampling: opts.Sampling}).ValidateSegments(*segments); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 	opts.Segments = *segments

@@ -15,6 +15,7 @@
 //	ucpsim -trace int02 -ucp -ucp-noind -threshold 1000
 //	ucpsim -file trace.ucpt -prefetcher fnlmma
 //	ucpsim -trace srv203 -sample -adaptive 0.02   # stop once the IPC CI is ±2%
+//	ucpsim -trace srv203 -sample -segments 8      # sampled windows in parallel
 //	ucpsim -trace srv205 -compare          # baseline vs UCP side by side
 //	ucpsim -trace srv203 -ucp -json        # machine-readable output
 //	ucpsim -trace srv206 -ucp -hist        # stream/refill distributions
@@ -63,7 +64,7 @@ func main() {
 		adaptive   = flag.Float64("adaptive", 0, "with -sample: stop adding windows once the relative 95% CI half-width of the window IPC mean drops below this (0: fixed geometry)")
 		adaptMin   = flag.Int("adaptive-min", 0, "with -adaptive: minimum windows before the first stop check (0: default)")
 		adaptMax   = flag.Int("adaptive-max", 0, "with -adaptive: cap on windows even if the target is unmet (0: the fixed-geometry budget)")
-		segments   = flag.Int("segments", 0, "time-parallel run: split the measured region into this many boundary-warmed segments (0/1: serial)")
+		segments   = flag.Int("segments", 0, "time-parallel run: split the measured region into this many boundary-warmed segments; with -sample, any value > 1 runs the sampled windows in parallel instead (0/1: serial)")
 		segWarm    = flag.Uint64("seg-warm", 0, "with -segments: override the detailed boundary-warm length")
 		segFF      = flag.Uint64("seg-ffwarm", 0, "with -segments: override the functional boundary-warm horizon")
 		segCache   = flag.Uint64("seg-cachewarm", 0, "with -segments: override the cache-warm horizon of the skip zone")
@@ -163,8 +164,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ucpsim: -adaptive requires -sample (the stop rule acts on sampled windows)")
 		os.Exit(1)
 	}
-	if *segments > 1 && *sample {
-		fmt.Fprintln(os.Stderr, "ucpsim: -segments and -sample are incompatible (both subsample the measured region; compose is unvalidated)")
+	if err := cfg.ValidateSegments(*segments); err != nil {
+		fmt.Fprintln(os.Stderr, "ucpsim:", err)
 		os.Exit(1)
 	}
 	boundary := sim.BoundaryWarm{
@@ -172,6 +173,13 @@ func main() {
 		FFInsts:       *segFF,
 		CacheInsts:    *segCache,
 		BPInsts:       *segBP,
+	}
+	if *segments > 1 && *sample && boundary != (sim.BoundaryWarm{}) {
+		// Sampled+segmented runs derive every window's boundary warm from
+		// the sampling geometry (-sample-warm and friends); a seg-* flag
+		// here would be silently ignored, so reject it instead.
+		fmt.Fprintln(os.Stderr, "ucpsim: -seg-* boundary flags do not apply to sampled runs; the window boundary warm comes from the sampling geometry (-sample-warm, -sample-ffwarm, ...)")
+		os.Exit(1)
 	}
 	if boundary == (sim.BoundaryWarm{}) {
 		// Leave the zero value in place: the pool resolves it to

@@ -300,6 +300,62 @@ func pruneBlob() []byte {
 	return w.Seal()
 }
 
+// TestStorePruneRacesCapture hammers a byte-bounded shared directory
+// from many stores at once — every capture triggers a prune, every
+// restore is a disk load racing those prunes (run under -race by
+// check.sh). The contract under test: a prune racing a single-flight
+// capture or a concurrent reader must degrade to a miss that heals
+// through the ordinary leader path, never to a torn or corrupt blob.
+func TestStorePruneRacesCapture(t *testing.T) {
+	dir := t.TempDir()
+	blob := pruneBlob()
+	// Room for two blobs: with eight keys in flight, almost every
+	// publish pushes the directory over budget and prunes under the
+	// other goroutines' feet.
+	budget := 2*int64(len(blob)) + int64(len(blob))/2
+
+	const keys = 8
+	const workers = 4
+	const rounds = 30
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// A fresh store every round shares only the directory, so
+				// each hit is a disk load + verify racing the other
+				// stores' prunes rather than an in-memory memo hit.
+				s := NewStoreLimit(dir, budget, nil)
+				key := testKey(30 + (w+r)%keys)
+				b, ok, release := s.Acquire(key)
+				if ok {
+					if err := Verify(b); err != nil {
+						t.Errorf("hit served a corrupt blob: %v", err)
+					}
+					continue
+				}
+				release(pruneBlob())
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Whatever the interleaving, the directory holds only intact blobs:
+	// every key either misses (and heals through a new leader) or
+	// serves a blob that verifies.
+	fresh := NewStoreLimit(dir, 0, nil)
+	for i := 30; i < 30+keys; i++ {
+		if b, ok, release := fresh.Acquire(testKey(i)); ok {
+			if err := Verify(b); err != nil {
+				t.Errorf("key %d corrupt after the race: %v", i, err)
+			}
+		} else {
+			release(nil)
+		}
+	}
+}
+
 // storeBlob publishes blob under key through the normal leader path.
 func storeBlob(t *testing.T, s *Store, key string, blob []byte) {
 	t.Helper()

@@ -21,9 +21,10 @@ import (
 // The rule finds every merge-shaped method — named Merge or Add with
 // exactly one parameter of the receiver's own type — that is reachable
 // through the call graph from the result-aggregation packages
-// (internal/runq, internal/sim, and internal/tpar — the time-parallel
-// segment merge), and flags order-sensitive float accumulation in its
-// body. The escape hatch is the annotation
+// (internal/runq, internal/sim, internal/tpar — the time-parallel
+// segment merge — and internal/wpar — the window-parallel sampled
+// merge), and flags order-sensitive float accumulation in its body. The
+// escape hatch is the annotation
 //
 //	//ucplint:commutative
 //
@@ -53,6 +54,9 @@ func newMergeOrderAnalyzer() *Analyzer {
 				}
 				if strings.HasSuffix(n.PkgPath, "internal/tpar") {
 					return "tpar aggregation", true
+				}
+				if strings.HasSuffix(n.PkgPath, "internal/wpar") {
+					return "wpar aggregation", true
 				}
 				return "", false
 			})

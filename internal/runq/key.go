@@ -14,7 +14,7 @@ import (
 // sim.ModelVersion, which is folded into every key alongside it)
 // orphans all previously written records: they are simply never looked
 // up again, so no explicit invalidation pass is needed.
-const SchemaVersion = "runq-4"
+const SchemaVersion = "runq-5"
 
 // keyPayload is the canonical serialized identity of a job. It contains
 // everything that determines a run's measured numbers: the full machine
@@ -36,6 +36,11 @@ type keyPayload struct {
 	Measure     uint64
 	Segments    int
 	Boundary    sim.BoundaryWarm
+	// WindowParallel marks sampled jobs executed per-window through
+	// internal/wpar. The window plan is fully determined by the sampling
+	// geometry already inside Config, so the flag alone identifies the
+	// mode; Segments and Boundary are normalized away for such jobs.
+	WindowParallel bool
 }
 
 // Key returns the hex SHA-256 content digest addressing job's result.
@@ -61,26 +66,36 @@ func keyWith(job Job, traceDigest string) (string, error) {
 	// Normalize the time-parallel identity so equivalent jobs share a
 	// record: the serial forms (0 and 1 segments) collapse to one key,
 	// and an unset boundary warm collapses onto the default it resolves
-	// to. Segments stays in the key even though the merged numbers are
-	// meant to approximate the serial run — boundary warming changes the
-	// measured bytes, so cached results must not cross that line.
+	// to. Segmented sampled jobs run window-parallel (wpar), where the
+	// geometry lives in Config.Sampling and Job.Boundary is ignored, so
+	// they collapse onto WindowParallel=true with Segments and Boundary
+	// zeroed — any segment count maps to the same wpar execution. The
+	// parallel mode stays in the key even though the merged numbers are
+	// meant to approximate the serial run — boundary warming and window
+	// independence change the measured bytes, so cached results must not
+	// cross those lines.
 	segments := job.Segments
 	boundary := job.Boundary
+	windowParallel := false
 	if segments <= 1 {
+		segments, boundary = 0, sim.BoundaryWarm{}
+	} else if cfg.Sampling.Enabled {
+		windowParallel = true
 		segments, boundary = 0, sim.BoundaryWarm{}
 	} else if boundary == (sim.BoundaryWarm{}) {
 		boundary = sim.DefaultBoundaryWarm()
 	}
 	b, err := json.Marshal(keyPayload{
-		Schema:      SchemaVersion,
-		Model:       sim.ModelVersion,
-		Config:      cfg,
-		Profile:     job.Profile,
-		TraceDigest: traceDigest,
-		Warmup:      job.Warmup,
-		Measure:     job.Measure,
-		Segments:    segments,
-		Boundary:    boundary,
+		Schema:         SchemaVersion,
+		Model:          sim.ModelVersion,
+		Config:         cfg,
+		Profile:        job.Profile,
+		TraceDigest:    traceDigest,
+		Warmup:         job.Warmup,
+		Measure:        job.Measure,
+		Segments:       segments,
+		Boundary:       boundary,
+		WindowParallel: windowParallel,
 	})
 	if err != nil {
 		return "", fmt.Errorf("runq: hashing %s/%s: %w", job.Config.Name, job.traceLabel(), err)

@@ -223,6 +223,126 @@ func (s SamplingConfig) Adaptive() bool { return s.Enabled && s.TargetCI > 0 }
 // window would inflate it far more.
 func adaptiveSchedule(n int) int { return n + max(1, n/4) }
 
+// SampleWindows returns the measured-window schedule of the sampling
+// geometry over [WarmupInsts, WarmupInsts+MeasureInsts): one spec per
+// full period whose [Start, End) is the measured span (the WarmInsts of
+// detailed warming precede Start and are not part of the span), plus a
+// trailing window over the remainder when MeasureInsts is not
+// period-aligned (Config.Validate rejects remainders too short to hold
+// the warm+measure tail). The serial sampled controller and the
+// window-parallel executor (internal/wpar) both derive their window
+// positions from this one function, so the schedule cannot drift
+// between them.
+func (c Config) SampleWindows() []SegmentSpec {
+	s := c.Sampling
+	budget := int(c.MeasureInsts / s.PeriodInsts)
+	rem := c.MeasureInsts % s.PeriodInsts
+	if rem > 0 {
+		budget++
+	}
+	specs := make([]SegmentSpec, budget)
+	for k := range specs {
+		end := c.WarmupInsts + uint64(k+1)*s.PeriodInsts
+		if rem > 0 && k == budget-1 {
+			end = c.WarmupInsts + c.MeasureInsts
+		}
+		specs[k] = SegmentSpec{Index: k, Start: end - s.DetailedInsts, End: end}
+	}
+	return specs
+}
+
+// BoundaryWarm maps the sampling geometry's warming horizons onto the
+// per-boundary warming geometry RunSegment applies: the per-window
+// detailed warm becomes the boundary's detailed warm and the
+// functional/cache/predictor horizons carry over unchanged. This is the
+// bridge the window-parallel executor crosses — a sampled window is
+// exactly a RunSegment over the measured span with this warm — and it
+// also makes window boundaries share checkpoint content addresses
+// (sim.BoundaryKey) with full-detail segment boundaries placed at the
+// same position under the same horizons.
+func (s SamplingConfig) BoundaryWarm() BoundaryWarm {
+	return BoundaryWarm{
+		DetailedInsts: s.WarmInsts,
+		FFInsts:       s.FFWarmInsts,
+		CacheInsts:    s.CacheWarmInsts,
+		BPInsts:       s.BPWarmInsts,
+	}
+}
+
+// AdaptiveStop is the confidence-targeted controller's stop rule: a
+// one-pass Welford accumulator over the window IPCs, evaluated only at
+// the pinned group-sequential schedule points. It is a pure function of
+// the window-(insts, cycles) sequence observed in window-index order —
+// no machine state, no wall clock — which is precisely why the serial
+// sampled controller and the window-parallel executor (internal/wpar,
+// which observes speculatively simulated windows through a reorder
+// buffer) stop at exactly the same window. Both use this one type.
+type AdaptiveStop struct {
+	s        SamplingConfig
+	minW     int
+	run      stats.Running
+	nextEval int
+	seen     int
+}
+
+// NewAdaptiveStop builds the stop rule for a run capped at maxW
+// windows. For non-adaptive geometries Observe never stops; the
+// accumulator still runs so callers can report interval estimates.
+func NewAdaptiveStop(s SamplingConfig, maxW int) *AdaptiveStop {
+	minW := s.MinWindows
+	if minW == 0 {
+		minW = DefaultMinWindows
+	}
+	if minW > maxW {
+		minW = maxW
+	}
+	return &AdaptiveStop{s: s, minW: minW, nextEval: minW}
+}
+
+// Min returns the first stop-evaluation point (the MinWindows floor
+// clamped to the window cap).
+func (a *AdaptiveStop) Min() int { return a.minW }
+
+// Rel returns the current relative 95% half-width of the window-IPC
+// mean (+Inf while undefined) without observing a window — progress
+// reporting for executors that fold windows out of band.
+func (a *AdaptiveStop) Rel() float64 {
+	mean, half := a.run.CI95()
+	if mean > 0 && !math.IsInf(half, 1) {
+		return half / mean
+	}
+	return math.Inf(1)
+}
+
+// Observe folds one measured window — strictly the next one in window
+// order — and returns the current relative 95% half-width of the
+// window-IPC mean (+Inf while undefined) plus whether the pinned
+// schedule says to stop after this window. Zero-cycle windows
+// contribute no IPC observation, matching the serial controller.
+func (a *AdaptiveStop) Observe(insts, cycles uint64) (rel float64, stop bool) {
+	a.seen++
+	if cycles > 0 {
+		a.run.Add(float64(insts) / float64(cycles))
+	}
+	rel = math.Inf(1)
+	if !a.s.Adaptive() || a.seen < a.minW {
+		return rel, false
+	}
+	mean, half := a.run.CI95()
+	if mean > 0 && !math.IsInf(half, 1) {
+		rel = half / mean
+	}
+	if a.run.N() >= a.nextEval {
+		if rel <= a.s.TargetCI {
+			return rel, true
+		}
+		for a.nextEval <= a.run.N() {
+			a.nextEval = adaptiveSchedule(a.nextEval)
+		}
+	}
+	return rel, false
+}
+
 // SampledStats reports what the sampling controller did and what it
 // estimated. It is folded into the determinism digest, so every field
 // must be deterministic for a given (seed, config).
@@ -317,20 +437,10 @@ func runSampled(cfg Config, src trace.Source, code core.CodeInfo, traceName stri
 	// window over the remainder when MeasureInsts is not period-aligned
 	// (Config.Validate rejects remainders too short to hold the
 	// warm+measure tail, so no measured instructions are ever silently
-	// dropped).
-	budget := int(cfg.MeasureInsts / s.PeriodInsts)
-	rem := cfg.MeasureInsts % s.PeriodInsts
-	if rem > 0 {
-		budget++
-	}
-	// windowEnd is the absolute stream position where window k's
-	// measurement stops.
-	windowEnd := func(k int) uint64 {
-		if rem > 0 && k == budget-1 {
-			return cfg.WarmupInsts + cfg.MeasureInsts
-		}
-		return cfg.WarmupInsts + uint64(k+1)*s.PeriodInsts
-	}
+	// dropped). SampleWindows is shared with the window-parallel
+	// executor, so serial and parallel runs place identical windows.
+	specs := cfg.SampleWindows()
+	budget := len(specs)
 	// Adaptive mode stops early once the pinned evaluation schedule
 	// sees the window-IPC half-width at or below target; the fixed
 	// schedule is the budget either way.
@@ -338,13 +448,6 @@ func runSampled(cfg Config, src trace.Source, code core.CodeInfo, traceName stri
 	maxW := budget
 	if adaptive && s.MaxWindows > 0 && s.MaxWindows < maxW {
 		maxW = s.MaxWindows
-	}
-	minW := s.MinWindows
-	if minW == 0 {
-		minW = DefaultMinWindows
-	}
-	if minW > maxW {
-		minW = maxW
 	}
 	hook.note(StageWarming, 0, maxW)
 
@@ -400,14 +503,14 @@ func runSampled(cfg Config, src trace.Source, code core.CodeInfo, traceName stri
 	// The adaptive stop rule: a one-pass Welford accumulator over the
 	// window IPCs, evaluated only at the pinned schedule points — a
 	// pure function of the window-mean sequence, so two passes (and any
-	// worker count) terminate identically.
-	var ipcRun stats.Running
-	nextEval := minW
+	// worker count, serial or window-parallel) terminate identically.
+	as := NewAdaptiveStop(s, maxW)
+	minW := as.Min()
 	targetMet := false
 
 	for k := 0; k < maxW; k++ {
-		measureEnd := windowEnd(k)
-		measureStart := measureEnd - s.DetailedInsts
+		measureEnd := specs[k].End
+		measureStart := specs[k].Start
 		warmStart := measureStart - s.WarmInsts
 
 		if err := ffwd(warmStart); err != nil {
@@ -438,9 +541,7 @@ func runSampled(cfg Config, src trace.Source, code core.CodeInfo, traceName stri
 		dPfIns += b.uop.PrefetchInserts - a.uop.PrefetchInserts
 		dPfUsed += b.uop.PrefetchUsed - a.uop.PrefetchUsed
 		if wCycles > 0 {
-			ipc := float64(wInsts) / float64(wCycles)
-			ipcs = append(ipcs, ipc)
-			ipcRun.Add(ipc)
+			ipcs = append(ipcs, float64(wInsts)/float64(wCycles))
 		}
 		if wInsts > 0 {
 			mpkis = append(mpkis, float64(b.fe.CondMispredicts-a.fe.CondMispredicts)/float64(wInsts)*1000)
@@ -461,24 +562,15 @@ func runSampled(cfg Config, src trace.Source, code core.CodeInfo, traceName stri
 		if err := m.drainQuiet(); err != nil {
 			return Result{}, err
 		}
+		rel, stop := as.Observe(wInsts, wCycles)
 		if !adaptive || k+1 < minW {
 			hook.note(StageMeasuring, k+1, maxW)
 			continue
 		}
-		mean, half := ipcRun.CI95()
-		rel := math.Inf(1)
-		if mean > 0 && !math.IsInf(half, 1) {
-			rel = half / mean
-		}
 		hook.noteHalf(StageRefining, k+1, maxW, rel)
-		if ipcRun.N() >= nextEval {
-			if rel <= s.TargetCI {
-				targetMet = true
-				break
-			}
-			for nextEval <= ipcRun.N() {
-				nextEval = adaptiveSchedule(nextEval)
-			}
+		if stop {
+			targetMet = true
+			break
 		}
 	}
 

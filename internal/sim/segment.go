@@ -121,9 +121,13 @@ type SegmentResult struct {
 
 	// SkippedInsts/FFInsts report how the boundary was warmed (restored
 	// checkpoints return the captured values, so a restored segment is
-	// indistinguishable from a cold one here too).
-	SkippedInsts uint64
-	FFInsts      uint64
+	// indistinguishable from a cold one here too); DetailedInsts counts
+	// everything cycle-accurately committed (boundary warm + measured
+	// span) — the window-parallel merge sums it into
+	// SampledStats.DetailedInsts.
+	SkippedInsts  uint64
+	FFInsts       uint64
+	DetailedInsts uint64
 
 	UCPStorageKB float64
 }
@@ -173,7 +177,7 @@ func RunSegment(cfg Config, src trace.Source, code core.CodeInfo, spec SegmentSp
 		return SegmentResult{}, err
 	}
 	if cfg.Sampling.Enabled {
-		return SegmentResult{}, fmt.Errorf("sim: time-parallel segments require a full-detail config (sampling and segmenting both subsample the measured region; composing them is unvalidated)")
+		return SegmentResult{}, fmt.Errorf("sim: RunSegment is the full-detail span runner; sampled configs parallelize per measured window through internal/wpar, which strips Sampling and derives the boundary warm from the sampling geometry")
 	}
 	if err := warm.Validate(); err != nil {
 		return SegmentResult{}, err
@@ -230,19 +234,20 @@ func RunSegment(cfg Config, src trace.Source, code core.CodeInfo, spec SegmentSp
 	b := m.snap()
 
 	r := SegmentResult{
-		Index:        spec.Index,
-		Start:        spec.Start,
-		End:          spec.End,
-		Insts:        b.insts - a.insts,
-		Cycles:       b.cycles - a.cycles,
-		FE:           SubCounters(a.fe, b.fe),
-		Uop:          SubCounters(a.uop, b.uop),
-		UCP:          SubCounters(a.ucp, b.ucp),
-		L1I:          SubCounters(a.l1i, b.l1i),
-		StreamLens:   m.fe.StreamLens,
-		RefillLat:    m.fe.RefillLat,
-		SkippedInsts: skipped,
-		FFInsts:      ffTotal,
+		Index:         spec.Index,
+		Start:         spec.Start,
+		End:           spec.End,
+		Insts:         b.insts - a.insts,
+		Cycles:        b.cycles - a.cycles,
+		FE:            SubCounters(a.fe, b.fe),
+		Uop:           SubCounters(a.uop, b.uop),
+		UCP:           SubCounters(a.ucp, b.ucp),
+		L1I:           SubCounters(a.l1i, b.l1i),
+		StreamLens:    m.fe.StreamLens,
+		RefillLat:     m.fe.RefillLat,
+		SkippedInsts:  skipped,
+		FFInsts:       ffTotal,
+		DetailedInsts: b.insts - ffTotal,
 	}
 	if m.ucp != nil {
 		r.UCPStorageKB = m.ucp.StorageKB()

@@ -173,6 +173,26 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// ValidateSegments is the one compatibility matrix for composing a
+// time-parallel segment request with this config — ucpsim, experiments,
+// and the executors all consult it instead of hand-rolling (and
+// drifting) their own rejection messages. segments <= 1 is always the
+// serial engine. segments > 1 on a full-detail config is internal/tpar;
+// on a sampled config it is internal/wpar, whose per-window boundary
+// warm is derived from the sampling geometry (SamplingConfig's
+// BoundaryWarm method) — the only still-unvalidated combination is a
+// sampled geometry whose WarmInsts cannot satisfy the boundary warm's
+// floor, which is rejected here with the remediation spelled out.
+func (c Config) ValidateSegments(segments int) error {
+	if segments <= 1 || !c.Sampling.Enabled {
+		return nil
+	}
+	if c.Sampling.WarmInsts < 1000 {
+		return fmt.Errorf("sim: sampled+time-parallel composition requires Sampling.WarmInsts >= 1000 (each window's detailed warm becomes a segment boundary warm, whose floor is 1000; raise WarmInsts or drop -segments), got %d", c.Sampling.WarmInsts)
+	}
+	return nil
+}
+
 // Result carries the measured metrics of one run.
 type Result struct {
 	Name  string

@@ -34,7 +34,7 @@ import (
 // disagreeing on sim.ModelVersion or the job-key schema would silently
 // exchange results computed under different models, which is exactly
 // the cache-compatibility bug class the -version flags exist to debug.
-const ProtocolVersion = "sweepd-3"
+const ProtocolVersion = "sweepd-4"
 
 // Job states, in lifecycle order. A job is queued on admission, warming
 // once an executor picks it up, measuring when detailed windows start,
@@ -60,9 +60,12 @@ type JobSpec struct {
 	Profile trace.Profile `json:"profile"`
 	Warmup  uint64        `json:"warmup"`
 	Measure uint64        `json:"measure"`
-	// Segments > 1 asks the server to run the job time-parallel
-	// (internal/tpar) with the given boundary-warm geometry; results are
-	// byte-identical whatever worker budget the server has.
+	// Segments > 1 asks the server to run the job time-parallel:
+	// per-segment (internal/tpar) with the given boundary-warm geometry
+	// for full-detail configs, per measured window (internal/wpar) for
+	// sampled ones — where the window plan comes from the sampling
+	// geometry and Boundary is ignored. Results are byte-identical
+	// whatever worker budget the server has.
 	Segments int              `json:"segments,omitempty"`
 	Boundary sim.BoundaryWarm `json:"boundary,omitzero"`
 }

@@ -108,6 +108,13 @@ func Run(cfg sim.Config, newSource func() trace.Source, code core.CodeInfo, trac
 	if len(specs) <= 1 {
 		return sim.RunHooked(cfg, newSource(), code, traceName, wc, opts.Hook)
 	}
+	if cfg.Sampling.Enabled {
+		// RunSegment would reject this anyway, but fail before planning
+		// boundaries: sampled runs parallelize per measured window through
+		// internal/wpar, which derives its boundary warm from the sampling
+		// geometry instead of opts.Warm.
+		return sim.Result{}, fmt.Errorf("tpar: config is sampled; sampled runs time-parallelize per window through internal/wpar")
+	}
 	warm := opts.Warm
 	if warm == (sim.BoundaryWarm{}) {
 		warm = sim.DefaultBoundaryWarm()

@@ -1,0 +1,278 @@
+package wpar_test
+
+import (
+	"strings"
+	"testing"
+
+	"ucp/internal/ckpt"
+	"ucp/internal/core"
+	"ucp/internal/sim"
+	"ucp/internal/stats"
+	"ucp/internal/trace"
+	"ucp/internal/wpar"
+)
+
+// testArena decodes prof into an arena budgeted for end + slack; every
+// window draws a fresh cursor from it, like runq does.
+func testArena(t *testing.T, profName string, end uint64) (*trace.Arena, *trace.Program) {
+	t.Helper()
+	prof, ok := trace.ProfileByName(profName)
+	if !ok {
+		t.Fatalf("unknown profile %q", profName)
+	}
+	prog, err := trace.BuildProgram(prof)
+	if err != nil {
+		t.Fatalf("building %s: %v", profName, err)
+	}
+	return trace.ArenaFromSource(trace.NewWalker(prog), int(end)+200_000), prog
+}
+
+// sampledCfg is a cheap 4-window sampled geometry over crypto01-scale
+// budgets: 20K warmup, 40K measured, one 2K window per 10K period.
+func sampledCfg() sim.Config {
+	cfg := sim.WithUCP(core.DefaultConfig())
+	cfg.WarmupInsts, cfg.MeasureInsts = 20_000, 40_000
+	cfg.Sampling = sim.SamplingConfig{
+		Enabled:       true,
+		PeriodInsts:   10_000,
+		DetailedInsts: 2_000,
+		WarmInsts:     2_000,
+		FFWarmInsts:   5_000,
+	}
+	return cfg
+}
+
+// TestWorkerCountInvariance is the tentpole determinism bar: the same
+// window-parallel sampled run must produce byte-identical digests at
+// any worker count, with both a sampled section (window IPCs, CIs) and
+// a timepar section (window provenance).
+func TestWorkerCountInvariance(t *testing.T) {
+	cfg := sampledCfg()
+	a, prog := testArena(t, "crypto01", 60_000)
+
+	run := func(workers int) sim.Result {
+		r, err := wpar.Run(cfg, func() trace.Source { return a.Cursor() }, prog, "crypto01",
+			wpar.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return r
+	}
+	r1 := run(1)
+	d1 := r1.DeterminismDigest()
+	for _, w := range []int{2, 8} {
+		if dw := run(w).DeterminismDigest(); dw != d1 {
+			t.Fatalf("digest differs between workers=1 and workers=%d:\n%s\n---\n%s", w, d1, dw)
+		}
+	}
+	for _, want := range []string{"sampled windows=4", "sampled w0 ipc=", "timepar segments=4", "timepar s3 "} {
+		if !strings.Contains(d1, want) {
+			t.Errorf("digest missing %q section:\n%s", want, d1)
+		}
+	}
+	if r1.Sampled == nil || r1.Sampled.MeasuredInsts == 0 {
+		t.Fatalf("Sampled = %+v, want populated window statistics", r1.Sampled)
+	}
+}
+
+// TestMatchesSerialSampledGeometry: the parallel run must measure
+// exactly the windows the serial sampled controller measures — same
+// count, same measured instruction total — and estimate a close IPC
+// (the residual is the window-independence error, bounded loosely here
+// and measured precisely by the check.sh gate).
+func TestMatchesSerialSampledGeometry(t *testing.T) {
+	cfg := sampledCfg()
+	a, prog := testArena(t, "crypto01", 60_000)
+
+	serial, err := sim.Run(cfg, a.Cursor(), prog, "crypto01")
+	if err != nil {
+		t.Fatalf("serial sampled run: %v", err)
+	}
+	par, err := wpar.Run(cfg, func() trace.Source { return a.Cursor() }, prog, "crypto01",
+		wpar.Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("wpar run: %v", err)
+	}
+	if par.Sampled.Windows != serial.Sampled.Windows {
+		t.Errorf("windows: parallel %d, serial %d", par.Sampled.Windows, serial.Sampled.Windows)
+	}
+	// Window ends are commit-granular (runUntil overshoots by up to one
+	// commit window, deterministically but state-dependently), so the
+	// totals may differ by a few instructions per window — never more.
+	diff := int64(par.Sampled.MeasuredInsts) - int64(serial.Sampled.MeasuredInsts)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > int64(16*par.Sampled.Windows) {
+		t.Errorf("measured insts: parallel %d, serial %d (beyond commit-width overshoot)",
+			par.Sampled.MeasuredInsts, serial.Sampled.MeasuredInsts)
+	}
+	if serial.IPC <= 0 {
+		t.Fatalf("serial IPC = %g", serial.IPC)
+	}
+	if relErr := (par.IPC - serial.IPC) / serial.IPC; relErr > 0.10 || relErr < -0.10 {
+		t.Errorf("window-independence IPC error %.4f exceeds the loose 10%% test bound (parallel %.4f, serial %.4f)",
+			relErr, par.IPC, serial.IPC)
+	}
+}
+
+// TestAdaptiveStopInvariant: adaptive+parallel must stop at exactly the
+// same window at every worker count — speculative windows dispatched
+// past the stop point are discarded deterministically, so the digests
+// (which include the per-window list and the adaptive provenance line)
+// are byte-identical too.
+func TestAdaptiveStopInvariant(t *testing.T) {
+	cfg := sampledCfg()
+	cfg.MeasureInsts = 120_000 // 12-window budget
+	cfg.Sampling.PeriodInsts = 10_000
+	cfg.Sampling.TargetCI = 0.10
+	a, prog := testArena(t, "crypto01", 140_000)
+
+	run := func(workers int) sim.Result {
+		r, err := wpar.Run(cfg, func() trace.Source { return a.Cursor() }, prog, "crypto01",
+			wpar.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return r
+	}
+	r1 := run(1)
+	d1 := r1.DeterminismDigest()
+	for _, w := range []int{3, 8} {
+		rw := run(w)
+		if rw.Sampled.Windows != r1.Sampled.Windows {
+			t.Fatalf("adaptive stop window differs: workers=1 measured %d, workers=%d measured %d",
+				r1.Sampled.Windows, w, rw.Sampled.Windows)
+		}
+		if dw := rw.DeterminismDigest(); dw != d1 {
+			t.Fatalf("adaptive digest differs between workers=1 and workers=%d:\n%s\n---\n%s", w, d1, dw)
+		}
+	}
+	if r1.Sampled.TargetCI != cfg.Sampling.TargetCI || r1.Sampled.WindowBudget != 12 {
+		t.Errorf("adaptive provenance = %+v, want TargetCI=%g budget=12", r1.Sampled, cfg.Sampling.TargetCI)
+	}
+	if !strings.Contains(d1, "sampled adaptive target=") {
+		t.Errorf("digest missing adaptive line:\n%s", d1)
+	}
+}
+
+// TestCheckpointRestoredRunIdentical: a run restoring all window
+// boundary checkpoints captured by an earlier run must be
+// byte-identical to the cold run — and actually hit the store.
+func TestCheckpointRestoredRunIdentical(t *testing.T) {
+	cfg := sampledCfg()
+	a, prog := testArena(t, "crypto01", 60_000)
+	store := ckpt.NewStore("")
+
+	run := func(st *ckpt.Store) sim.Result {
+		r, err := wpar.Run(cfg, func() trace.Source { return a.Cursor() }, prog, "crypto01",
+			wpar.Options{Workers: 2, Checkpoints: st, TraceID: "test:" + a.ID()})
+		if err != nil {
+			t.Fatalf("wpar run: %v", err)
+		}
+		return r
+	}
+	cold := run(nil)
+	captured := run(store)
+	if store.Len() == 0 {
+		t.Fatal("capturing run published no boundary checkpoints")
+	}
+	hitsBefore := store.Hits()
+	restored := run(store)
+	if store.Hits() <= hitsBefore {
+		t.Fatal("restore run never hit the checkpoint store")
+	}
+	cd := cold.DeterminismDigest()
+	if d := captured.DeterminismDigest(); d != cd {
+		t.Fatalf("capturing run digest differs from cold:\n%s\n---\n%s", d, cd)
+	}
+	if d := restored.DeterminismDigest(); d != cd {
+		t.Fatalf("checkpoint-restored run digest differs from cold:\n%s\n---\n%s", d, cd)
+	}
+}
+
+// TestRejectsFullDetail: wpar is the sampled executor; a full-detail
+// config must be routed to tpar, not silently planned as zero windows.
+func TestRejectsFullDetail(t *testing.T) {
+	cfg := sim.Baseline()
+	a, prog := testArena(t, "crypto01", 10_000)
+	_, err := wpar.Run(cfg, func() trace.Source { return a.Cursor() }, prog, "crypto01", wpar.Options{})
+	if err == nil || !strings.Contains(err.Error(), "tpar") {
+		t.Fatalf("full-detail config not rejected toward tpar: err = %v", err)
+	}
+}
+
+// TestAccumMergeCommutes backs Accum.Merge's //ucplint:commutative
+// annotation with the dynamic shuffle-merge harness: per-worker accums
+// holding disjoint window sets must reduce to byte-identical digests
+// under any merge order. Registered in ucplint's verified set
+// (TestCommutativeAnnotationsAreShuffleTested).
+func TestAccumMergeCommutes(t *testing.T) {
+	cfg := sampledCfg()
+	a, prog := testArena(t, "crypto01", 60_000)
+
+	cfgFD := cfg
+	cfgFD.Sampling = sim.SamplingConfig{}
+	warm := cfg.Sampling.BoundaryWarm()
+	specs := cfg.SampleWindows()
+	parts := make([]*wpar.Accum, len(specs))
+	for i, spec := range specs {
+		res, err := sim.RunSegment(cfgFD, a.Cursor(), prog, spec, warm, nil)
+		if err != nil {
+			t.Fatalf("window %d: %v", i, err)
+		}
+		parts[i] = wpar.NewAccum(len(specs))
+		parts[i].AddWindow(res)
+	}
+	err := stats.CheckCommutative(
+		func() *wpar.Accum { return wpar.NewAccum(len(specs)) },
+		func(dst, src *wpar.Accum) { dst.Merge(src) },
+		func(acc *wpar.Accum) string {
+			r, err := acc.Result(cfg, "crypto01", len(specs), len(specs), false)
+			if err != nil {
+				t.Fatalf("Result after full merge: %v", err)
+			}
+			return r.DeterminismDigest()
+		},
+		parts, 0xF00D, 64,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResultMissingWindow: reducing an accumulator with a hole in the
+// included prefix must fail loudly, and speculative windows past the
+// include point must not be required.
+func TestResultMissingWindow(t *testing.T) {
+	cfg := sampledCfg()
+	acc := wpar.NewAccum(3)
+	acc.AddWindow(sim.SegmentResult{Index: 0, Start: 0, End: 10, Insts: 10, Cycles: 20})
+	acc.AddWindow(sim.SegmentResult{Index: 2, Start: 20, End: 30, Insts: 10, Cycles: 20})
+	if _, err := acc.Result(cfg, "x", 3, 3, false); err == nil || !strings.Contains(err.Error(), "missing window 1") {
+		t.Fatalf("hole not detected: err = %v", err)
+	}
+	// include=1 ignores the hole at 1 and the speculative cell at 2.
+	if _, err := acc.Result(cfg, "x", 1, 3, true); err != nil {
+		t.Fatalf("include=1 reduction failed: %v", err)
+	}
+}
+
+// TestTrailingRemainderWindow: a period-unaligned MeasureInsts gets a
+// trailing window over the remainder, in parallel exactly as in serial.
+func TestTrailingRemainderWindow(t *testing.T) {
+	cfg := sampledCfg()
+	cfg.MeasureInsts = 45_000 // 4 full periods + 5K remainder >= warm+measure
+	a, prog := testArena(t, "crypto01", 65_000)
+	r, err := wpar.Run(cfg, func() trace.Source { return a.Cursor() }, prog, "crypto01",
+		wpar.Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("wpar run: %v", err)
+	}
+	if r.Sampled.Windows != 5 {
+		t.Fatalf("windows = %d, want 4 full + 1 trailing", r.Sampled.Windows)
+	}
+	if got := r.TimePar.Boundaries[4]; got != 20_000+45_000-2_000 {
+		t.Errorf("trailing window starts at %d, want measure end - DetailedInsts", got)
+	}
+}
